@@ -1,0 +1,105 @@
+// Fig. 14 (+ §7.4 ablations): oracle-mode comparison of the sum of per-link
+// peak WAN bandwidth, per day of the evaluation week, normalized to WRR's
+// worst day. Policies: WRR, LF, Titan, TN, plus the paper's ablations —
+// TN with MP placement only (no Internet), TN with doubled Internet
+// capacity, and the LF variant optimizing total max-E2E latency.
+#include "bench/common.h"
+#include "eval/runner.h"
+#include "policies/locality_first.h"
+#include "policies/titan_next_policy.h"
+#include "policies/titan_policy.h"
+#include "policies/wrr.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("Oracle: sum of per-day peak WAN bandwidth", "Fig. 14 + ablations");
+
+  const auto split = bench::make_workload(env.world, /*peak_slot_calls=*/600.0);
+  const auto ctx = policies::PolicyContext::make(env.db, geo::Continent::kEurope, 0.20);
+
+  titannext::PlanScope scope;
+  scope.timeslots = core::kSlotsPerDay;
+  scope.max_reduced_configs = 60;
+  // Provisioned close to demand: peak-awareness only matters when the
+  // preferred DCs cannot absorb everyone's peak (the production regime).
+  scope.compute_headroom = 1.3;
+
+  policies::WrrPolicy wrr(ctx, /*oracle=*/true);
+  policies::LocalityFirstOptions lf_opts;
+  lf_opts.oracle = true;
+  lf_opts.scope = scope;
+  policies::LocalityFirstPolicy lf(ctx, lf_opts);
+  policies::TitanPolicy titan(ctx);
+
+  policies::TitanNextPolicyOptions tn_opts;
+  tn_opts.oracle = true;
+  tn_opts.pipeline.scope = scope;
+  tn_opts.pipeline.lp.e2e_bound_ms = 20.0;  // the paper's weekday E=75,
+  // scaled to this compact synthetic Europe (see bench_table3's sweep)
+  policies::TitanNextPolicy tn(ctx, tn_opts);
+
+  const auto cmp =
+      eval::compare_policies({&wrr, &lf, &titan, &tn}, split.eval, split.history, env.db, 14);
+  std::printf("%s\n", cmp.render_peaks_table().c_str());
+  std::printf("TN vs WRR weekday reduction: %.1f%% (paper: 24-28%%)\n",
+              cmp.weekday_reduction_pct(3, 0));
+  std::printf("TN vs LF  weekday reduction: %.1f%% (paper: 13-19%%)\n\n",
+              cmp.weekday_reduction_pct(3, 1));
+
+  // --- Ablation: MP DC placement only (Internet offload disabled). To
+  // isolate the value of placement, the LF comparator also runs without
+  // Internet capacity here.
+  auto mp_only_opts = tn_opts;
+  mp_only_opts.pipeline.scope.internet_capacity_scale = 0.0;
+  policies::TitanNextPolicy tn_mp(ctx, mp_only_opts);
+  auto lf_no_inet_opts = lf_opts;
+  lf_no_inet_opts.scope.internet_capacity_scale = 0.0;
+  policies::LocalityFirstPolicy lf_no_inet(ctx, lf_no_inet_opts);
+  // --- Ablation: hypothetically double the Internet capacity.
+  auto doubled_opts = tn_opts;
+  doubled_opts.pipeline.scope.internet_capacity_scale = 2.0;
+  policies::TitanNextPolicy tn_2x(ctx, doubled_opts);
+  // --- LF variant optimizing total max-E2E latency.
+  auto lf_e2e_opts = lf_opts;
+  lf_e2e_opts.use_max_e2e_objective = true;
+  policies::LocalityFirstPolicy lf_e2e(ctx, lf_e2e_opts);
+
+  const auto abl = eval::compare_policies({&wrr, &lf_no_inet, &tn_mp, &tn_2x, &lf_e2e},
+                                          split.eval, split.history, env.db, 15);
+  std::printf("Ablations (same normalization style):\n%s\n",
+              abl.render_peaks_table().c_str());
+  std::printf("TN(MP-only) vs WRR: %.1f%% (paper: 16.7-20%%)\n",
+              abl.weekday_reduction_pct(2, 0));
+  std::printf("TN(MP-only) vs LF(no Internet): %.1f%% (paper: 3-8%%)\n",
+              abl.weekday_reduction_pct(2, 1));
+  auto daily_total = [](const eval::PolicyResult& r) {
+    double acc = 0.0;
+    int n = 0;
+    for (std::size_t d = 0; d < r.wan.per_day_sum_of_peaks_mbps.size(); ++d) {
+      if (core::is_weekend(static_cast<core::SlotIndex>(d * core::kSlotsPerDay))) continue;
+      acc += r.wan.per_day_sum_of_peaks_mbps[d];
+      ++n;
+    }
+    return acc / std::max(1, n);
+  };
+  std::printf("TN(2x Internet) vs WRR: %.1f%% (paper: 27-38%%)\n",
+              abl.weekday_reduction_pct(3, 0));
+  std::printf("TN(2x Internet) vs LF : %.1f%% (paper: 17-26.5%%)\n",
+              (1.0 - daily_total(abl.results[3]) / daily_total(cmp.results[1])) * 100.0);
+  // TN (from the first run) vs LF-maxE2E (index 4 here): compare on raw
+  // per-day sums; both runs share the trace.
+  double tn_total = 0.0, lfe_total = 0.0;
+  for (const double v : cmp.results[3].wan.per_day_sum_of_peaks_mbps) tn_total += v;
+  for (const double v : abl.results[4].wan.per_day_sum_of_peaks_mbps) lfe_total += v;
+  std::printf("TN vs LF-maxE2E: %.1f%% (paper: 16-29%%)\n",
+              (1.0 - tn_total / lfe_total) * 100.0);
+
+  // Total WAN traffic reduction (§7.4 "Total WAN traffic reduction").
+  std::printf("\nTotal WAN traffic: TN vs WRR %.1f%%, TN vs LF %.1f%% (paper: 24-28%% / 13.5-18%%)\n",
+              (1.0 - cmp.results[3].wan.total_traffic_gb / cmp.results[0].wan.total_traffic_gb) *
+                  100.0,
+              (1.0 - cmp.results[3].wan.total_traffic_gb / cmp.results[1].wan.total_traffic_gb) *
+                  100.0);
+  return 0;
+}

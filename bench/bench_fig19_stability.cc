@@ -1,0 +1,71 @@
+// Fig. 19: the Fig. 4 fraction-F heatmap recomputed on a week of data from
+// 6 months earlier (December 2023). The paper finds the broad structure
+// unchanged, with the NA-EU corridor slightly better in the newer data.
+#include <map>
+
+#include "bench/common.h"
+#include "measure/aggregate.h"
+#include "measure/probe_platform.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("Fraction F heatmap, 6 months earlier + corridor drift", "Fig. 19");
+
+  const geo::GeoDb geodb = geo::GeoDb::make(env.world);
+  net::NetworkDbOptions old_opts;
+  old_opts.latency.epoch_months = -6.0;
+  const net::NetworkDb old_db(env.world, old_opts);
+
+  measure::StudyOptions sopts;
+  sopts.days = 7;
+  sopts.probes_per_hour = 25000;
+
+  auto heatmap = [&](const net::LatencyModel& latency, std::uint64_t seed) {
+    measure::StudyOptions o = sopts;
+    o.seed = seed;
+    const auto corpus = measure::ProbePlatform(env.world, geodb, latency).run(o);
+    const auto table =
+        measure::hourly_medians(corpus, measure::Granularity::kCountry, o.days * 24);
+    std::map<std::pair<int, int>, double> f;
+    for (const auto& cell : measure::fraction_heatmap(table))
+      f[{cell.country.value(), cell.dc.value()}] = cell.f;
+    return f;
+  };
+  const auto f_old = heatmap(old_db.latency(), 31);
+  const auto f_new = heatmap(env.db.latency(), 32);
+
+  // Average F for the NA-EU corridor then and now.
+  double old_sum = 0, new_sum = 0;
+  int n = 0;
+  for (const auto c : env.world.countries_in(geo::Continent::kNorthAmerica)) {
+    for (const auto d : env.world.dcs_in(geo::Continent::kEurope)) {
+      const auto key = std::make_pair(c.value(), d.value());
+      if (!f_old.count(key) || !f_new.count(key)) continue;
+      old_sum += f_old.at(key);
+      new_sum += f_new.at(key);
+      ++n;
+    }
+  }
+  std::printf("NA -> EU corridor average F: Dec'23 %.3f -> Jun'24 %.3f\n", old_sum / n,
+              new_sum / n);
+  std::printf("paper: the corridor improved slightly over the 6 months.\n\n");
+
+  // Full Dec'23 heatmap for the representative DCs.
+  std::vector<std::string> header = {"DC \\ client (Dec'23)"};
+  std::vector<core::CountryId> clients;
+  for (const auto& country : env.world.countries())
+    if (country.call_volume >= 0.9) clients.push_back(country.id);
+  for (const auto c : clients) header.push_back(env.world.country(c).iso);
+  core::TextTable t(header);
+  for (const auto dc : env.world.representative_dcs()) {
+    std::vector<std::string> row = {env.world.dc(dc).name};
+    for (const auto c : clients) {
+      const auto it = f_old.find({c.value(), dc.value()});
+      row.push_back(it == f_old.end() ? "-" : core::TextTable::num(it->second, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 3: CDFs of hourly-median (Internet - WAN) latency differences for
+// DCs grouped by continent, plus the paper's global four-bucket breakdown:
+// 33.73% strictly better / 23.98% within 10ms / 19.61% in 10-25ms /
+// 22.68% beyond 25ms.
+#include <map>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/stats.h"
+#include "measure/aggregate.h"
+#include "measure/probe_platform.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("Internet - WAN latency difference CDFs", "Fig. 3 + global buckets");
+
+  const geo::GeoDb geodb = geo::GeoDb::make(env.world);
+  const measure::ProbePlatform platform(env.world, geodb, env.db.latency());
+  measure::StudyOptions opts;
+  opts.days = 7;
+  opts.probes_per_hour = 30000;
+  const auto corpus = platform.run(opts);
+  const int hours = opts.days * 24;
+  const auto table = measure::hourly_medians(corpus, measure::Granularity::kCountry, hours);
+
+  // Group per-pair differences by destination DC continent.
+  std::map<geo::Continent, std::vector<double>> by_continent;
+  std::vector<double> all;
+  for (const auto& [key, series] : table) {
+    const auto diffs = measure::pair_differences(series);
+    const auto& dc = env.world.dc(core::DcId(key.dc));
+    auto& bucket = by_continent[dc.continent];
+    bucket.insert(bucket.end(), diffs.begin(), diffs.end());
+    all.insert(all.end(), diffs.begin(), diffs.end());
+  }
+
+  core::TextTable cdf({"DC continent", "P10", "P25", "P50", "P75", "P90"});
+  for (const auto& [continent, diffs] : by_continent) {
+    const auto qs = core::quantiles(diffs, {0.1, 0.25, 0.5, 0.75, 0.9});
+    cdf.add_row({geo::continent_name(continent), core::TextTable::num(qs[0], 1),
+                 core::TextTable::num(qs[1], 1), core::TextTable::num(qs[2], 1),
+                 core::TextTable::num(qs[3], 1), core::TextTable::num(qs[4], 1)});
+  }
+  std::printf("%s\n", cdf.render().c_str());
+
+  const auto buckets = measure::bucket_differences(all);
+  core::TextTable b({"bucket", "measured", "paper"});
+  b.add_row({"Internet strictly better", core::TextTable::num(buckets.strictly_better, 2) + "%",
+             "33.73%"});
+  b.add_row({"worse by <= 10 msec", core::TextTable::num(buckets.within_10ms, 2) + "%",
+             "23.98%"});
+  b.add_row({"worse by 10-25 msec", core::TextTable::num(buckets.within_25ms, 2) + "%",
+             "19.61%"});
+  b.add_row({"worse by > 25 msec", core::TextTable::num(buckets.beyond_25ms, 2) + "%",
+             "22.68%"});
+  std::printf("%s\n", b.render().c_str());
+  return 0;
+}

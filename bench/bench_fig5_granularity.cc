@@ -1,0 +1,34 @@
+// Fig. 5: weighted difference D of the fraction F when clients are
+// clustered by ASN / country+ASN / city / city+ASN instead of by country.
+// The paper finds D bounded by ~8% at P50 (11% at P90 for city+ASN),
+// justifying country-granularity control in Titan.
+#include "bench/common.h"
+#include "measure/aggregate.h"
+#include "measure/probe_platform.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("F difference across clustering granularities", "Fig. 5");
+
+  const geo::GeoDb geodb = geo::GeoDb::make(env.world);
+  const measure::ProbePlatform platform(env.world, geodb, env.db.latency());
+  measure::StudyOptions opts;
+  opts.days = 7;
+  opts.probes_per_hour = 60000;  // fine granularities need dense cells
+  const auto corpus = platform.run(opts);
+  const int hours = opts.days * 24;
+
+  core::TextTable t({"granularity", "P50 D", "P90 D", "pairs"});
+  for (const auto g : {measure::Granularity::kAsn, measure::Granularity::kCountryAsn,
+                       measure::Granularity::kCity, measure::Granularity::kCityAsn}) {
+    const auto d = measure::granularity_difference(corpus, g, hours);
+    t.add_row({measure::granularity_name(g), core::TextTable::pct(d.p50),
+               core::TextTable::pct(d.p90), std::to_string(d.all.size())});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper: P50 bounded by ~8%%, P90 by ~11-20%% depending on granularity.\n"
+              "note: synthetic ASNs/cities are single-country, so ASN and\n"
+              "country+ASN coincide (documented substitution).\n");
+  return 0;
+}

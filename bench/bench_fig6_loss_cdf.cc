@@ -1,0 +1,57 @@
+// Fig. 6: CDFs of hourly median RTP loss between European client countries
+// and 3 European MP DCs (Ireland, Netherlands, France) for WAN vs Internet
+// over 7 days. The loss is measured exactly as production does: from RTP
+// sequence-number accounting on relay legs of simulated Teams calls.
+#include <vector>
+
+#include "bench/common.h"
+#include "core/stats.h"
+#include "media/relay_sim.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("RTP loss CDFs, Internet vs WAN, 3 EU DCs", "Fig. 6");
+
+  const media::MosModel mos;
+  media::RelaySimOptions ropts;
+  ropts.leg_duration_s = 60.0;  // 3000 packets/leg: 0.03% loss resolution
+  const media::RelaySimulator relay(env.db, mos, ropts);
+  core::Rng rng(606);
+
+  const auto eu = env.world.countries_in(geo::Continent::kEurope);
+  const std::vector<std::string> dc_names = {"ireland", "netherlands", "france"};
+
+  core::TextTable t({"series", "P25", "P50", "P75", "P90", "P99", "share >= 0.1%"});
+  for (const auto& dc_name : dc_names) {
+    const auto dc = env.world.find_dc(dc_name);
+    for (const auto path : {net::PathType::kWan, net::PathType::kInternet}) {
+      std::vector<double> hourly_losses;
+      for (const auto c : eu) {
+        if (path == net::PathType::kInternet && env.db.loss().internet_unusable(c)) continue;
+        // One representative relayed call per pair per 2 hours over 7 days.
+        for (int hour = 0; hour < 7 * 24; hour += 2) {
+          media::Call call;
+          call.id = core::CallId(hour);
+          call.mp_dc = dc;
+          call.media = media::MediaType::kAudio;
+          call.participants = {{core::ParticipantId(0), c, path}};
+          const auto tele =
+              relay.simulate_call(call, hour * core::kSlotsPerHour, nullptr, rng);
+          hourly_losses.push_back(tele.participants[0].rtp_loss);
+        }
+      }
+      const auto qs = core::quantiles(hourly_losses, {0.25, 0.5, 0.75, 0.9, 0.99});
+      int heavy = 0;
+      for (const double l : hourly_losses) heavy += l >= 0.001;
+      t.add_row({path_type_name(path) + " " + dc_name, core::TextTable::pct(qs[0], 3),
+                 core::TextTable::pct(qs[1], 3), core::TextTable::pct(qs[2], 3),
+                 core::TextTable::pct(qs[3], 3), core::TextTable::pct(qs[4], 3),
+                 core::TextTable::pct(static_cast<double>(heavy) / hourly_losses.size(), 1)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper: both options mostly clean (<=0.01%%), Internet has a\n"
+              "heavier tail (~10%% of cases >= 0.1%%; WAN almost never).\n");
+  return 0;
+}

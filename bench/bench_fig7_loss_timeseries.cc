@@ -1,0 +1,37 @@
+// Fig. 7: time series of hourly median loss between clients in France and
+// the Netherlands DC over one week. The Internet shows taller and more
+// frequent spikes; WAN peaks stay bounded (~0.02%).
+#include <algorithm>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("Loss time series, France -> Netherlands DC", "Fig. 7");
+
+  const auto fr = env.world.find_country("france");
+  const auto nl = env.world.find_dc("netherlands");
+
+  double wan_peak = 0.0, internet_peak = 0.0;
+  int internet_spikes = 0, wan_spikes = 0;
+  std::printf("day  hour  WAN loss%%   Internet loss%%\n");
+  for (int hour = 0; hour < 7 * 24; ++hour) {
+    const core::SlotIndex slot = hour * core::kSlotsPerHour;
+    const double wan = env.db.loss().slot_loss(fr, nl, net::PathType::kWan, slot);
+    const double internet = env.db.loss().slot_loss(fr, nl, net::PathType::kInternet, slot);
+    wan_peak = std::max(wan_peak, wan);
+    internet_peak = std::max(internet_peak, internet);
+    wan_spikes += wan >= 0.0001;
+    internet_spikes += internet >= 0.0001;
+    if (hour % 6 == 0)  // print a readable subsample of the series
+      std::printf("d%02d  %02d    %8.4f    %8.4f\n", hour / 24, hour % 24, wan * 100,
+                  internet * 100);
+  }
+  std::printf("\nWAN peak: %.4f%%   Internet peak: %.4f%% (ratio %.1fx)\n", wan_peak * 100,
+              internet_peak * 100, internet_peak / std::max(1e-12, wan_peak));
+  std::printf("hours >= 0.01%% loss: WAN %d, Internet %d\n", wan_spikes, internet_spikes);
+  std::printf("paper: Internet spikes higher (up to 3x) and more frequent;\n"
+              "WAN peak loss bounded by ~0.02%%.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// §8.5 overheads, as google-benchmark micro-benchmarks:
+//   - Holt-Winters prediction per call config (paper: 1.2-4.7 s/config on
+//     production-size series; ours are scaled down),
+//   - call config grouping (paper: under a minute),
+//   - the plan LP (paper: ~1 minute),
+//   - online controller assignment per call (paper: < 1 msec).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "forecast/holt_winters.h"
+#include "titannext/controller.h"
+#include "titannext/pipeline.h"
+
+namespace {
+
+using namespace titan;
+
+struct Fixture {
+  bench::Env env;
+  bench::WorkloadSplit split = bench::make_workload(env.world, 120.0);
+  std::map<std::pair<int, int>, double> fractions = env.titan_fractions();
+
+  titannext::PlanScope scope() const {
+    titannext::PlanScope s;
+    s.timeslots = core::kSlotsPerDay;
+    s.max_reduced_configs = 40;
+    return s;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_HoltWintersFitPerConfig(benchmark::State& state) {
+  auto& f = fixture();
+  const auto counts = f.split.history.config_counts();
+  const auto by_volume = f.split.history.configs_by_volume();
+  const auto& series =
+      counts[static_cast<std::size_t>(by_volume.front().value())];
+  for (auto _ : state) {
+    const auto fit = forecast::HoltWinters::fit_auto(series, core::kSlotsPerWeek);
+    benchmark::DoNotOptimize(fit.training_sse);
+  }
+}
+BENCHMARK(BM_HoltWintersFitPerConfig)->Unit(benchmark::kMillisecond);
+
+void BM_ConfigGrouping(benchmark::State& state) {
+  auto& f = fixture();
+  const auto counts = f.split.eval.config_active_counts();
+  for (auto _ : state) {
+    titannext::PlanInputs inputs(f.env.db, f.scope(), f.fractions);
+    inputs.set_demand(f.split.eval.configs(), counts, true);
+    benchmark::DoNotOptimize(inputs.demands().size());
+  }
+}
+BENCHMARK(BM_ConfigGrouping)->Unit(benchmark::kMillisecond);
+
+void BM_PlanLp(benchmark::State& state) {
+  auto& f = fixture();
+  titannext::PipelineOptions popts;
+  popts.scope = f.scope();
+  popts.lp.e2e_bound_ms = 80.0;
+  const titannext::TitanNextPipeline pipeline(f.env.db, f.fractions, popts);
+  for (auto _ : state) {
+    const auto plan = pipeline.plan_day_oracle(f.split.eval, 2 * core::kSlotsPerDay);
+    benchmark::DoNotOptimize(plan.plan.result().objective);
+  }
+}
+BENCHMARK(BM_PlanLp)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_ControllerAssignPerCall(benchmark::State& state) {
+  auto& f = fixture();
+  titannext::PipelineOptions popts;
+  popts.scope = f.scope();
+  popts.lp.e2e_bound_ms = 80.0;
+  const titannext::TitanNextPipeline pipeline(f.env.db, f.fractions, popts);
+  static const auto day = pipeline.plan_day_oracle(f.split.eval, 2 * core::kSlotsPerDay);
+  titannext::OnlineController controller(*day.inputs, day.plan);
+  core::Rng rng(1);
+  const auto fr = f.env.world.find_country("france");
+  for (auto _ : state) {
+    const auto a =
+        controller.assign_initial(fr, media::MediaType::kAudio, 20, rng);
+    benchmark::DoNotOptimize(a.assignment.dc);
+  }
+}
+BENCHMARK(BM_ControllerAssignPerCall)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

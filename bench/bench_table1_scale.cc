@@ -1,0 +1,36 @@
+// Table 1: scale of the measurement study.
+//
+// The production platform logs ~3.5M probes/day from 241K cities / 61K ASNs
+// across 244 countries to 21 DCs. Our synthetic world is smaller by design;
+// this bench runs the same pipeline (round-robin fleet, /24-masked logging,
+// offline geolocation joins) for one day and prints the same table rows.
+#include "bench/common.h"
+#include "measure/probe_platform.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("Scale of the measurement study", "Table 1");
+
+  const geo::GeoDb geodb = geo::GeoDb::make(env.world);
+  const measure::ProbePlatform platform(env.world, geodb, env.db.latency());
+
+  measure::StudyOptions opts;
+  opts.days = 1;
+  opts.probes_per_hour = 60000;
+  const auto corpus = platform.run(opts);
+  const auto stats = corpus.scale_stats(opts.days);
+
+  core::TextTable table({"Geography", "Unique values", "paper"});
+  table.add_row({"Avg. #measurements/day",
+                 core::TextTable::num(stats.avg_measurements_per_day, 0), "3.5 million"});
+  table.add_row({"Source country", std::to_string(stats.source_countries), "244"});
+  table.add_row({"Source city", std::to_string(stats.source_cities), "241,777"});
+  table.add_row({"Source ASN", std::to_string(stats.source_asns), "61,675"});
+  table.add_row({"IP subnets", std::to_string(stats.ip_subnets), "4,731,110"});
+  table.add_row({"Destination DCs", std::to_string(stats.destination_dcs), "21"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("note: synthetic world is intentionally smaller; the pipeline\n"
+              "(fleet, LB, /24 logging, geo joins) is the reproduction target.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 3: daily average / median / P95 of per-call max end-to-end latency
+// for WRR, LF and Titan-Next over the oracle evaluation week, plus the E
+// sweep the paper describes (§7.5: below a minimum E the LP is infeasible;
+// above it the peak savings plateau).
+#include "bench/common.h"
+#include "eval/runner.h"
+#include "policies/locality_first.h"
+#include "policies/titan_next_policy.h"
+#include "policies/wrr.h"
+#include "titannext/lp_builder.h"
+
+int main() {
+  using namespace titan;
+  bench::Env env;
+  bench::print_header("Daily max-E2E latency per policy", "Table 3 + E sweep");
+
+  const auto split = bench::make_workload(env.world, /*peak_slot_calls=*/600.0);
+  const auto ctx = policies::PolicyContext::make(env.db, geo::Continent::kEurope, 0.20);
+
+  titannext::PlanScope scope;
+  scope.timeslots = core::kSlotsPerDay;
+  scope.max_reduced_configs = 60;
+  scope.compute_headroom = 1.3;
+
+  policies::WrrPolicy wrr(ctx, true);
+  policies::LocalityFirstOptions lf_opts;
+  lf_opts.oracle = true;
+  lf_opts.scope = scope;
+  policies::LocalityFirstPolicy lf(ctx, lf_opts);
+  policies::TitanNextPolicyOptions tn_opts;
+  tn_opts.oracle = true;
+  tn_opts.pipeline.scope = scope;
+  tn_opts.pipeline.lp.e2e_bound_ms = 20.0;
+  policies::TitanNextPolicy tn(ctx, tn_opts);
+
+  const auto cmp =
+      eval::compare_policies({&wrr, &lf, &tn}, split.eval, split.history, env.db, 3);
+  std::printf("%s\n", cmp.render_latency_table().c_str());
+  std::printf("paper: WRR 82-86 / 75-78 / 120; LF 71-75 / 70 / 100-103;\n"
+              "TN 74-80 / 70-76 / 103-122 (mean/median/P95, msec)\n\n");
+
+  // E sweep on one weekday: feasibility boundary and savings plateau.
+  titannext::PipelineOptions popts;
+  popts.scope = scope;
+  const titannext::TitanNextPipeline pipeline(env.db, ctx.internet_fractions, popts);
+  core::TextTable sweep({"E bound (msec)", "status", "sum of peaks (norm.)"});
+  double norm = -1.0;
+  for (const double e : {6.0, 10.0, 14.0, 18.0, 24.0, 40.0, 80.0}) {
+    titannext::PipelineOptions o = popts;
+    o.lp.e2e_bound_ms = e;
+    const titannext::TitanNextPipeline pl(env.db, ctx.internet_fractions, o);
+    const auto day = pl.plan_day_oracle(split.eval, 2 * core::kSlotsPerDay);  // Wednesday
+    if (!day.valid()) {
+      sweep.add_row({core::TextTable::num(e, 0), "infeasible", "-"});
+      continue;
+    }
+    const double peaks = day.plan.result().sum_of_wan_peaks_mbps;
+    if (norm < 0.0) norm = peaks;
+    sweep.add_row({core::TextTable::num(e, 0), "optimal",
+                   core::TextTable::num(peaks / norm, 3)});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+  std::printf("paper: infeasible below the minimum E (75 weekdays / 80 weekends);\n"
+              "savings roughly constant for all E above it. Our synthetic Europe\n"
+              "is geographically compact, so the same shape appears at smaller E.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared setup for the benchmark binaries: the standard world, network
+// ground truth, Titan fractions, and the 5-week workload split the paper's
+// evaluation uses (4 weeks training + 1 week evaluation, Europe-contained
+// calls). All seeds are fixed so every bench is reproducible.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/table.h"
+#include "geo/geodb.h"
+#include "geo/world.h"
+#include "net/network_db.h"
+#include "workload/callgen.h"
+
+namespace titan::bench {
+
+struct Env {
+  geo::World world = geo::World::make();
+  net::NetworkDb db{world};
+
+  // Titan-learnt safe fractions: 20% for usable European pairs (the
+  // production cap), 0 for countries with unusable Internet paths.
+  [[nodiscard]] std::map<std::pair<int, int>, double> titan_fractions(
+      double cap = 0.20) const {
+    std::map<std::pair<int, int>, double> fractions;
+    for (const auto c : world.countries_in(geo::Continent::kEurope)) {
+      const double f = db.loss().internet_unusable(c) ? 0.0 : cap;
+      for (const auto d : world.dcs_in(geo::Continent::kEurope))
+        fractions[{c.value(), d.value()}] = f;
+    }
+    return fractions;
+  }
+};
+
+struct WorkloadSplit {
+  workload::Trace history;  // 4 training weeks
+  workload::Trace eval;     // 1 evaluation week
+};
+
+inline WorkloadSplit make_workload(const geo::World& world, double peak_slot_calls = 150.0,
+                                   std::uint64_t seed = 2024) {
+  workload::TraceOptions opts;
+  opts.weeks = 5;
+  opts.peak_slot_calls = peak_slot_calls;
+  opts.seed = seed;
+  auto full = workload::TraceGenerator(world).generate(opts);
+  return {full.window(0, 4 * core::kSlotsPerWeek),
+          full.window(4 * core::kSlotsPerWeek, 5 * core::kSlotsPerWeek)};
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace titan::bench

@@ -1,0 +1,82 @@
+// Joint MP + routing assignment (§5.1's motivating example, then a real
+// policy comparison).
+//
+// Part 1 recreates Fig. 9's Hungary example: picking the MP DC by WAN
+// latency first and the routing option second is sub-optimal; the joint
+// optimizer finds the (France DC, Internet) combination.
+// Part 2 runs WRR / LF / Titan / Titan-Next on a 1-day European trace and
+// prints the Fig. 14-style comparison.
+#include <cstdio>
+
+#include "eval/runner.h"
+#include "policies/locality_first.h"
+#include "policies/titan_next_policy.h"
+#include "policies/titan_policy.h"
+#include "policies/wrr.h"
+
+int main() {
+  using namespace titan;
+  const geo::World world = geo::World::make();
+  const net::NetworkDb net(world);
+
+  // ---- Part 1: the Fig. 9 intuition on our ground truth.
+  const auto hu = world.find_country("hungary");
+  std::printf("call with two users in Hungary; candidate MP DCs and options:\n");
+  double best_joint = 1e18, best_wan_first = 1e18;
+  std::string joint_pick, wan_first_pick;
+  for (const auto dc : world.dcs_in(geo::Continent::kEurope)) {
+    const double wan = net.latency().base_rtt_ms(hu, dc, net::PathType::kWan);
+    const double internet = net.latency().base_rtt_ms(hu, dc, net::PathType::kInternet);
+    std::printf("  %-12s WAN %.1f ms   Internet %.1f ms\n", world.dc(dc).name.c_str(), wan,
+                internet);
+    // Sequential strawman: choose DC by WAN latency, then consider offload.
+    if (wan < best_wan_first) {
+      best_wan_first = wan;
+      wan_first_pick = world.dc(dc).name + "/WAN";
+    }
+    // Joint: consider (DC, option) combinations together.
+    if (wan < best_joint) {
+      best_joint = wan;
+      joint_pick = world.dc(dc).name + "/WAN";
+    }
+    if (internet < best_joint) {
+      best_joint = internet;
+      joint_pick = world.dc(dc).name + "/Internet";
+    }
+  }
+  std::printf("sequential pick: %s (%.1f ms)   joint pick: %s (%.1f ms)\n\n",
+              wan_first_pick.c_str(), best_wan_first, joint_pick.c_str(), best_joint);
+
+  // ---- Part 2: policy comparison on a generated trace.
+  workload::TraceOptions topts;
+  topts.weeks = 3;
+  topts.peak_slot_calls = 60.0;
+  const auto full = workload::TraceGenerator(world).generate(topts);
+  const auto history = full.window(0, 2 * core::kSlotsPerWeek);
+  const auto eval_days =
+      full.window(2 * core::kSlotsPerWeek, 2 * core::kSlotsPerWeek + core::kSlotsPerDay);
+
+  const auto ctx = policies::PolicyContext::make(net, geo::Continent::kEurope, 0.20);
+  titannext::PlanScope scope;
+  scope.timeslots = core::kSlotsPerDay;
+  scope.max_reduced_configs = 30;
+
+  policies::WrrPolicy wrr(ctx, true);
+  policies::LocalityFirstOptions lf_opts;
+  lf_opts.oracle = true;
+  lf_opts.scope = scope;
+  policies::LocalityFirstPolicy lf(ctx, lf_opts);
+  policies::TitanPolicy titan(ctx);
+  policies::TitanNextPolicyOptions tn_opts;
+  tn_opts.oracle = true;
+  tn_opts.pipeline.scope = scope;
+  tn_opts.pipeline.lp.e2e_bound_ms = 90.0;
+  policies::TitanNextPolicy tn(ctx, tn_opts);
+
+  const auto cmp =
+      eval::compare_policies({&wrr, &lf, &titan, &tn}, eval_days, history, net, 5);
+  std::printf("one evaluation day, sum of per-link WAN peaks (normalized to WRR):\n%s",
+              cmp.render_peaks_table().c_str());
+  std::printf("\nend-to-end latency:\n%s", cmp.render_latency_table().c_str());
+  return 0;
+}

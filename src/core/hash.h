@@ -1,0 +1,38 @@
+// Deterministic key hashing.
+//
+// The network ground-truth models answer queries like "what was the loss on
+// the Internet path from France to the Netherlands DC in slot 137?" without
+// storing per-slot state: each answer is drawn from an Rng seeded by a hash
+// of the query key. The same key always yields the same value, time series
+// are stable regardless of query order, and memory stays O(1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace titan::core {
+
+// Mixes a value into a running 64-bit hash (splitmix-style finalizer).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+template <typename... Parts>
+[[nodiscard]] constexpr std::uint64_t hash_key(std::uint64_t seed, Parts... parts) {
+  std::uint64_t h = seed;
+  ((h = hash_mix(h, static_cast<std::uint64_t>(parts))), ...);
+  return h;
+}
+
+// An Rng whose stream is a pure function of the key parts.
+template <typename... Parts>
+[[nodiscard]] Rng rng_at(std::uint64_t seed, Parts... parts) {
+  return Rng(hash_key(seed, parts...));
+}
+
+}  // namespace titan::core

@@ -1,0 +1,72 @@
+// Strong identifier types shared across the Titan / Titan-Next reproduction.
+//
+// Every entity in the system (country, city, ASN, data center, WAN link,
+// transit ISP, call, participant) is referred to by a small integer id that
+// indexes into the owning registry. Wrapping the integer in a distinct type
+// prevents the classic bug of passing a city index where a country index was
+// expected; comparisons and hashing are provided so ids can key maps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace titan::core {
+
+// CRTP-free strong id: distinct `Tag` types make distinct, non-convertible
+// id types while sharing all the boilerplate.
+template <typename Tag, typename Rep = std::int32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  static constexpr Id invalid() { return Id(Rep{-1}); }
+
+ private:
+  Rep value_ = -1;
+};
+
+struct CountryTag {};
+struct CityTag {};
+struct AsnTag {};
+struct DcTag {};
+struct PopTag {};      // WAN point-of-presence.
+struct LinkTag {};     // WAN backbone link.
+struct TransitTag {};  // Transit ISP peering at a DC.
+struct CallTag {};
+struct ParticipantTag {};
+struct ConfigTag {};  // Call config (and reduced call config) ids.
+
+using CountryId = Id<CountryTag>;
+using CityId = Id<CityTag>;
+using AsnId = Id<AsnTag>;
+using DcId = Id<DcTag>;
+using PopId = Id<PopTag>;
+using LinkId = Id<LinkTag>;
+using TransitId = Id<TransitTag>;
+using CallId = Id<CallTag, std::int64_t>;
+using ParticipantId = Id<ParticipantTag, std::int64_t>;
+using ConfigId = Id<ConfigTag>;
+
+}  // namespace titan::core
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<titan::core::Id<Tag, Rep>> {
+  size_t operator()(titan::core::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,151 @@
+#include "core/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace titan::core {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+int Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction, clipped at zero.
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0.5 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  int count = 0;
+  while (product > limit) {
+    product *= uniform();
+    ++count;
+  }
+  return count;
+}
+
+int Rng::zipf(int n, double s) {
+  assert(n > 0);
+  // Inverse-CDF over precomputation would be faster, but configs are small;
+  // a linear walk over the normalized harmonic weights is adequate and exact.
+  double total = 0.0;
+  for (int r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1, s);
+  double target = uniform() * total;
+  for (int r = 0; r < n; ++r) {
+    target -= 1.0 / std::pow(r + 1, s);
+    if (target <= 0.0) return r;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::weighted_pick(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("weighted_pick: total weight must be > 0");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0 && weights[i] > 0.0) return i;
+  }
+  // Floating-point slack: return the last positive-weight entry.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  throw std::logic_error("weighted_pick: unreachable");
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the parent's seed with the stream id through splitmix so that
+  // distinct streams are decorrelated regardless of draw order.
+  std::uint64_t mix = seed_ ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  const std::uint64_t child_seed = splitmix64(mix);
+  return Rng(child_seed);
+}
+
+}  // namespace titan::core

@@ -1,0 +1,70 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the reproduction (world synthesis, latency
+// noise, loss episodes, call arrivals) draw from this generator so that every
+// test, example, and benchmark is reproducible from an explicit seed. We
+// implement xoshiro256++ seeded via splitmix64 rather than using
+// std::mt19937 so the stream is identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace titan::core {
+
+// splitmix64: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+// xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5a17a9d5c0ffee01ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  // Exponential with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Poisson-distributed count (Knuth for small means, normal approx above 64).
+  int poisson(double mean);
+
+  // Zipf-like rank sampling over [0, n): probability of rank r proportional
+  // to 1 / (r + 1)^s. Used for call-config popularity.
+  int zipf(int n, double s);
+
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  // Zero-weight entries are never picked; total weight must be positive.
+  std::size_t weighted_pick(const std::vector<double>& weights);
+
+  // Derive an independent child generator (stable function of parent seed
+  // and `stream`), for giving each subsystem its own stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace titan::core

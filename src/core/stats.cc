@@ -1,0 +1,163 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace titan::core {
+
+namespace {
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+}  // namespace
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+std::vector<double> quantiles(std::vector<double> values, const std::vector<double>& qs) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(values, q));
+  return out;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double rmse(const std::vector<double>& actual, const std::vector<double>& predicted) {
+  if (actual.size() != predicted.size())
+    throw std::invalid_argument("rmse: size mismatch");
+  if (actual.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double mae(const std::vector<double>& actual, const std::vector<double>& predicted) {
+  if (actual.size() != predicted.size())
+    throw std::invalid_argument("mae: size mismatch");
+  if (actual.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) acc += std::abs(actual[i] - predicted[i]);
+  return acc / static_cast<double>(actual.size());
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const { return quantile_sorted(sorted_, q); }
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(std::size_t points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = points == 1 ? 1.0
+                                 : static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({quantile_sorted(sorted_, q), q});
+  }
+  return out;
+}
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Accumulator::mean() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_;
+}
+
+double Accumulator::variance() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : m2_ / static_cast<double>(count_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double Accumulator::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("Histogram: bad range");
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+}  // namespace titan::core

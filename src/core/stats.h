@@ -1,0 +1,103 @@
+// Summary statistics used by the measurement analyses and the evaluation.
+//
+// The paper reports hourly medians, CDFs, P50/P90/P95 quantiles, means, and
+// normalized errors; this header provides those primitives over plain
+// vectors of doubles plus a small streaming accumulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace titan::core {
+
+// Quantile of a sample using linear interpolation between order statistics
+// (the common "type 7" definition). `q` in [0, 1]. Returns NaN for empty
+// input. The input is copied; use quantiles() for several cuts at once.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+// Several quantiles with a single sort.
+[[nodiscard]] std::vector<double> quantiles(std::vector<double> values,
+                                            const std::vector<double>& qs);
+
+[[nodiscard]] double median(std::vector<double> values);
+[[nodiscard]] double mean(const std::vector<double>& values);
+[[nodiscard]] double stddev(const std::vector<double>& values);
+
+// Root-mean-square error and mean absolute error between two equal-length
+// series. Used to score Holt-Winters forecasts (Fig. 20).
+[[nodiscard]] double rmse(const std::vector<double>& actual,
+                          const std::vector<double>& predicted);
+[[nodiscard]] double mae(const std::vector<double>& actual,
+                         const std::vector<double>& predicted);
+
+// Empirical CDF: sorted support points with cumulative probabilities.
+// Evaluation at arbitrary x uses a step function (fraction of samples <= x).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  // P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  // Inverse CDF (quantile) with linear interpolation.
+  [[nodiscard]] double quantile(double q) const;
+
+  // Evenly spaced (x, cdf) points suitable for printing a CDF series.
+  struct Point {
+    double x;
+    double p;
+  };
+  [[nodiscard]] std::vector<Point> curve(std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Streaming accumulator for count/mean/min/max/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi); values outside clamp to the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace titan::core

@@ -1,0 +1,30 @@
+// Plain-text table rendering for benchmark and example output.
+//
+// The bench binaries print the same rows/series the paper's tables and
+// figures report; this tiny renderer right-pads columns so the output is
+// legible in a terminal and diff-friendly in CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace titan::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  // 0.25 -> "25.0%"
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace titan::core

@@ -1,0 +1,25 @@
+#include "core/timegrid.h"
+
+#include <array>
+#include <cstdio>
+
+namespace titan::core {
+
+namespace {
+constexpr std::array<const char*, 7> kNames = {
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"};
+constexpr std::array<const char*, 7> kShort = {"Mon", "Tue", "Wed", "Thu",
+                                               "Fri", "Sat", "Sun"};
+}  // namespace
+
+std::string weekday_name(Weekday w) { return kNames[static_cast<int>(w)]; }
+std::string weekday_short_name(Weekday w) { return kShort[static_cast<int>(w)]; }
+
+std::string slot_label(SlotIndex slot) {
+  char buf[32];
+  const int minutes = (slot % kSlotsPerHour) * 30;
+  std::snprintf(buf, sizeof(buf), "d%02d %02d:%02d", day_of(slot), hour_of(slot), minutes);
+  return buf;
+}
+
+}  // namespace titan::core

@@ -1,0 +1,47 @@
+// Discrete time grid.
+//
+// Titan-Next plans in 30-minute timeslots over a 24-hour horizon (48 slots),
+// re-planned every slot; measurements aggregate hourly; traces span weeks.
+// `TimeGrid` converts between absolute slot indices and (day, hour, slot)
+// coordinates and knows which days are weekends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace titan::core {
+
+// Index of a 30-minute slot counted from the start of the trace. The trace
+// conventionally starts on a Monday at 00:00.
+using SlotIndex = std::int32_t;
+
+constexpr int kSlotsPerHour = 2;
+constexpr int kHoursPerDay = 24;
+constexpr int kSlotsPerDay = kSlotsPerHour * kHoursPerDay;  // 48
+constexpr int kDaysPerWeek = 7;
+constexpr int kSlotsPerWeek = kSlotsPerDay * kDaysPerWeek;  // 336
+constexpr double kSlotMinutes = 30.0;
+constexpr double kSlotSeconds = kSlotMinutes * 60.0;
+
+enum class Weekday { kMonday = 0, kTuesday, kWednesday, kThursday, kFriday, kSaturday, kSunday };
+
+[[nodiscard]] constexpr int day_of(SlotIndex slot) { return slot / kSlotsPerDay; }
+[[nodiscard]] constexpr int slot_in_day(SlotIndex slot) { return slot % kSlotsPerDay; }
+[[nodiscard]] constexpr int hour_of(SlotIndex slot) { return slot_in_day(slot) / kSlotsPerHour; }
+[[nodiscard]] constexpr Weekday weekday_of(SlotIndex slot) {
+  return static_cast<Weekday>(day_of(slot) % kDaysPerWeek);
+}
+[[nodiscard]] constexpr bool is_weekend(SlotIndex slot) {
+  const Weekday w = weekday_of(slot);
+  return w == Weekday::kSaturday || w == Weekday::kSunday;
+}
+[[nodiscard]] constexpr SlotIndex slot_at(int day, int hour, int half) {
+  return day * kSlotsPerDay + hour * kSlotsPerHour + half;
+}
+
+[[nodiscard]] std::string weekday_name(Weekday w);
+[[nodiscard]] std::string weekday_short_name(Weekday w);
+// "d02 13:30" style label for log output.
+[[nodiscard]] std::string slot_label(SlotIndex slot);
+
+}  // namespace titan::core

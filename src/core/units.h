@@ -1,0 +1,33 @@
+// Lightweight unit wrappers used throughout the reproduction.
+//
+// Latency is carried in milliseconds, bandwidth in megabits/second, loss as a
+// fraction in [0, 1]. These are plain doubles with named accessors rather
+// than full dimensional types: the codebase converts between units rarely,
+// and the paper reports everything in msec / Gbps / percent.
+#pragma once
+
+namespace titan::core {
+
+// Milliseconds of one-way or round-trip delay depending on context; all
+// public APIs document which they mean.
+using Millis = double;
+
+// Megabits per second. WAN link peaks in the paper are Tbps; we keep Mbps as
+// the base unit and convert at the reporting layer.
+using Mbps = double;
+
+// Loss fraction in [0, 1] (0.001 == 0.1%).
+using LossFraction = double;
+
+// Cores of MP compute.
+using Cores = double;
+
+constexpr double kMbpsPerGbps = 1000.0;
+constexpr double kMbpsPerTbps = 1000.0 * 1000.0;
+
+[[nodiscard]] constexpr double mbps_to_gbps(Mbps v) { return v / kMbpsPerGbps; }
+[[nodiscard]] constexpr double mbps_to_tbps(Mbps v) { return v / kMbpsPerTbps; }
+[[nodiscard]] constexpr double loss_to_percent(LossFraction f) { return f * 100.0; }
+[[nodiscard]] constexpr LossFraction percent_to_loss(double pct) { return pct / 100.0; }
+
+}  // namespace titan::core

@@ -1,0 +1,131 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/stats.h"
+
+namespace titan::eval {
+
+WanUsage wan_usage(const workload::Trace& trace,
+                   const std::vector<policies::CallAssignment>& assignments,
+                   const net::NetworkDb& net) {
+  WanUsage out;
+  const int slots = trace.num_slots();
+  const int days = (slots + core::kSlotsPerDay - 1) / core::kSlotsPerDay;
+
+  // usage[slot][link] built sparsely.
+  std::vector<std::map<int, double>> usage(static_cast<std::size_t>(slots));
+  for (std::size_t i = 0; i < trace.calls().size(); ++i) {
+    const auto& call = trace.calls()[i];
+    const auto& a = assignments[i];
+    if (a.path != net::PathType::kWan) continue;
+    const auto& config = trace.configs().get(call.config);
+    for (const auto& [country, count] : config.participants) {
+      const double bw = config.network_mbps_from(country);
+      const auto& path = net.topology().path(country, a.dc);
+      for (int s = call.start_slot;
+           s < std::min(slots, call.start_slot + call.duration_slots); ++s)
+        for (const auto lid : path.links) usage[static_cast<std::size_t>(s)][lid.value()] += bw;
+    }
+  }
+
+  std::map<int, double> whole_peak;
+  std::vector<std::map<int, double>> day_peak(static_cast<std::size_t>(days));
+  for (int s = 0; s < slots; ++s) {
+    const int day = s / core::kSlotsPerDay;
+    for (const auto& [link, mbps] : usage[static_cast<std::size_t>(s)]) {
+      whole_peak[link] = std::max(whole_peak[link], mbps);
+      auto& dp = day_peak[static_cast<std::size_t>(day)][link];
+      dp = std::max(dp, mbps);
+      // Mbps over a 30-min slot -> bytes: Mbps * 1800 s / 8 = MB.
+      out.total_traffic_gb += mbps * core::kSlotSeconds / 8.0 / 1000.0;
+    }
+  }
+  for (const auto& [link, peak] : whole_peak) out.sum_of_peaks_mbps += peak;
+  out.per_day_sum_of_peaks_mbps.resize(static_cast<std::size_t>(days), 0.0);
+  for (int d = 0; d < days; ++d)
+    for (const auto& [link, peak] : day_peak[static_cast<std::size_t>(d)])
+      out.per_day_sum_of_peaks_mbps[static_cast<std::size_t>(d)] += peak;
+  return out;
+}
+
+namespace {
+
+double call_max_e2e(const workload::CallConfig& config, core::DcId dc, net::PathType path,
+                    const net::NetworkDb& net) {
+  double top1 = 0.0, top2 = 0.0;
+  int total = 0;
+  for (const auto& [country, count] : config.participants) {
+    const double one_way = net.latency().base_rtt_ms(country, dc, path) / 2.0;
+    total += count;
+    const int reps = std::min(count, 2);
+    for (int r = 0; r < reps; ++r) {
+      if (one_way > top1) {
+        top2 = top1;
+        top1 = one_way;
+      } else if (one_way > top2) {
+        top2 = one_way;
+      }
+    }
+  }
+  return total >= 2 ? top1 + top2 : 2.0 * top1;
+}
+
+LatencyStats summarize(std::vector<double>& values) {
+  LatencyStats s;
+  s.calls = values.size();
+  if (values.empty()) return s;
+  s.mean = core::mean(values);
+  const auto qs = core::quantiles(values, {0.5, 0.95});
+  s.median = qs[0];
+  s.p95 = qs[1];
+  return s;
+}
+
+}  // namespace
+
+std::vector<LatencyStats> e2e_latency_per_day(
+    const workload::Trace& trace, const std::vector<policies::CallAssignment>& assignments,
+    const net::NetworkDb& net) {
+  const int days = (trace.num_slots() + core::kSlotsPerDay - 1) / core::kSlotsPerDay;
+  std::vector<std::vector<double>> per_day(static_cast<std::size_t>(days));
+  for (std::size_t i = 0; i < trace.calls().size(); ++i) {
+    const auto& call = trace.calls()[i];
+    const auto& config = trace.configs().get(call.config);
+    const int day = call.start_slot / core::kSlotsPerDay;
+    per_day[static_cast<std::size_t>(day)].push_back(
+        call_max_e2e(config, assignments[i].dc, assignments[i].path, net));
+  }
+  std::vector<LatencyStats> out;
+  out.reserve(per_day.size());
+  for (auto& v : per_day) out.push_back(summarize(v));
+  return out;
+}
+
+LatencyStats e2e_latency_overall(const workload::Trace& trace,
+                                 const std::vector<policies::CallAssignment>& assignments,
+                                 const net::NetworkDb& net) {
+  std::vector<double> values;
+  values.reserve(trace.calls().size());
+  for (std::size_t i = 0; i < trace.calls().size(); ++i) {
+    const auto& call = trace.calls()[i];
+    const auto& config = trace.configs().get(call.config);
+    values.push_back(call_max_e2e(config, assignments[i].dc, assignments[i].path, net));
+  }
+  return summarize(values);
+}
+
+double internet_share(const workload::Trace& trace,
+                      const std::vector<policies::CallAssignment>& assignments) {
+  double internet = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < trace.calls().size(); ++i) {
+    const auto& config = trace.configs().get(trace.calls()[i].config);
+    const double participants = config.total_participants();
+    total += participants;
+    if (assignments[i].path == net::PathType::kInternet) internet += participants;
+  }
+  return total <= 0.0 ? 0.0 : internet / total;
+}
+
+}  // namespace titan::eval

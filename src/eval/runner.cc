@@ -1,0 +1,91 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "core/table.h"
+
+namespace titan::eval {
+
+ComparisonResult compare_policies(const std::vector<policies::Policy*>& policy_list,
+                                  const workload::Trace& eval_trace,
+                                  const workload::Trace& history, const net::NetworkDb& net,
+                                  std::uint64_t seed) {
+  ComparisonResult out;
+  core::Rng root(seed);
+  for (std::size_t p = 0; p < policy_list.size(); ++p) {
+    core::Rng rng = root.fork(p);
+    PolicyResult r;
+    r.run = policy_list[p]->run(eval_trace, history, rng);
+    r.wan = wan_usage(eval_trace, r.run.assignments, net);
+    r.latency_per_day = e2e_latency_per_day(eval_trace, r.run.assignments, net);
+    r.latency_overall = e2e_latency_overall(eval_trace, r.run.assignments, net);
+    r.internet_share = internet_share(eval_trace, r.run.assignments);
+    out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string ComparisonResult::render_peaks_table() const {
+  if (results.empty()) return {};
+  std::vector<std::string> header = {"day"};
+  for (const auto& r : results) header.push_back(r.run.policy_name);
+  core::TextTable table(std::move(header));
+
+  // Normalize to the first policy's worst day (the paper normalizes to the
+  // peak BW observed for WRR).
+  double norm = 0.0;
+  for (const double v : results.front().wan.per_day_sum_of_peaks_mbps)
+    norm = std::max(norm, v);
+  if (norm <= 0.0) norm = 1.0;
+
+  const std::size_t days = results.front().wan.per_day_sum_of_peaks_mbps.size();
+  for (std::size_t d = 0; d < days; ++d) {
+    std::vector<std::string> row;
+    row.push_back(core::weekday_short_name(
+        core::weekday_of(static_cast<core::SlotIndex>(d * core::kSlotsPerDay))));
+    for (const auto& r : results)
+      row.push_back(core::TextTable::num(
+          r.wan.per_day_sum_of_peaks_mbps[d] / norm, 3));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string ComparisonResult::render_latency_table() const {
+  core::TextTable table({"policy", "mean (msec)", "median (msec)", "P95 (msec)"});
+  for (const auto& r : results) {
+    double mean_lo = 1e18, mean_hi = 0, med_lo = 1e18, med_hi = 0, p95_lo = 1e18, p95_hi = 0;
+    for (const auto& day : r.latency_per_day) {
+      if (day.calls == 0) continue;
+      mean_lo = std::min(mean_lo, day.mean);
+      mean_hi = std::max(mean_hi, day.mean);
+      med_lo = std::min(med_lo, day.median);
+      med_hi = std::max(med_hi, day.median);
+      p95_lo = std::min(p95_lo, day.p95);
+      p95_hi = std::max(p95_hi, day.p95);
+    }
+    auto range = [](double lo, double hi) {
+      return core::TextTable::num(lo, 0) + " - " + core::TextTable::num(hi, 0);
+    };
+    table.add_row({r.run.policy_name, range(mean_lo, mean_hi), range(med_lo, med_hi),
+                   range(p95_lo, p95_hi)});
+  }
+  return table.render();
+}
+
+double ComparisonResult::weekday_reduction_pct(std::size_t i, std::size_t j) const {
+  const auto& a = results.at(i).wan.per_day_sum_of_peaks_mbps;
+  const auto& b = results.at(j).wan.per_day_sum_of_peaks_mbps;
+  double acc = 0.0;
+  int n = 0;
+  for (std::size_t d = 0; d < std::min(a.size(), b.size()); ++d) {
+    if (core::is_weekend(static_cast<core::SlotIndex>(d * core::kSlotsPerDay))) continue;
+    if (b[d] <= 0.0) continue;
+    acc += (1.0 - a[d] / b[d]) * 100.0;
+    ++n;
+  }
+  return n == 0 ? 0.0 : acc / n;
+}
+
+}  // namespace titan::eval

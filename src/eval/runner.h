@@ -1,0 +1,39 @@
+// Experiment runner shared by the §7/§8 benches and the examples: runs a
+// set of policies on the same (history, eval-week) split and renders the
+// per-day comparison tables the paper's figures report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "policies/policy.h"
+
+namespace titan::eval {
+
+struct PolicyResult {
+  policies::PolicyRun run;
+  WanUsage wan;
+  std::vector<LatencyStats> latency_per_day;
+  LatencyStats latency_overall;
+  double internet_share = 0.0;
+};
+
+struct ComparisonResult {
+  std::vector<PolicyResult> results;  // in the order the policies were given
+  // Renders the Fig. 14/15-style per-day sum-of-peaks table, normalized to
+  // the first policy's maximum day (the paper normalizes to WRR's peak).
+  [[nodiscard]] std::string render_peaks_table() const;
+  // Renders the Table 3-style latency summary (across-days ranges).
+  [[nodiscard]] std::string render_latency_table() const;
+  // Average reduction of policy `i` vs policy `j` over weekdays, in percent
+  // of j's value (positive = i is cheaper).
+  [[nodiscard]] double weekday_reduction_pct(std::size_t i, std::size_t j) const;
+};
+
+[[nodiscard]] ComparisonResult compare_policies(
+    const std::vector<policies::Policy*>& policy_list, const workload::Trace& eval_trace,
+    const workload::Trace& history, const net::NetworkDb& net, std::uint64_t seed);
+
+}  // namespace titan::eval

@@ -1,0 +1,48 @@
+#include "geo/geodb.h"
+
+#include <cassert>
+
+namespace titan::geo {
+
+GeoDb GeoDb::make(const World& world, std::uint64_t seed, int subnets_per_point) {
+  GeoDb db;
+  core::Rng rng(seed);
+  db.by_country_.resize(world.countries().size());
+  db.weights_.resize(world.countries().size());
+
+  SubnetKey next = 1;
+  for (const auto& country : world.countries()) {
+    const auto cidx = static_cast<std::size_t>(country.id.value());
+    for (core::CityId city_id : world.cities_of(country.id)) {
+      const City& city = world.city(city_id);
+      for (core::AsnId asn_id : world.asns_of(country.id)) {
+        const Asn& asn = world.asn(asn_id);
+        for (int k = 0; k < subnets_per_point; ++k) {
+          SubnetRecord rec{next++, country.id, city_id, asn_id};
+          db.index_[rec.subnet] = db.records_.size();
+          db.by_country_[cidx].push_back(rec.subnet);
+          // Weight: clients in this subnet ~ city population x ASN share,
+          // jittered so subnets within a point differ.
+          db.weights_[cidx].push_back(city.population_k * asn.share *
+                                      rng.uniform(0.5, 1.5));
+          db.records_.push_back(rec);
+        }
+      }
+    }
+  }
+  return db;
+}
+
+std::optional<SubnetRecord> GeoDb::lookup(SubnetKey subnet) const {
+  const auto it = index_.find(subnet);
+  if (it == index_.end()) return std::nullopt;
+  return records_[it->second];
+}
+
+SubnetKey GeoDb::sample_subnet(core::CountryId country, core::Rng& rng) const {
+  const auto cidx = static_cast<std::size_t>(country.value());
+  assert(cidx < by_country_.size() && !by_country_[cidx].empty());
+  return by_country_[cidx][rng.weighted_pick(weights_[cidx])];
+}
+
+}  // namespace titan::geo

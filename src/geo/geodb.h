@@ -1,0 +1,56 @@
+// Synthetic geolocation database.
+//
+// The production pipeline logs the /24-masked client IP of every probe and
+// translates it offline to (country, city, ASN) using a proprietary
+// geolocation database. We reproduce that flow: the world synthesizer
+// allocates a deterministic set of /24 subnets to each (city, ASN) pair and
+// `GeoDb` performs the offline translation. This keeps the measurement
+// pipeline faithful — probes carry only a subnet key, and analysis joins
+// against the DB — and gives Table 1 its "IP subnets" row.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "geo/world.h"
+
+namespace titan::geo {
+
+// Opaque /24 subnet key (synthetic; not a real IPv4 prefix).
+using SubnetKey = std::uint32_t;
+
+struct SubnetRecord {
+  SubnetKey subnet;
+  core::CountryId country;
+  core::CityId city;
+  core::AsnId asn;
+};
+
+class GeoDb {
+ public:
+  // Allocates `subnets_per_point` /24s for every (city, asn-of-country)
+  // combination, producing the corpus the measurement study draws clients
+  // from.
+  static GeoDb make(const World& world, std::uint64_t seed = 7, int subnets_per_point = 3);
+
+  [[nodiscard]] std::optional<SubnetRecord> lookup(SubnetKey subnet) const;
+  [[nodiscard]] const std::vector<SubnetRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t subnet_count() const { return records_.size(); }
+
+  // Sample a subnet for a given country, weighted by city population and
+  // ASN share (weights baked in at construction).
+  [[nodiscard]] SubnetKey sample_subnet(core::CountryId country, core::Rng& rng) const;
+
+ private:
+  std::vector<SubnetRecord> records_;
+  std::unordered_map<SubnetKey, std::size_t> index_;
+  // Per-country subnet lists and sampling weights.
+  std::vector<std::vector<SubnetKey>> by_country_;
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace titan::geo

@@ -1,0 +1,28 @@
+#include "geo/location.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace titan::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+// Speed of light in fibre, km per millisecond (c * 2/3).
+constexpr double kFiberKmPerMs = 299792.458 / 1000.0 * (2.0 / 3.0);
+
+double to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(LatLon a, LatLon b) {
+  const double phi1 = to_rad(a.lat_deg);
+  const double phi2 = to_rad(b.lat_deg);
+  const double dphi = to_rad(b.lat_deg - a.lat_deg);
+  const double dlmb = to_rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dphi / 2.0) * std::sin(dphi / 2.0) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlmb / 2.0) * std::sin(dlmb / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double fiber_delay_ms(LatLon a, LatLon b) { return haversine_km(a, b) / kFiberKmPerMs; }
+
+}  // namespace titan::geo

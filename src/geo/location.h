@@ -1,0 +1,20 @@
+// Geographic coordinates and great-circle distance.
+#pragma once
+
+namespace titan::geo {
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// Great-circle distance in kilometres (haversine, spherical Earth).
+[[nodiscard]] double haversine_km(LatLon a, LatLon b);
+
+// Lower bound on one-way propagation delay between two points, in
+// milliseconds, assuming light in fibre (~2/3 c) along the geodesic.
+// Real paths are longer; the latency models in `net` apply multiplicative
+// inflation on top of this bound.
+[[nodiscard]] double fiber_delay_ms(LatLon a, LatLon b);
+
+}  // namespace titan::geo

@@ -1,0 +1,296 @@
+#include "geo/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace titan::geo {
+
+std::string continent_name(Continent c) {
+  switch (c) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAsia: return "Asia";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CountrySpec {
+  const char* name;
+  const char* iso;
+  Continent continent;
+  double lat, lon;
+  double population_m;
+  double call_volume;
+  double spread_deg;
+};
+
+// The 22 client countries of Fig. 4 plus a dense European set so the
+// Titan-Next evaluation (all-participants-in-Europe calls, ~170+ country-DC
+// pairs) has realistic coverage. Call volume weights are synthetic but follow
+// the paper's "top 20 by call volume" ordering loosely (US/UK/EU heavy).
+constexpr CountrySpec kCountries[] = {
+    // Fig. 4 set.
+    {"mexico", "MX", Continent::kNorthAmerica, 23.6, -102.5, 128, 2.2, 5.0},
+    {"us", "US", Continent::kNorthAmerica, 39.8, -98.6, 331, 10.0, 12.0},
+    {"canada", "CA", Continent::kNorthAmerica, 56.1, -106.3, 38, 2.5, 8.0},
+    {"brazil", "BR", Continent::kSouthAmerica, -14.2, -51.9, 213, 2.8, 9.0},
+    {"colombia", "CO", Continent::kSouthAmerica, 4.6, -74.1, 51, 1.1, 4.0},
+    {"southafrica", "ZA", Continent::kAfrica, -30.6, 22.9, 60, 1.4, 6.0},
+    {"egypt", "EG", Continent::kAfrica, 26.8, 30.8, 104, 0.9, 3.0},
+    {"nigeria", "NG", Continent::kAfrica, 9.1, 8.7, 211, 0.8, 4.0},
+    {"india", "IN", Continent::kAsia, 20.6, 79.0, 1380, 6.0, 10.0},
+    {"japan", "JP", Continent::kAsia, 36.2, 138.3, 126, 3.0, 5.0},
+    {"philippines", "PH", Continent::kAsia, 12.9, 121.8, 110, 1.5, 4.0},
+    {"singapore", "SG", Continent::kAsia, 1.35, 103.8, 5.7, 1.2, 0.3},
+    {"australia", "AU", Continent::kOceania, -25.3, 133.8, 26, 2.4, 14.0},
+    {"uk", "GB", Continent::kEurope, 54.0, -2.0, 67, 5.5, 3.0},
+    {"germany", "DE", Continent::kEurope, 51.2, 10.4, 83, 4.8, 3.0},
+    {"france", "FR", Continent::kEurope, 46.6, 2.2, 67, 4.5, 3.5},
+    {"netherlands", "NL", Continent::kEurope, 52.1, 5.3, 17, 2.2, 1.2},
+    {"italy", "IT", Continent::kEurope, 42.8, 12.5, 60, 3.0, 3.5},
+    {"spain", "ES", Continent::kEurope, 40.2, -3.7, 47, 2.6, 3.5},
+    {"sweden", "SE", Continent::kEurope, 62.2, 14.8, 10, 1.3, 4.0},
+    {"poland", "PL", Continent::kEurope, 51.9, 19.1, 38, 1.8, 2.5},
+    {"switzerland", "CH", Continent::kEurope, 46.8, 8.2, 8.6, 1.2, 1.0},
+    // Additional European client countries for the §7/§8 evaluation.
+    {"ireland", "IE", Continent::kEurope, 53.4, -8.2, 5.0, 0.8, 1.2},
+    {"belgium", "BE", Continent::kEurope, 50.5, 4.5, 11.5, 1.0, 1.0},
+    {"austria", "AT", Continent::kEurope, 47.5, 14.5, 9.0, 0.9, 1.5},
+    {"portugal", "PT", Continent::kEurope, 39.4, -8.2, 10.3, 0.8, 1.8},
+    {"norway", "NO", Continent::kEurope, 64.6, 12.6, 5.4, 0.7, 4.0},
+    {"denmark", "DK", Continent::kEurope, 56.3, 9.5, 5.8, 0.7, 1.2},
+    {"finland", "FI", Continent::kEurope, 64.0, 26.0, 5.5, 0.6, 3.5},
+    {"czechia", "CZ", Continent::kEurope, 49.8, 15.5, 10.7, 0.8, 1.5},
+    {"hungary", "HU", Continent::kEurope, 47.2, 19.5, 9.7, 0.7, 1.5},
+    {"greece", "GR", Continent::kEurope, 39.1, 21.8, 10.4, 0.6, 2.0},
+    {"romania", "RO", Continent::kEurope, 45.9, 25.0, 19.2, 0.7, 2.0},
+    {"ukraine", "UA", Continent::kEurope, 48.4, 31.2, 41.0, 0.6, 3.0},
+    {"croatia", "HR", Continent::kEurope, 45.1, 15.2, 3.9, 0.3, 1.2},
+    {"slovakia", "SK", Continent::kEurope, 48.7, 19.7, 5.5, 0.3, 1.0},
+    {"bulgaria", "BG", Continent::kEurope, 42.7, 25.5, 6.9, 0.3, 1.5},
+    {"lithuania", "LT", Continent::kEurope, 55.2, 23.9, 2.8, 0.2, 1.0},
+    {"latvia", "LV", Continent::kEurope, 56.9, 24.6, 1.9, 0.2, 1.0},
+    {"estonia", "EE", Continent::kEurope, 58.6, 25.0, 1.3, 0.2, 1.0},
+    {"slovenia", "SI", Continent::kEurope, 46.1, 14.8, 2.1, 0.2, 0.8},
+    {"luxembourg", "LU", Continent::kEurope, 49.8, 6.1, 0.6, 0.2, 0.3},
+    // A few more non-European sources so global heatmaps are dense.
+    {"hongkong", "HK", Continent::kAsia, 22.3, 114.2, 7.5, 0.9, 0.3},
+    {"southkorea", "KR", Continent::kAsia, 36.5, 127.8, 52, 1.6, 2.0},
+    {"uae", "AE", Continent::kAsia, 23.4, 53.8, 9.9, 0.9, 1.5},
+    {"argentina", "AR", Continent::kSouthAmerica, -38.4, -63.6, 45, 0.9, 6.0},
+    {"newzealand", "NZ", Continent::kOceania, -40.9, 174.9, 5.1, 0.5, 3.0},
+    {"kenya", "KE", Continent::kAfrica, -0.02, 37.9, 54, 0.4, 3.0},
+};
+
+struct DcSpec {
+  const char* name;
+  const char* country;  // host country name (must exist above)
+  Continent continent;
+  double lat, lon;
+  double cores;
+  bool representative;
+};
+
+// The 21 DC locations of Fig. 2, approximated by Azure-like metros. The six
+// representative destination DCs of Fig. 4 are flagged. Compute capacities
+// (cores) are synthetic, larger in major regions.
+constexpr DcSpec kDcs[] = {
+    {"us1", "us", Continent::kNorthAmerica, 38.9, -77.5, 260000, true},   // Virginia
+    {"us2", "us", Continent::kNorthAmerica, 37.4, -79.2, 160000, false},  // Virginia-2
+    {"us3", "us", Continent::kNorthAmerica, 41.6, -93.6, 140000, false},  // Iowa
+    {"us4", "us", Continent::kNorthAmerica, 29.4, -98.5, 140000, false},  // Texas
+    {"us5", "us", Continent::kNorthAmerica, 37.2, -121.8, 180000, false}, // California
+    {"us6", "us", Continent::kNorthAmerica, 47.2, -119.9, 160000, false}, // Washington
+    {"us7", "us", Continent::kNorthAmerica, 41.9, -87.7, 140000, false},  // Illinois
+    {"canada", "canada", Continent::kNorthAmerica, 43.65, -79.38, 120000, true},  // Toronto
+    {"brazil", "brazil", Continent::kSouthAmerica, -23.55, -46.63, 90000, false}, // Sao Paulo
+    {"uk", "uk", Continent::kEurope, 51.51, -0.13, 90000, false},            // London
+    {"france", "france", Continent::kEurope, 48.86, 2.35, 110000, false},    // Paris
+    {"netherlands", "netherlands", Continent::kEurope, 52.37, 4.90, 140000, true},  // Amsterdam
+    {"switzerland", "switzerland", Continent::kEurope, 47.38, 8.54, 110000, false}, // Zurich
+    {"ireland", "ireland", Continent::kEurope, 53.35, -6.26, 270000, false},  // Dublin
+    {"india", "india", Continent::kAsia, 18.52, 73.86, 150000, false},        // Pune
+    {"japan", "japan", Continent::kAsia, 35.68, 139.69, 120000, false},       // Tokyo
+    {"hongkong", "hongkong", Continent::kAsia, 22.32, 114.17, 90000, true},
+    {"singapore", "singapore", Continent::kAsia, 1.35, 103.82, 110000, false},
+    {"australia1", "australia", Continent::kOceania, -33.87, 151.21, 90000, true},  // Sydney
+    {"australia2", "australia", Continent::kOceania, -37.81, 144.96, 70000, false}, // Melbourne
+    {"southafrica", "southafrica", Continent::kAfrica, -26.20, 28.05, 70000, true}, // Johannesburg
+};
+
+}  // namespace
+
+World World::make(const WorldOptions& options) {
+  World w;
+  core::Rng rng(options.seed);
+
+  // Countries.
+  w.countries_.reserve(std::size(kCountries));
+  for (std::size_t i = 0; i < std::size(kCountries); ++i) {
+    const auto& s = kCountries[i];
+    Country c;
+    c.id = core::CountryId(static_cast<int>(i));
+    c.name = s.name;
+    c.iso = s.iso;
+    c.continent = s.continent;
+    c.centroid = {s.lat, s.lon};
+    c.population_m = s.population_m;
+    c.call_volume = s.call_volume;
+    c.spread_deg = s.spread_deg;
+    w.countries_.push_back(std::move(c));
+  }
+
+  // DCs.
+  w.dcs_.reserve(std::size(kDcs));
+  for (std::size_t i = 0; i < std::size(kDcs); ++i) {
+    const auto& s = kDcs[i];
+    DataCenter d;
+    d.id = core::DcId(static_cast<int>(i));
+    d.name = s.name;
+    d.position = {s.lat, s.lon};
+    d.continent = s.continent;
+    d.cores = s.cores;
+    d.representative = s.representative;
+    d.country = core::CountryId::invalid();
+    for (const auto& c : w.countries_) {
+      if (c.name == s.country) {
+        d.country = c.id;
+        break;
+      }
+    }
+    assert(d.country.valid() && "DC host country must be in the country table");
+    w.dcs_.push_back(std::move(d));
+  }
+
+  // Cities and ASNs per country.
+  w.cities_by_country_.resize(w.countries_.size());
+  w.asns_by_country_.resize(w.countries_.size());
+  w.city_weights_.resize(w.countries_.size());
+  w.asn_weights_.resize(w.countries_.size());
+
+  for (const auto& c : w.countries_) {
+    core::Rng crng = rng.fork(static_cast<std::uint64_t>(c.id.value()));
+
+    const int n_cities = std::clamp(
+        static_cast<int>(std::lround(c.population_m * options.cities_per_million)),
+        options.min_cities_per_country, options.max_cities_per_country);
+    for (int i = 0; i < n_cities; ++i) {
+      City city;
+      city.id = core::CityId(static_cast<int>(w.cities_.size()));
+      city.country = c.id;
+      city.name = c.name + "-city" + std::to_string(i);
+      city.position = {
+          c.centroid.lat_deg + crng.normal(0.0, c.spread_deg * 0.5),
+          c.centroid.lon_deg + crng.normal(0.0, c.spread_deg * 0.8),
+      };
+      city.position.lat_deg = std::clamp(city.position.lat_deg, -85.0, 85.0);
+      // Zipf city sizes: largest city holds the biggest share.
+      city.population_k =
+          c.population_m * 1000.0 * 0.35 / std::pow(static_cast<double>(i + 1), 1.07);
+      w.cities_by_country_[static_cast<std::size_t>(c.id.value())].push_back(city.id);
+      w.city_weights_[static_cast<std::size_t>(c.id.value())].push_back(city.population_k);
+      w.cities_.push_back(std::move(city));
+    }
+
+    const int n_asns = std::clamp(
+        static_cast<int>(std::lround(std::sqrt(c.population_m) * 1.6)),
+        options.min_asns_per_country, options.max_asns_per_country);
+    double share_left = 1.0;
+    for (int i = 0; i < n_asns; ++i) {
+      Asn a;
+      a.id = core::AsnId(static_cast<int>(w.asns_.size()));
+      a.country = c.id;
+      a.name = c.iso + std::string("-AS") + std::to_string(64512 + i);
+      a.share = (i + 1 == n_asns) ? share_left : share_left * crng.uniform(0.3, 0.55);
+      share_left -= a.share;
+      // Last-mile quality: most ASNs nominal, a minority notably worse.
+      a.quality = crng.chance(0.15) ? crng.uniform(1.02, 1.12) : crng.uniform(0.99, 1.04);
+      w.asns_by_country_[static_cast<std::size_t>(c.id.value())].push_back(a.id);
+      w.asn_weights_[static_cast<std::size_t>(c.id.value())].push_back(a.share);
+      w.asns_.push_back(std::move(a));
+    }
+  }
+
+  return w;
+}
+
+const Country& World::country(core::CountryId id) const {
+  return countries_.at(static_cast<std::size_t>(id.value()));
+}
+const City& World::city(core::CityId id) const {
+  return cities_.at(static_cast<std::size_t>(id.value()));
+}
+const Asn& World::asn(core::AsnId id) const {
+  return asns_.at(static_cast<std::size_t>(id.value()));
+}
+const DataCenter& World::dc(core::DcId id) const {
+  return dcs_.at(static_cast<std::size_t>(id.value()));
+}
+
+core::CountryId World::find_country(const std::string& name) const {
+  for (const auto& c : countries_)
+    if (c.name == name || c.iso == name) return c.id;
+  return core::CountryId::invalid();
+}
+
+core::DcId World::find_dc(const std::string& name) const {
+  for (const auto& d : dcs_)
+    if (d.name == name) return d.id;
+  return core::DcId::invalid();
+}
+
+const std::vector<core::CityId>& World::cities_of(core::CountryId c) const {
+  return cities_by_country_.at(static_cast<std::size_t>(c.value()));
+}
+const std::vector<core::AsnId>& World::asns_of(core::CountryId c) const {
+  return asns_by_country_.at(static_cast<std::size_t>(c.value()));
+}
+
+std::vector<core::DcId> World::dcs_in(Continent c) const {
+  std::vector<core::DcId> out;
+  for (const auto& d : dcs_)
+    if (d.continent == c) out.push_back(d.id);
+  return out;
+}
+
+std::vector<core::CountryId> World::countries_in(Continent c) const {
+  std::vector<core::CountryId> out;
+  for (const auto& ctry : countries_)
+    if (ctry.continent == c) out.push_back(ctry.id);
+  return out;
+}
+
+std::vector<core::DcId> World::representative_dcs() const {
+  std::vector<core::DcId> out;
+  for (const auto& d : dcs_)
+    if (d.representative) out.push_back(d.id);
+  return out;
+}
+
+core::CityId World::sample_city(core::CountryId c, core::Rng& rng) const {
+  const auto idx = rng.weighted_pick(city_weights_.at(static_cast<std::size_t>(c.value())));
+  return cities_by_country_[static_cast<std::size_t>(c.value())][idx];
+}
+
+core::AsnId World::sample_asn(core::CountryId c, core::Rng& rng) const {
+  const auto idx = rng.weighted_pick(asn_weights_.at(static_cast<std::size_t>(c.value())));
+  return asns_by_country_[static_cast<std::size_t>(c.value())][idx];
+}
+
+core::CountryId World::sample_country(core::Rng& rng, const Continent* restrict_to) const {
+  std::vector<double> weights(countries_.size(), 0.0);
+  for (const auto& c : countries_) {
+    if (restrict_to != nullptr && c.continent != *restrict_to) continue;
+    weights[static_cast<std::size_t>(c.id.value())] = c.call_volume;
+  }
+  return core::CountryId(static_cast<int>(rng.weighted_pick(weights)));
+}
+
+}  // namespace titan::geo

@@ -1,0 +1,133 @@
+// Synthetic world model.
+//
+// The paper's measurement corpus spans 244 source countries, 241K cities,
+// 61K ASNs and 21 Azure data centers. We build a deterministic synthetic
+// world with the same *structure*: a curated set of countries (the 22 of
+// Fig. 4 plus a dense European set for the Titan-Next evaluation), the 21 DC
+// locations of Fig. 2 approximated by real metro coordinates, and
+// procedurally generated cities/ASNs per country. All downstream analyses
+// (hourly medians, fraction-F heatmaps, granularity clustering) operate on
+// this world exactly as they would on the production geolocation database.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "geo/location.h"
+
+namespace titan::geo {
+
+enum class Continent {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAsia,
+  kAfrica,
+  kOceania,
+};
+
+[[nodiscard]] std::string continent_name(Continent c);
+
+struct Country {
+  core::CountryId id;
+  std::string name;       // lowercase short name, e.g. "france"
+  std::string iso;        // two-letter code, e.g. "FR"
+  Continent continent;
+  LatLon centroid;
+  double population_m;    // population in millions, drives city synthesis
+  double call_volume;     // relative Teams call volume weight
+  double spread_deg;      // geographic dispersion of synthetic cities
+};
+
+struct City {
+  core::CityId id;
+  core::CountryId country;
+  std::string name;
+  LatLon position;
+  double population_k;  // thousands
+};
+
+struct Asn {
+  core::AsnId id;
+  core::CountryId country;
+  std::string name;
+  double share;  // fraction of the country's clients on this ASN
+  // Per-ASN last-mile quality multiplier applied to Internet path latency;
+  // 1.0 is nominal, >1 is a worse-than-average eyeball network.
+  double quality;
+};
+
+struct DataCenter {
+  core::DcId id;
+  std::string name;         // e.g. "netherlands", "us1"
+  core::CountryId country;  // country hosting the DC
+  LatLon position;
+  Continent continent;
+  double cores;  // provisioned MP compute capacity (cores)
+  // True for the 6 representative DCs highlighted in Fig. 2 / Fig. 4.
+  bool representative = false;
+};
+
+// Parameters controlling procedural synthesis.
+struct WorldOptions {
+  std::uint64_t seed = 42;
+  // Cities generated per million population (clamped to [min,max] per country).
+  double cities_per_million = 0.35;
+  int min_cities_per_country = 3;
+  int max_cities_per_country = 60;
+  int min_asns_per_country = 3;
+  int max_asns_per_country = 14;
+};
+
+class World {
+ public:
+  // Builds the curated countries + 21 DCs and synthesizes cities/ASNs.
+  static World make(const WorldOptions& options = {});
+
+  [[nodiscard]] const std::vector<Country>& countries() const { return countries_; }
+  [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
+  [[nodiscard]] const std::vector<Asn>& asns() const { return asns_; }
+  [[nodiscard]] const std::vector<DataCenter>& dcs() const { return dcs_; }
+
+  [[nodiscard]] const Country& country(core::CountryId id) const;
+  [[nodiscard]] const City& city(core::CityId id) const;
+  [[nodiscard]] const Asn& asn(core::AsnId id) const;
+  [[nodiscard]] const DataCenter& dc(core::DcId id) const;
+
+  // Lookup by name; returns invalid id when absent.
+  [[nodiscard]] core::CountryId find_country(const std::string& name) const;
+  [[nodiscard]] core::DcId find_dc(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<core::CityId>& cities_of(core::CountryId c) const;
+  [[nodiscard]] const std::vector<core::AsnId>& asns_of(core::CountryId c) const;
+
+  // All DCs on a continent (e.g. the 5 European MP DCs used in §7).
+  [[nodiscard]] std::vector<core::DcId> dcs_in(Continent c) const;
+  [[nodiscard]] std::vector<core::CountryId> countries_in(Continent c) const;
+
+  // The 6 representative destination DCs of Fig. 4.
+  [[nodiscard]] std::vector<core::DcId> representative_dcs() const;
+
+  // Sample a client city for a country, weighted by city population.
+  [[nodiscard]] core::CityId sample_city(core::CountryId c, core::Rng& rng) const;
+  // Sample a client ASN for a country, weighted by ASN share.
+  [[nodiscard]] core::AsnId sample_asn(core::CountryId c, core::Rng& rng) const;
+  // Sample a client country weighted by call volume (optionally restricted
+  // to a continent; pass nullptr for global).
+  [[nodiscard]] core::CountryId sample_country(core::Rng& rng,
+                                               const Continent* restrict_to = nullptr) const;
+
+ private:
+  std::vector<Country> countries_;
+  std::vector<City> cities_;
+  std::vector<Asn> asns_;
+  std::vector<DataCenter> dcs_;
+  std::vector<std::vector<core::CityId>> cities_by_country_;
+  std::vector<std::vector<core::AsnId>> asns_by_country_;
+  std::vector<std::vector<double>> city_weights_;  // per country
+  std::vector<std::vector<double>> asn_weights_;   // per country
+};
+
+}  // namespace titan::geo

@@ -1,0 +1,240 @@
+#include "lp/basis_lu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace titan::lp {
+
+bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis,
+                        double pivot_tolerance) {
+  m_ = a.rows();
+  assert(static_cast<int>(basis.size()) == m_);
+  l_col_ptr_.assign(1, 0);
+  l_rows_.clear();
+  l_vals_.clear();
+  u_col_ptr_.assign(1, 0);
+  u_rows_.clear();
+  u_vals_.clear();
+  u_diag_.assign(static_cast<std::size_t>(m_), 0.0);
+  pivot_row_of_.assign(static_cast<std::size_t>(m_), -1);
+  row_perm_.assign(static_cast<std::size_t>(m_), -1);
+  etas_.clear();
+
+  // Factor sparse columns first: the unit slack/artificial columns pivot
+  // without creating any fill, leaving a small structural kernel.
+  col_order_.resize(static_cast<std::size_t>(m_));
+  for (int k = 0; k < m_; ++k) col_order_[static_cast<std::size_t>(k)] = k;
+  std::stable_sort(col_order_.begin(), col_order_.end(), [&](int x, int y) {
+    const int cx = basis[static_cast<std::size_t>(x)];
+    const int cy = basis[static_cast<std::size_t>(y)];
+    return (a.col_end(cx) - a.col_begin(cx)) < (a.col_end(cy) - a.col_begin(cy));
+  });
+
+  // Dense workspaces reused across columns.
+  std::vector<double> work(static_cast<std::size_t>(m_), 0.0);
+  std::vector<int> touched;              // original rows with nonzero work
+  std::vector<char> in_stack(static_cast<std::size_t>(m_), 0);
+  std::vector<int> stack, stack_k;       // DFS state
+  std::vector<int> topo;                 // pivot positions in dependency order
+
+  for (int j = 0; j < m_; ++j) {
+    const int col = basis[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(j)])];
+
+    // ---- Symbolic: reach of the column's rows through pivoted L columns.
+    topo.clear();
+    touched.clear();
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      const int r0 = a.row_index(k);
+      if (in_stack[static_cast<std::size_t>(r0)]) continue;
+      // Iterative DFS over original rows.
+      stack.clear();
+      stack_k.clear();
+      stack.push_back(r0);
+      stack_k.push_back(-1);
+      in_stack[static_cast<std::size_t>(r0)] = 1;
+      while (!stack.empty()) {
+        const int r = stack.back();
+        const int pk = row_perm_[static_cast<std::size_t>(r)];
+        bool descended = false;
+        if (pk >= 0) {
+          int& cursor = stack_k.back();
+          if (cursor < 0) cursor = l_col_ptr_[static_cast<std::size_t>(pk)];
+          while (cursor < l_col_ptr_[static_cast<std::size_t>(pk) + 1]) {
+            const int child = l_rows_[static_cast<std::size_t>(cursor)];
+            ++cursor;
+            if (!in_stack[static_cast<std::size_t>(child)]) {
+              in_stack[static_cast<std::size_t>(child)] = 1;
+              stack.push_back(child);
+              stack_k.push_back(-1);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          // Post-order: pivoted rows go to topo, everything to touched.
+          if (pk >= 0) topo.push_back(pk);
+          touched.push_back(r);
+          stack.pop_back();
+          stack_k.pop_back();
+        }
+      }
+    }
+    // Post-order gives children before parents; eliminate in reverse
+    // (ancestors first = increasing dependency order).
+    std::reverse(topo.begin(), topo.end());
+    std::sort(topo.begin(), topo.end());
+
+    // ---- Numeric: scatter and eliminate.
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k)
+      work[static_cast<std::size_t>(a.row_index(k))] = a.value(k);
+    for (const int pk : topo) {
+      const int pr = pivot_row_of_[static_cast<std::size_t>(pk)];
+      const double xk = work[static_cast<std::size_t>(pr)];
+      if (xk == 0.0) continue;
+      for (int t = l_col_ptr_[static_cast<std::size_t>(pk)];
+           t < l_col_ptr_[static_cast<std::size_t>(pk) + 1]; ++t)
+        work[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(t)])] -=
+            l_vals_[static_cast<std::size_t>(t)] * xk;
+    }
+
+    // ---- Pivot selection among not-yet-pivoted touched rows.
+    int pivot = -1;
+    double best = pivot_tolerance;
+    for (const int r : touched) {
+      if (row_perm_[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = std::abs(work[static_cast<std::size_t>(r)]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (pivot < 0) {
+      // Singular: clean up workspace and bail.
+      for (const int r : touched) {
+        work[static_cast<std::size_t>(r)] = 0.0;
+        in_stack[static_cast<std::size_t>(r)] = 0;
+      }
+      return false;
+    }
+    const double d = work[static_cast<std::size_t>(pivot)];
+
+    // ---- Store U column (pivoted rows) and L column (unpivoted rows).
+    for (const int r : touched) {
+      const int pk = row_perm_[static_cast<std::size_t>(r)];
+      const double v = work[static_cast<std::size_t>(r)];
+      if (pk >= 0) {
+        if (v != 0.0) {
+          u_rows_.push_back(pk);
+          u_vals_.push_back(v);
+        }
+      } else if (r != pivot && std::abs(v) > 0.0) {
+        l_rows_.push_back(r);
+        l_vals_.push_back(v / d);
+      }
+      work[static_cast<std::size_t>(r)] = 0.0;
+      in_stack[static_cast<std::size_t>(r)] = 0;
+    }
+    u_col_ptr_.push_back(static_cast<int>(u_rows_.size()));
+    l_col_ptr_.push_back(static_cast<int>(l_rows_.size()));
+    u_diag_[static_cast<std::size_t>(j)] = d;
+    pivot_row_of_[static_cast<std::size_t>(j)] = pivot;
+    row_perm_[static_cast<std::size_t>(pivot)] = j;
+  }
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  assert(static_cast<int>(x.size()) == m_);
+  // Forward: apply L^{-1} in original row space.
+  for (int k = 0; k < m_; ++k) {
+    const double xk = x[static_cast<std::size_t>(pivot_row_of_[static_cast<std::size_t>(k)])];
+    if (xk == 0.0) continue;
+    for (int t = l_col_ptr_[static_cast<std::size_t>(k)];
+         t < l_col_ptr_[static_cast<std::size_t>(k) + 1]; ++t)
+      x[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(t)])] -=
+          l_vals_[static_cast<std::size_t>(t)] * xk;
+  }
+  // Gather into pivot coordinates, then backward U solve.
+  std::vector<double> y(static_cast<std::size_t>(m_));
+  for (int k = 0; k < m_; ++k)
+    y[static_cast<std::size_t>(k)] =
+        x[static_cast<std::size_t>(pivot_row_of_[static_cast<std::size_t>(k)])];
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double t = y[static_cast<std::size_t>(k)] / u_diag_[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(k)] = t;
+    if (t == 0.0) continue;
+    for (int q = u_col_ptr_[static_cast<std::size_t>(k)];
+         q < u_col_ptr_[static_cast<std::size_t>(k) + 1]; ++q)
+      y[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(q)])] -=
+          u_vals_[static_cast<std::size_t>(q)] * t;
+  }
+  // Undo the column ordering: LU position k corresponds to basis position
+  // col_order_[k].
+  for (int k = 0; k < m_; ++k)
+    x[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(k)])] =
+        y[static_cast<std::size_t>(k)];
+  // Eta updates, oldest first: B = B0 E1 ... Ek, so
+  // x = Ek^{-1} ... E1^{-1} B0^{-1} b.
+  for (const auto& eta : etas_) {
+    const double t = x[static_cast<std::size_t>(eta.pivot_pos)] / eta.pivot_value;
+    if (t != 0.0) {
+      for (const auto& [pos, v] : eta.others) x[static_cast<std::size_t>(pos)] -= v * t;
+    }
+    x[static_cast<std::size_t>(eta.pivot_pos)] = t;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& y) const {
+  assert(static_cast<int>(y.size()) == m_);
+  // Eta transposes, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = y[static_cast<std::size_t>(it->pivot_pos)];
+    for (const auto& [pos, v] : it->others) acc -= v * y[static_cast<std::size_t>(pos)];
+    y[static_cast<std::size_t>(it->pivot_pos)] = acc / it->pivot_value;
+  }
+  // U^T forward solve in pivot coordinates (inputs gathered through the
+  // column ordering: LU position k holds basis position col_order_[k]).
+  std::vector<double> t(static_cast<std::size_t>(m_), 0.0);
+  for (int k = 0; k < m_; ++k) {
+    double acc = y[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(k)])];
+    for (int q = u_col_ptr_[static_cast<std::size_t>(k)];
+         q < u_col_ptr_[static_cast<std::size_t>(k) + 1]; ++q)
+      acc -= u_vals_[static_cast<std::size_t>(q)] *
+             t[static_cast<std::size_t>(u_rows_[static_cast<std::size_t>(q)])];
+    t[static_cast<std::size_t>(k)] = acc / u_diag_[static_cast<std::size_t>(k)];
+  }
+  // Scatter to original rows, then L^T backward pass.
+  std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+  for (int k = 0; k < m_; ++k)
+    w[static_cast<std::size_t>(pivot_row_of_[static_cast<std::size_t>(k)])] =
+        t[static_cast<std::size_t>(k)];
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = w[static_cast<std::size_t>(pivot_row_of_[static_cast<std::size_t>(k)])];
+    for (int q = l_col_ptr_[static_cast<std::size_t>(k)];
+         q < l_col_ptr_[static_cast<std::size_t>(k) + 1]; ++q)
+      acc -= l_vals_[static_cast<std::size_t>(q)] *
+             w[static_cast<std::size_t>(l_rows_[static_cast<std::size_t>(q)])];
+    w[static_cast<std::size_t>(pivot_row_of_[static_cast<std::size_t>(k)])] = acc;
+  }
+  y = std::move(w);
+}
+
+bool BasisLu::update(int leaving_pos, const std::vector<double>& alpha,
+                     double pivot_tolerance) {
+  const double pivot = alpha[static_cast<std::size_t>(leaving_pos)];
+  if (std::abs(pivot) < pivot_tolerance) return false;
+  Eta eta;
+  eta.pivot_pos = leaving_pos;
+  eta.pivot_value = pivot;
+  for (int i = 0; i < m_; ++i) {
+    if (i == leaving_pos) continue;
+    const double v = alpha[static_cast<std::size_t>(i)];
+    if (v != 0.0) eta.others.emplace_back(i, v);
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+}  // namespace titan::lp

@@ -1,0 +1,70 @@
+// Sparse LU factorization of the simplex basis, with product-form updates.
+//
+// The revised simplex keeps a factorization of the current basis matrix B
+// (one column of the computational-form constraint matrix per row). Basis
+// columns here are extremely sparse (slacks are unit vectors, structural
+// columns have a handful of entries), so we use a Gilbert-Peierls
+// left-looking sparse LU with partial pivoting. Between refactorizations
+// the factorization is extended with product-form eta updates: replacing
+// the basis column at position r by a column whose FTRAN image is alpha
+// appends an eta (r, alpha) and both solves apply it in O(nnz(alpha)).
+#pragma once
+
+#include <vector>
+
+#include "lp/sparse.h"
+
+namespace titan::lp {
+
+class BasisLu {
+ public:
+  // Factorizes B = A(:, basis). Returns false when numerically singular.
+  bool factorize(const SparseMatrix& a, const std::vector<int>& basis,
+                 double pivot_tolerance = 1e-10);
+
+  // Solves B * x = b. `x` enters holding b (dense, length m) and exits
+  // holding the solution *in basis-position coordinates*: x[k] multiplies
+  // basis column k.
+  void ftran(std::vector<double>& x) const;
+
+  // Solves B^T * y = c. `y` enters holding c indexed by basis position and
+  // exits holding the row-space solution (length m, original row indices).
+  void btran(std::vector<double>& y) const;
+
+  // Registers a basis change: position `leaving_pos` is replaced by a column
+  // whose FTRAN image (before this update) is `alpha`. Returns false when
+  // the pivot element alpha[leaving_pos] is too small (caller should
+  // refactorize instead).
+  bool update(int leaving_pos, const std::vector<double>& alpha, double pivot_tolerance = 1e-9);
+
+  [[nodiscard]] int eta_count() const { return static_cast<int>(etas_.size()); }
+  [[nodiscard]] int dimension() const { return m_; }
+
+ private:
+  struct Eta {
+    int pivot_pos;
+    double pivot_value;                          // alpha[pivot_pos]
+    std::vector<std::pair<int, double>> others;  // (pos, alpha[pos]) off-pivot
+  };
+
+  int m_ = 0;
+  // L: unit lower triangular in pivot order; entries stored with
+  // *original row* indices (they acquire pivot positions later).
+  std::vector<int> l_col_ptr_;
+  std::vector<int> l_rows_;
+  std::vector<double> l_vals_;
+  // U: strictly upper entries stored with *pivot position* row indices.
+  std::vector<int> u_col_ptr_;
+  std::vector<int> u_rows_;
+  std::vector<double> u_vals_;
+  std::vector<double> u_diag_;
+  std::vector<int> pivot_row_of_;  // pivot position k -> original row
+  std::vector<int> row_perm_;      // original row -> pivot position
+  // Columns are factored in order of increasing nonzero count so the many
+  // unit (slack/artificial) columns pivot first with zero fill-in;
+  // col_order_[k] is the basis position factored at step k.
+  std::vector<int> col_order_;
+  std::vector<Eta> etas_;
+};
+
+}  // namespace titan::lp

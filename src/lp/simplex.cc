@@ -1,0 +1,285 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "lp/basis_lu.h"
+
+namespace titan::lp {
+
+std::string status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNumericalFailure: return "numerical-failure";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Tableau {
+  SparseMatrix a;             // computational-form matrix (m x n_total)
+  std::vector<double> cost;   // phase-2 costs per column
+  std::vector<double> rhs;    // original rhs
+  int n_structural = 0;
+  int n_total = 0;
+  std::vector<bool> artificial;  // per column
+};
+
+Tableau build_tableau(const LpModel& model) {
+  Tableau t;
+  const int m = model.num_constraints();
+  const int n = model.num_variables();
+  t.n_structural = n;
+  t.rhs = model.rhs();
+
+  std::vector<SparseMatrix::Triplet> trips;
+  const SparseMatrix structural = model.matrix();
+  for (int j = 0; j < n; ++j)
+    for (int k = structural.col_begin(j); k < structural.col_end(j); ++k)
+      trips.push_back({structural.row_index(k), j, structural.value(k)});
+
+  t.cost = model.costs();
+  int col = n;
+  // Slack / surplus columns.
+  std::vector<int> slack_col(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const Sense s = model.senses()[static_cast<std::size_t>(i)];
+    if (s == Sense::kLe) {
+      trips.push_back({i, col, 1.0});
+      slack_col[static_cast<std::size_t>(i)] = col;
+      t.cost.push_back(0.0);
+      ++col;
+    } else if (s == Sense::kGe) {
+      trips.push_back({i, col, -1.0});
+      slack_col[static_cast<std::size_t>(i)] = col;
+      t.cost.push_back(0.0);
+      ++col;
+    }
+  }
+  // Artificial columns where the slack cannot seed a feasible basis.
+  for (int i = 0; i < m; ++i) {
+    const Sense s = model.senses()[static_cast<std::size_t>(i)];
+    const double b = t.rhs[static_cast<std::size_t>(i)];
+    const bool slack_feasible = (s == Sense::kLe && b >= 0.0) || (s == Sense::kGe && b <= 0.0);
+    if (!slack_feasible) {
+      trips.push_back({i, col, b >= 0.0 ? 1.0 : -1.0});
+      t.cost.push_back(0.0);
+      ++col;
+    }
+  }
+  t.n_total = col;
+  t.artificial.assign(static_cast<std::size_t>(col), false);
+  t.a = SparseMatrix::from_triplets(m, col, std::move(trips));
+  return t;
+}
+
+}  // namespace
+
+Solution solve(const LpModel& model, const SolveOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
+  Solution sol;
+  const int m = model.num_constraints();
+
+  Tableau t = build_tableau(model);
+
+  // Initial basis: feasible slack where possible, else the artificial
+  // allocated for the row (columns after slacks, in row order).
+  std::vector<int> basis(static_cast<std::size_t>(m), -1);
+  {
+    // Recover per-row slack/artificial columns by scanning unit-ish columns.
+    // Build from the same construction order as build_tableau.
+    int col = model.num_variables();
+    std::vector<int> slack_of(static_cast<std::size_t>(m), -1);
+    for (int i = 0; i < m; ++i) {
+      const Sense s = model.senses()[static_cast<std::size_t>(i)];
+      if (s != Sense::kEq) slack_of[static_cast<std::size_t>(i)] = col++;
+    }
+    for (int i = 0; i < m; ++i) {
+      const Sense s = model.senses()[static_cast<std::size_t>(i)];
+      const double b = t.rhs[static_cast<std::size_t>(i)];
+      const bool slack_feasible =
+          (s == Sense::kLe && b >= 0.0) || (s == Sense::kGe && b <= 0.0);
+      if (slack_feasible) {
+        basis[static_cast<std::size_t>(i)] = slack_of[static_cast<std::size_t>(i)];
+      } else {
+        basis[static_cast<std::size_t>(i)] = col;
+        t.artificial[static_cast<std::size_t>(col)] = true;
+        ++col;
+      }
+    }
+  }
+
+  std::vector<bool> in_basis(static_cast<std::size_t>(t.n_total), false);
+  for (const int j : basis) in_basis[static_cast<std::size_t>(j)] = true;
+
+  BasisLu lu;
+  if (!lu.factorize(t.a, basis, options.pivot_tol)) {
+    sol.status = SolveStatus::kNumericalFailure;
+    return sol;
+  }
+
+  // Basic values x_B = B^{-1} b.
+  std::vector<double> xb = t.rhs;
+  lu.ftran(xb);
+
+  // Phase costs.
+  std::vector<double> phase1_cost(static_cast<std::size_t>(t.n_total), 0.0);
+  for (int j = 0; j < t.n_total; ++j)
+    if (t.artificial[static_cast<std::size_t>(j)]) phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+
+  auto run_phase = [&](const std::vector<double>& cost, bool block_artificials,
+                       int& iteration_counter) -> SolveStatus {
+    int degenerate_streak = 0;
+    std::vector<double> y(static_cast<std::size_t>(m));
+    std::vector<double> alpha(static_cast<std::size_t>(m));
+    // Partial (cyclic) pricing: scan a window of columns per iteration,
+    // remembering where we stopped. A full fruitless sweep proves
+    // optimality. Bland mode falls back to a full first-negative scan.
+    int scan_cursor = 0;
+    const int window =
+        std::max(512, t.n_total / 16);
+
+    while (true) {
+      if (iteration_counter >= options.max_iterations) return SolveStatus::kIterationLimit;
+
+      // BTRAN: y = B^{-T} c_B.
+      for (int i = 0; i < m; ++i)
+        y[static_cast<std::size_t>(i)] = cost[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])];
+      lu.btran(y);
+
+      // Pricing.
+      const bool use_bland = degenerate_streak >= options.bland_trigger;
+      int entering = -1;
+      double best_dj = -options.optimality_tol;
+      auto price = [&](int j) {
+        if (in_basis[static_cast<std::size_t>(j)]) return false;
+        if (block_artificials && t.artificial[static_cast<std::size_t>(j)]) return false;
+        const double dj = cost[static_cast<std::size_t>(j)] - t.a.dot_column(j, y);
+        if (dj < best_dj) {
+          best_dj = dj;
+          entering = j;
+          return true;
+        }
+        return false;
+      };
+      if (use_bland) {
+        for (int j = 0; j < t.n_total; ++j) {
+          if (in_basis[static_cast<std::size_t>(j)]) continue;
+          if (block_artificials && t.artificial[static_cast<std::size_t>(j)]) continue;
+          const double dj = cost[static_cast<std::size_t>(j)] - t.a.dot_column(j, y);
+          if (dj < -options.optimality_tol) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        int scanned = 0;
+        while (scanned < t.n_total) {
+          const int stop = std::min(scan_cursor + window, t.n_total);
+          for (int j = scan_cursor; j < stop; ++j) price(j);
+          scanned += stop - scan_cursor;
+          scan_cursor = stop == t.n_total ? 0 : stop;
+          if (entering >= 0) break;  // found an attractive column in window
+        }
+      }
+      if (entering < 0) return SolveStatus::kOptimal;
+
+      // FTRAN the entering column.
+      std::fill(alpha.begin(), alpha.end(), 0.0);
+      t.a.axpy_column(entering, 1.0, alpha);
+      lu.ftran(alpha);
+
+      // Ratio test.
+      int leaving = -1;
+      double theta = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m; ++i) {
+        const double ai = alpha[static_cast<std::size_t>(i)];
+        if (ai > options.pivot_tol) {
+          const double ratio =
+              std::max(0.0, xb[static_cast<std::size_t>(i)]) / ai;
+          if (ratio < theta - options.feasibility_tol ||
+              (use_bland && ratio < theta + options.feasibility_tol && leaving >= 0 &&
+               basis[static_cast<std::size_t>(i)] < basis[static_cast<std::size_t>(leaving)])) {
+            theta = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving < 0) return SolveStatus::kUnbounded;
+
+      degenerate_streak = (theta <= options.feasibility_tol) ? degenerate_streak + 1 : 0;
+
+      // Apply the pivot.
+      for (int i = 0; i < m; ++i) xb[static_cast<std::size_t>(i)] -= theta * alpha[static_cast<std::size_t>(i)];
+      xb[static_cast<std::size_t>(leaving)] = theta;
+      in_basis[static_cast<std::size_t>(basis[static_cast<std::size_t>(leaving)])] = false;
+      in_basis[static_cast<std::size_t>(entering)] = true;
+      basis[static_cast<std::size_t>(leaving)] = entering;
+      ++iteration_counter;
+
+      const bool updated = lu.update(leaving, alpha, options.pivot_tol);
+      if (!updated || lu.eta_count() >= options.refactor_interval) {
+        if (!lu.factorize(t.a, basis, options.pivot_tol)) return SolveStatus::kNumericalFailure;
+        xb = t.rhs;
+        lu.ftran(xb);
+      }
+    }
+  };
+
+  // ---- Phase 1.
+  bool need_phase1 = false;
+  for (const int j : basis)
+    if (t.artificial[static_cast<std::size_t>(j)]) need_phase1 = true;
+  if (need_phase1) {
+    const SolveStatus s1 = run_phase(phase1_cost, /*block_artificials=*/false,
+                                     sol.phase1_iterations);
+    sol.iterations += sol.phase1_iterations;
+    if (s1 == SolveStatus::kIterationLimit || s1 == SolveStatus::kNumericalFailure) {
+      sol.status = s1;
+      return sol;
+    }
+    double infeas = 0.0;
+    for (int i = 0; i < m; ++i)
+      if (t.artificial[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])])
+        infeas += std::max(0.0, xb[static_cast<std::size_t>(i)]);
+    if (infeas > 1e-6) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+  }
+
+  // ---- Phase 2 (artificials blocked from re-entering).
+  int phase2_iters = 0;
+  const SolveStatus s2 = run_phase(t.cost, /*block_artificials=*/true, phase2_iters);
+  sol.iterations += phase2_iters;
+  if (s2 != SolveStatus::kOptimal) {
+    sol.status = s2;
+    return sol;
+  }
+
+  // Extract structural solution.
+  sol.x.assign(static_cast<std::size_t>(t.n_structural), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int j = basis[static_cast<std::size_t>(i)];
+    if (j < t.n_structural)
+      sol.x[static_cast<std::size_t>(j)] = std::max(0.0, xb[static_cast<std::size_t>(i)]);
+  }
+  sol.objective = model.objective_value(sol.x);
+  sol.status = SolveStatus::kOptimal;
+  sol.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  if (options.verbose)
+    std::printf("[lp] %d rows, %d cols, %d iters (%d phase1), obj=%.6g, %.2fs\n", m,
+                t.n_total, sol.iterations, sol.phase1_iterations, sol.objective,
+                sol.solve_seconds);
+  return sol;
+}
+
+}  // namespace titan::lp

@@ -1,0 +1,45 @@
+// Two-phase revised primal simplex.
+//
+// Solves min c'x s.t. Ax {<=,=,>=} b, x >= 0 as built by LpModel. Slacks
+// and surpluses convert rows to equalities; artificials complete the
+// initial basis where a slack cannot (equality rows, wrong-sign rhs).
+// Phase 1 minimizes the artificial sum; phase 2 continues from the feasible
+// basis with the true objective. The basis is held in a sparse LU
+// (BasisLu) refreshed by product-form eta updates and periodically
+// refactorized. Dantzig pricing with a Bland's-rule fallback breaks
+// degenerate stalls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace titan::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit, kNumericalFailure };
+
+[[nodiscard]] std::string status_name(SolveStatus s);
+
+struct SolveOptions {
+  int max_iterations = 200000;
+  int refactor_interval = 64;     // eta updates between refactorizations
+  double optimality_tol = 1e-7;   // reduced-cost tolerance
+  double feasibility_tol = 1e-7;  // basic-value / ratio-test tolerance
+  double pivot_tol = 1e-9;
+  int bland_trigger = 40;  // consecutive degenerate iterations before Bland
+  bool verbose = false;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  double objective = 0.0;
+  std::vector<double> x;  // structural variables only
+  int iterations = 0;
+  int phase1_iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+[[nodiscard]] Solution solve(const LpModel& model, const SolveOptions& options = {});
+
+}  // namespace titan::lp

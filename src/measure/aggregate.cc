@@ -1,0 +1,203 @@
+#include "measure/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace titan::measure {
+
+std::string granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::kCountry: return "country";
+    case Granularity::kAsn: return "ASN";
+    case Granularity::kCountryAsn: return "country+ASN";
+    case Granularity::kCity: return "city";
+    case Granularity::kCityAsn: return "city+ASN";
+  }
+  return "?";
+}
+
+namespace {
+
+ClusterKey cluster_of(const geo::SubnetRecord& rec, Granularity g) {
+  switch (g) {
+    case Granularity::kCountry: return {rec.country.value(), -1};
+    case Granularity::kAsn: return {rec.asn.value(), -1};
+    case Granularity::kCountryAsn: return {rec.country.value(), rec.asn.value()};
+    case Granularity::kCity: return {rec.city.value(), -1};
+    case Granularity::kCityAsn: return {rec.city.value(), rec.asn.value()};
+  }
+  return {};
+}
+
+}  // namespace
+
+HourlyMedianTable hourly_medians(const MeasurementCorpus& corpus, Granularity granularity,
+                                 int hours) {
+  // Collect raw samples per (cluster, dc, path, hour), then reduce.
+  struct CellSamples {
+    std::vector<std::vector<float>> wan;       // per hour
+    std::vector<std::vector<float>> internet;  // per hour
+    std::size_t count = 0;
+    core::CountryId country = core::CountryId::invalid();
+  };
+  std::map<PairSeriesKey, CellSamples> cells;
+
+  for (const auto& r : corpus.records()) {
+    if (r.hour >= hours) continue;
+    const auto rec = corpus.geodb().lookup(r.subnet);
+    if (!rec) continue;
+    const PairSeriesKey key{cluster_of(*rec, granularity), r.dc.value()};
+    auto& cell = cells[key];
+    if (cell.wan.empty()) {
+      cell.wan.resize(static_cast<std::size_t>(hours));
+      cell.internet.resize(static_cast<std::size_t>(hours));
+      cell.country = rec->country;
+    }
+    auto& bucket = (r.path == net::PathType::kWan) ? cell.wan : cell.internet;
+    bucket[static_cast<std::size_t>(r.hour)].push_back(r.rtt_ms);
+    ++cell.count;
+  }
+
+  HourlyMedianTable out;
+  for (auto& [key, cell] : cells) {
+    HourlySeries series;
+    series.wan.resize(static_cast<std::size_t>(hours));
+    series.internet.resize(static_cast<std::size_t>(hours));
+    series.sample_count = cell.count;
+    series.country = cell.country;
+    for (int h = 0; h < hours; ++h) {
+      auto reduce = [](std::vector<float>& v) -> std::optional<double> {
+        if (v.empty()) return std::nullopt;
+        std::vector<double> d(v.begin(), v.end());
+        return core::median(std::move(d));
+      };
+      series.wan[static_cast<std::size_t>(h)] = reduce(cell.wan[static_cast<std::size_t>(h)]);
+      series.internet[static_cast<std::size_t>(h)] =
+          reduce(cell.internet[static_cast<std::size_t>(h)]);
+    }
+    out.emplace(key, std::move(series));
+  }
+  return out;
+}
+
+std::vector<double> pair_differences(const HourlySeries& series) {
+  std::vector<double> diffs;
+  const std::size_t hours = std::min(series.wan.size(), series.internet.size());
+  for (std::size_t h = 0; h < hours; ++h) {
+    if (series.wan[h] && series.internet[h])
+      diffs.push_back(*series.internet[h] - *series.wan[h]);
+  }
+  return diffs;
+}
+
+DifferenceBuckets bucket_differences(const std::vector<double>& diffs) {
+  DifferenceBuckets b;
+  if (diffs.empty()) return b;
+  for (double d : diffs) {
+    if (d < 0.0)
+      b.strictly_better += 1;
+    else if (d <= 10.0)
+      b.within_10ms += 1;
+    else if (d <= 25.0)
+      b.within_25ms += 1;
+    else
+      b.beyond_25ms += 1;
+  }
+  const double n = static_cast<double>(diffs.size()) / 100.0;
+  b.strictly_better /= n;
+  b.within_10ms /= n;
+  b.within_25ms /= n;
+  b.beyond_25ms /= n;
+  return b;
+}
+
+double fraction_f(const std::vector<double>& diffs, double threshold_ms) {
+  if (diffs.empty()) return 0.0;
+  std::size_t good = 0;
+  for (double d : diffs)
+    if (d <= threshold_ms) ++good;
+  return static_cast<double>(good) / static_cast<double>(diffs.size());
+}
+
+std::vector<HeatmapCell> fraction_heatmap(const HourlyMedianTable& table, double threshold_ms) {
+  std::vector<HeatmapCell> out;
+  for (const auto& [key, series] : table) {
+    const auto diffs = pair_differences(series);
+    if (diffs.empty()) continue;
+    out.push_back({core::CountryId(key.cluster.primary), core::DcId(key.dc),
+                   fraction_f(diffs, threshold_ms)});
+  }
+  return out;
+}
+
+GranularityDifference granularity_difference(const MeasurementCorpus& corpus, Granularity fine,
+                                             int hours, double threshold_ms,
+                                             std::size_t min_samples) {
+  const auto coarse = hourly_medians(corpus, Granularity::kCountry, hours);
+  const auto fine_table = hourly_medians(corpus, fine, hours);
+
+  // Country-level F per (country, dc).
+  std::map<std::pair<int, int>, double> f_country;
+  for (const auto& [key, series] : coarse) {
+    const auto diffs = pair_differences(series);
+    if (!diffs.empty())
+      f_country[{key.cluster.primary, key.dc}] = fraction_f(diffs, threshold_ms);
+  }
+
+  // Fine clusters grouped by (country, dc) with measurement-share weights.
+  struct FineAgg {
+    double weighted_abs_dev = 0.0;
+    double weight = 0.0;
+  };
+  std::map<std::pair<int, int>, FineAgg> agg;
+  for (const auto& [key, series] : fine_table) {
+    if (series.sample_count < min_samples) continue;
+    const auto diffs = pair_differences(series);
+    if (diffs.size() < 8) continue;  // need several hours with both arms
+    const auto country_key = std::make_pair(series.country.value(), key.dc);
+    const auto it = f_country.find(country_key);
+    if (it == f_country.end() || it->second <= 0.0) continue;
+    const double f_fine = fraction_f(diffs, threshold_ms);
+    auto& a = agg[country_key];
+    const double w = static_cast<double>(series.sample_count);
+    a.weighted_abs_dev += std::abs(f_fine - it->second) * w;
+    a.weight += w;
+  }
+
+  GranularityDifference out;
+  for (const auto& [key, a] : agg) {
+    if (a.weight <= 0.0) continue;
+    const double fc = f_country[key];
+    out.all.push_back((a.weighted_abs_dev / a.weight) / fc);
+  }
+  if (!out.all.empty()) {
+    out.p50 = core::quantile(out.all, 0.5);
+    out.p90 = core::quantile(out.all, 0.9);
+  }
+  return out;
+}
+
+std::vector<WeeklyMedian> weekly_medians(const MeasurementCorpus& corpus, int hours) {
+  struct Samples {
+    std::vector<double> wan, internet;
+  };
+  std::map<std::pair<int, int>, Samples> cells;
+  for (const auto& r : corpus.records()) {
+    if (r.hour >= hours) continue;
+    const auto rec = corpus.geodb().lookup(r.subnet);
+    if (!rec) continue;
+    auto& cell = cells[{rec->country.value(), r.dc.value()}];
+    ((r.path == net::PathType::kWan) ? cell.wan : cell.internet)
+        .push_back(static_cast<double>(r.rtt_ms));
+  }
+  std::vector<WeeklyMedian> out;
+  for (auto& [key, cell] : cells) {
+    if (cell.wan.empty() || cell.internet.empty()) continue;
+    out.push_back({core::CountryId(key.first), core::DcId(key.second),
+                   core::median(std::move(cell.wan)), core::median(std::move(cell.internet))});
+  }
+  return out;
+}
+
+}  // namespace titan::measure

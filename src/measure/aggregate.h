@@ -1,0 +1,114 @@
+// Measurement aggregation and analysis (§3).
+//
+// All analyses in the paper's measurement section reduce the probe corpus
+// to *hourly medians per (client cluster, DC, routing option)* and then
+// compare the two routing options:
+//   - Fig. 3: CDFs of (Internet - WAN) hourly-median differences,
+//     plus the global four-bucket breakdown (<0, 0-10, 10-25, >25 msec);
+//   - Fig. 4 / Fig. 19: fraction F of hours where the Internet is better or
+//     within 10 msec, per (client country, destination DC);
+//   - Fig. 5: how F changes when clustering clients by ASN / city /
+//     city+ASN instead of country (weighted difference D, §A.4);
+//   - Fig. 18: week-over-year latency change per (country, DC, option).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/stats.h"
+#include "measure/probe_platform.h"
+
+namespace titan::measure {
+
+// Client clustering granularity (Fig. 5). In the synthetic world each ASN
+// and each city belong to exactly one country, so kAsn and kCountryAsn give
+// identical clusters (the paper's production data has multi-country ASNs;
+// ours does not — documented substitution).
+enum class Granularity { kCountry, kAsn, kCountryAsn, kCity, kCityAsn };
+
+[[nodiscard]] std::string granularity_name(Granularity g);
+
+// Cluster key: packs the ids relevant to the granularity.
+struct ClusterKey {
+  std::int32_t primary = -1;    // country / asn / city id
+  std::int32_t secondary = -1;  // asn for the composite granularities
+  auto operator<=>(const ClusterKey&) const = default;
+};
+
+struct PairSeriesKey {
+  ClusterKey cluster;
+  std::int32_t dc = -1;
+  auto operator<=>(const PairSeriesKey&) const = default;
+};
+
+// Hourly medians for one (cluster, DC): wan[h] / internet[h] may be missing
+// when no probe hit the cell in hour h.
+struct HourlySeries {
+  std::vector<std::optional<double>> wan;
+  std::vector<std::optional<double>> internet;
+  std::size_t sample_count = 0;  // total probes contributing
+  core::CountryId country = core::CountryId::invalid();
+};
+
+using HourlyMedianTable = std::map<PairSeriesKey, HourlySeries>;
+
+// Reduces the corpus to hourly medians at the requested granularity.
+[[nodiscard]] HourlyMedianTable hourly_medians(const MeasurementCorpus& corpus,
+                                               Granularity granularity, int hours);
+
+// Per-pair vector of hourly (Internet - WAN) differences, hours where both
+// options have a median.
+[[nodiscard]] std::vector<double> pair_differences(const HourlySeries& series);
+
+// Fig. 3 buckets over a set of differences (percentages summing to ~100).
+struct DifferenceBuckets {
+  double strictly_better = 0;   // diff < 0
+  double within_10ms = 0;       // 0 <= diff <= 10
+  double within_25ms = 0;       // 10 < diff <= 25
+  double beyond_25ms = 0;       // diff > 25
+};
+[[nodiscard]] DifferenceBuckets bucket_differences(const std::vector<double>& diffs);
+
+// Fraction F: share of hours where Internet is better or within
+// `threshold_ms` of WAN (Fig. 4 uses 10 msec).
+[[nodiscard]] double fraction_f(const std::vector<double>& diffs, double threshold_ms = 10.0);
+
+// F per (country, DC) over the whole table (requires kCountry granularity).
+struct HeatmapCell {
+  core::CountryId country;
+  core::DcId dc;
+  double f = 0.0;
+};
+[[nodiscard]] std::vector<HeatmapCell> fraction_heatmap(const HourlyMedianTable& table,
+                                                        double threshold_ms = 10.0);
+
+// Fig. 5: weighted difference D between fine-grained F and country-level F,
+// per (client country, destination DC), per §A.4:
+//   D = sum_i |F_i - F_c| * w_i / F_c
+// with w_i the cluster's share of the country's measurements.
+struct GranularityDifference {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  std::vector<double> all;  // D per (country, DC)
+};
+// Fine clusters with fewer than `min_samples` probes are excluded (their
+// hourly medians are too noisy to say anything about F).
+[[nodiscard]] GranularityDifference granularity_difference(const MeasurementCorpus& corpus,
+                                                           Granularity fine, int hours,
+                                                           double threshold_ms = 10.0,
+                                                           std::size_t min_samples = 60);
+
+// Fig. 18: weekly median latency per (country, DC, option) for one corpus;
+// callers subtract across two epochs.
+struct WeeklyMedian {
+  core::CountryId country;
+  core::DcId dc;
+  double wan_ms = 0.0;
+  double internet_ms = 0.0;
+};
+[[nodiscard]] std::vector<WeeklyMedian> weekly_medians(const MeasurementCorpus& corpus,
+                                                       int hours);
+
+}  // namespace titan::measure

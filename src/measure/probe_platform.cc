@@ -1,0 +1,62 @@
+#include "measure/probe_platform.h"
+
+#include <unordered_set>
+
+#include "core/timegrid.h"
+
+namespace titan::measure {
+
+ProbePlatform::ProbePlatform(const geo::World& world, const geo::GeoDb& geodb,
+                             const net::LatencyModel& latency)
+    : world_(&world), geodb_(&geodb), latency_(&latency) {
+  for (const auto& dc : world.dcs()) {
+    vms_.push_back({dc.id, net::PathType::kInternet});
+    vms_.push_back({dc.id, net::PathType::kWan});
+  }
+}
+
+MeasurementCorpus ProbePlatform::run(const StudyOptions& options) const {
+  MeasurementCorpus corpus(*world_, *geodb_);
+  core::Rng rng(options.seed);
+  std::size_t rr = 0;  // round-robin cursor over the VM fleet
+
+  const int hours = options.days * core::kHoursPerDay;
+  for (int hour = 0; hour < hours; ++hour) {
+    for (int i = 0; i < options.probes_per_hour; ++i) {
+      const core::CountryId country = world_->sample_country(rng);
+      const geo::SubnetKey subnet = geodb_->sample_subnet(country, rng);
+      const auto rec = geodb_->lookup(subnet);
+      const ProbeVm& vm = vms_[rr];
+      rr = (rr + 1) % vms_.size();
+      const double rtt =
+          latency_->probe_rtt_ms(rec->city, rec->asn, vm.dc, vm.path, hour, rng);
+      corpus.add(ProbeRecord{hour, subnet, vm.dc, vm.path, static_cast<float>(rtt)});
+    }
+  }
+  return corpus;
+}
+
+MeasurementCorpus::ScaleStats MeasurementCorpus::scale_stats(int days) const {
+  ScaleStats s;
+  std::unordered_set<int> countries, cities, asns, dcs;
+  std::unordered_set<geo::SubnetKey> subnets;
+  for (const auto& r : records_) {
+    const auto rec = geodb_->lookup(r.subnet);
+    if (!rec) continue;
+    countries.insert(rec->country.value());
+    cities.insert(rec->city.value());
+    asns.insert(rec->asn.value());
+    subnets.insert(r.subnet);
+    dcs.insert(r.dc.value());
+  }
+  s.avg_measurements_per_day =
+      days > 0 ? static_cast<double>(records_.size()) / days : 0.0;
+  s.source_countries = countries.size();
+  s.source_cities = cities.size();
+  s.source_asns = asns.size();
+  s.ip_subnets = subnets.size();
+  s.destination_dcs = dcs.size();
+  return s;
+}
+
+}  // namespace titan::measure

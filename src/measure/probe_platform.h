@@ -1,0 +1,94 @@
+// Latency measurement platform (§3, "Methodology").
+//
+// The production study runs 2 VMs per DC — one reachable over the Internet
+// routing option, one over the WAN — serving a 1x1 image over HTTPS. A
+// load balancer spreads client requests across the 42 VMs round-robin, and
+// each VM logs (timestamp, /24-masked client IP, request RTT). We reproduce
+// the pipeline: synthetic clients are sampled from the GeoDb by call volume,
+// a round-robin balancer assigns each probe to a VM, and the RTT is drawn
+// from the latency ground truth. Analyses join the logged subnet against
+// the GeoDb exactly as the offline production pipeline does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "geo/geodb.h"
+#include "geo/world.h"
+#include "net/latency_model.h"
+
+namespace titan::measure {
+
+// One logged probe. RTT covers only the GET request/response round trip
+// (connection setup excluded), matching the paper's definition.
+struct ProbeRecord {
+  std::int32_t hour;  // absolute hour since trace start
+  geo::SubnetKey subnet;
+  core::DcId dc;
+  net::PathType path;
+  float rtt_ms;
+};
+
+// A measurement VM: one per (DC, routing option).
+struct ProbeVm {
+  core::DcId dc;
+  net::PathType path;
+};
+
+struct StudyOptions {
+  std::uint64_t seed = 97;
+  int days = 7;
+  // Probes per hour across the whole platform. The paper logs ~3.5M/day
+  // (~146K/hour); the default is scaled down but keeps every
+  // (country, DC, path, hour) cell populated.
+  int probes_per_hour = 40000;
+};
+
+class MeasurementCorpus {
+ public:
+  MeasurementCorpus(const geo::World& world, const geo::GeoDb& geodb)
+      : world_(&world), geodb_(&geodb) {}
+
+  void add(ProbeRecord r) { records_.push_back(r); }
+  [[nodiscard]] const std::vector<ProbeRecord>& records() const { return records_; }
+  [[nodiscard]] const geo::World& world() const { return *world_; }
+  [[nodiscard]] const geo::GeoDb& geodb() const { return *geodb_; }
+
+  struct ScaleStats {
+    double avg_measurements_per_day = 0.0;
+    std::size_t source_countries = 0;
+    std::size_t source_cities = 0;
+    std::size_t source_asns = 0;
+    std::size_t ip_subnets = 0;
+    std::size_t destination_dcs = 0;
+  };
+  // Table 1 statistics over the logged corpus.
+  [[nodiscard]] ScaleStats scale_stats(int days) const;
+
+ private:
+  const geo::World* world_;
+  const geo::GeoDb* geodb_;
+  std::vector<ProbeRecord> records_;
+};
+
+class ProbePlatform {
+ public:
+  // Builds the 2-VMs-per-DC fleet.
+  ProbePlatform(const geo::World& world, const geo::GeoDb& geodb,
+                const net::LatencyModel& latency);
+
+  [[nodiscard]] const std::vector<ProbeVm>& vms() const { return vms_; }
+
+  // Runs the study and returns the logged corpus.
+  [[nodiscard]] MeasurementCorpus run(const StudyOptions& options) const;
+
+ private:
+  const geo::World* world_;
+  const geo::GeoDb* geodb_;
+  const net::LatencyModel* latency_;
+  std::vector<ProbeVm> vms_;
+};
+
+}  // namespace titan::measure

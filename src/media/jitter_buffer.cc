@@ -1,0 +1,50 @@
+#include "media/jitter_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace titan::media {
+
+JitterBufferStats JitterBuffer::run(const std::vector<RtpArrival>& arrivals) {
+  JitterBufferStats stats;
+  if (arrivals.empty()) return stats;
+
+  // Base one-way delay estimate: the minimum observed network delay anchors
+  // the playout clock (standard NetEQ-style trick).
+  double min_delay = arrivals.front().arrival_time_ms - arrivals.front().send_time_ms;
+  for (const auto& a : arrivals)
+    min_delay = std::min(min_delay, a.arrival_time_ms - a.send_time_ms);
+
+  double jitter_est = 0.0;
+  double prev_transit = 0.0;
+  bool have_prev = false;
+  double delay_sum = 0.0;
+
+  for (const auto& a : arrivals) {
+    const double transit = a.arrival_time_ms - a.send_time_ms;
+    if (have_prev) {
+      const double d = std::abs(transit - prev_transit);
+      jitter_est += params_.ewma_weight * (d - jitter_est);
+    }
+    prev_transit = transit;
+    have_prev = true;
+
+    const double target = std::clamp(params_.multiplier * jitter_est,
+                                     params_.min_delay_ms, params_.max_delay_ms);
+    const double playout_time = a.send_time_ms + min_delay + target;
+    if (a.arrival_time_ms > playout_time) {
+      ++stats.late_dropped;
+    } else {
+      ++stats.played;
+      delay_sum += playout_time - a.arrival_time_ms + (transit - min_delay);
+    }
+  }
+  const std::size_t total = stats.played + stats.late_dropped;
+  stats.late_rate = total == 0 ? 0.0 : static_cast<double>(stats.late_dropped) /
+                                           static_cast<double>(total);
+  stats.mean_playout_delay_ms =
+      stats.played == 0 ? 0.0 : delay_sum / static_cast<double>(stats.played);
+  return stats;
+}
+
+}  // namespace titan::media

@@ -1,0 +1,65 @@
+// Media stream types and their resource footprints (§2.1, §6).
+//
+// Each participant can generate up to three streams — audio, video, and
+// screen-share. Call configs are keyed by the most resource-hungry media
+// type present (audio < screen-share < video), and the LP's computeUsed()
+// and networkUsed() functions derive from these per-type footprints.
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+
+namespace titan::media {
+
+enum class MediaType { kAudio = 0, kScreenShare = 1, kVideo = 2 };
+constexpr int kMediaTypeCount = 3;
+
+[[nodiscard]] inline std::string media_type_name(MediaType m) {
+  switch (m) {
+    case MediaType::kAudio: return "audio";
+    case MediaType::kScreenShare: return "screenshare";
+    case MediaType::kVideo: return "video";
+  }
+  return "?";
+}
+
+// Resource ordering used when assigning call configs (audio < screen-share
+// < video).
+[[nodiscard]] inline MediaType dominant(MediaType a, MediaType b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+// Per-participant bandwidth between the client and the MP (up + down
+// aggregate), in Mbps. Synthetic but in realistic conferencing ranges.
+[[nodiscard]] inline core::Mbps bandwidth_per_participant(MediaType m) {
+  switch (m) {
+    case MediaType::kAudio: return 0.12;
+    case MediaType::kScreenShare: return 1.0;
+    case MediaType::kVideo: return 2.2;
+  }
+  return 0.0;
+}
+
+// MP compute per participant, in cores.
+[[nodiscard]] inline core::Cores compute_per_participant(MediaType m) {
+  switch (m) {
+    case MediaType::kAudio: return 0.02;
+    case MediaType::kScreenShare: return 0.06;
+    case MediaType::kVideo: return 0.12;
+  }
+  return 0.0;
+}
+
+// Nominal RTP packet rate per participant stream (packets/second), used by
+// the packet-level relay simulation.
+[[nodiscard]] inline double packet_rate_pps(MediaType m) {
+  switch (m) {
+    case MediaType::kAudio: return 50.0;
+    case MediaType::kScreenShare: return 120.0;
+    case MediaType::kVideo: return 300.0;
+  }
+  return 0.0;
+}
+
+}  // namespace titan::media

@@ -1,0 +1,26 @@
+#include "media/mos.h"
+
+#include <algorithm>
+
+namespace titan::media {
+
+double MosModel::expected(core::Millis max_e2e_ms, core::LossFraction loss) const {
+  double mos = params_.base_mos;
+  if (max_e2e_ms > params_.flat_until_ms)
+    mos -= params_.slope_per_ms * (max_e2e_ms - params_.flat_until_ms);
+  const double visible_loss = std::max(0.0, loss - params_.fec_absorbs);
+  mos -= params_.loss_coeff * visible_loss;
+  return std::clamp(mos, params_.min_mos, 5.0);
+}
+
+double MosModel::sample(core::Millis max_e2e_ms, core::LossFraction loss,
+                        core::Rng& rng) const {
+  const double rating = expected(max_e2e_ms, loss) + rng.normal(0.0, params_.rating_noise);
+  return std::clamp(rating, 1.0, 5.0);
+}
+
+bool MosModel::collects_rating(core::Rng& rng) const {
+  return rng.chance(params_.sampling_rate);
+}
+
+}  // namespace titan::media

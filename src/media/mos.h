@@ -1,0 +1,51 @@
+// Mean Opinion Score model (Fig. 11).
+//
+// The paper's telemetry shows average MOS is flat (~4.86) while the call's
+// maximum end-to-end latency stays under ~75 msec and then degrades roughly
+// linearly, reaching ~4.65 around 250 msec. Loss adds an extra penalty
+// (application-layer FEC absorbs small loss; heavy loss hurts). The model
+// below is the synthetic stand-in for user feedback: expected MOS is the
+// deterministic curve; sampled MOS adds heavy user-rating noise and is only
+// collected for a subset of calls, mirroring production sampling.
+#pragma once
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace titan::media {
+
+struct MosModelParams {
+  double base_mos = 4.87;
+  core::Millis flat_until_ms = 75.0;
+  // Linear slope beyond the knee, MOS per msec.
+  double slope_per_ms = 0.00125;
+  double min_mos = 1.0;
+  // Loss penalty: MOS points per unit loss fraction beyond what FEC hides.
+  double loss_coeff = 8.0;
+  core::LossFraction fec_absorbs = 0.005;  // loss below this is invisible
+  double rating_noise = 0.35;              // stddev of individual ratings
+  double sampling_rate = 0.08;             // fraction of calls rated
+};
+
+class MosModel {
+ public:
+  explicit MosModel(const MosModelParams& params = {}) : params_(params) {}
+
+  // Deterministic expected MOS for a call with the given maximum end-to-end
+  // latency and end-to-end loss fraction.
+  [[nodiscard]] double expected(core::Millis max_e2e_ms, core::LossFraction loss = 0.0) const;
+
+  // One sampled user rating (clamped to [1, 5]).
+  [[nodiscard]] double sample(core::Millis max_e2e_ms, core::LossFraction loss,
+                              core::Rng& rng) const;
+
+  // Whether this call gets rated at all (MOS is heavily sampled).
+  [[nodiscard]] bool collects_rating(core::Rng& rng) const;
+
+  [[nodiscard]] const MosModelParams& params() const { return params_; }
+
+ private:
+  MosModelParams params_;
+};
+
+}  // namespace titan::media

@@ -1,0 +1,95 @@
+#include "media/relay_sim.h"
+
+#include <algorithm>
+
+namespace titan::media {
+
+RelaySimulator::RelaySimulator(const net::NetworkDb& net, const MosModel& mos,
+                               const RelaySimOptions& options)
+    : net_(&net), mos_(&mos), options_(options) {}
+
+CallTelemetry RelaySimulator::simulate_call(const Call& call, core::SlotIndex slot,
+                                            const OfferedLoadFn& offered,
+                                            core::Rng& rng) const {
+  CallTelemetry out;
+  out.call = call.id;
+  out.dc = call.mp_dc;
+  out.slot = slot;
+
+  const int hour = slot / core::kSlotsPerHour;
+  double loss_sum = 0.0;
+  std::vector<double> one_way_ms;
+  one_way_ms.reserve(call.participants.size());
+
+  for (const auto& part : call.participants) {
+    ParticipantTelemetry t;
+    t.call = call.id;
+    t.participant = part.id;
+    t.country = part.country;
+    t.dc = call.mp_dc;
+    t.path = part.path;
+    t.slot = slot;
+
+    // Leg metrics from the ground truth (Internet legs see the elasticity
+    // response when offered load is provided).
+    double rtt;
+    double leg_loss;
+    if (part.path == net::PathType::kInternet) {
+      const core::Mbps load = offered ? offered(part.country, call.mp_dc) : 0.0;
+      rtt = net_->effective_internet_rtt(part.country, call.mp_dc, slot, load);
+      leg_loss = net_->effective_internet_loss(part.country, call.mp_dc, slot, load);
+    } else {
+      rtt = net_->latency().hourly_rtt_ms(part.country, call.mp_dc, net::PathType::kWan, hour);
+      leg_loss = net_->loss().slot_loss(part.country, call.mp_dc, net::PathType::kWan, slot);
+    }
+    const double jitter =
+        net_->loss().slot_jitter_ms(part.country, call.mp_dc, part.path, slot);
+
+    // Packet-level RTP on both legs (uplink client->MP, downlink MP->client).
+    RtpLegParams leg;
+    leg.packet_rate_pps = packet_rate_pps(call.media);
+    leg.duration_s = options_.leg_duration_s;
+    leg.loss = leg_loss;
+    leg.one_way_delay_ms = rtt / 2.0;
+    leg.jitter_ms = jitter;
+    const RtpStats up = simulate_leg(leg, rng);
+    const RtpStats down = simulate_leg(leg, rng);
+
+    t.rtp_loss = combine_leg_loss(up.loss_fraction, down.loss_fraction);
+    t.rtt_ms = rtt;
+    t.jitter_ms = down.interarrival_jitter_ms;
+
+    loss_sum += t.rtp_loss;
+    one_way_ms.push_back(rtt / 2.0);
+    out.participants.push_back(std::move(t));
+  }
+
+  // Max end-to-end latency across participant pairs: one-way(i) + one-way(j)
+  // through the MP (Fig. 10). With a single participant, the E2E latency is
+  // its round trip to the MP.
+  if (one_way_ms.size() >= 2) {
+    std::partial_sort(one_way_ms.begin(), one_way_ms.begin() + 2, one_way_ms.end(),
+                      std::greater<>());
+    out.max_e2e_ms = one_way_ms[0] + one_way_ms[1];
+  } else if (one_way_ms.size() == 1) {
+    out.max_e2e_ms = 2.0 * one_way_ms[0];
+  }
+  out.mean_loss = call.participants.empty()
+                      ? 0.0
+                      : loss_sum / static_cast<double>(call.participants.size());
+
+  if (mos_->collects_rating(rng)) out.mos = mos_->sample(out.max_e2e_ms, out.mean_loss, rng);
+  return out;
+}
+
+std::vector<CallTelemetry> RelaySimulator::simulate_slot(const std::vector<Call>& calls,
+                                                         core::SlotIndex slot,
+                                                         const OfferedLoadFn& offered,
+                                                         core::Rng& rng) const {
+  std::vector<CallTelemetry> out;
+  out.reserve(calls.size());
+  for (const auto& call : calls) out.push_back(simulate_call(call, slot, offered, rng));
+  return out;
+}
+
+}  // namespace titan::media

@@ -1,0 +1,94 @@
+// MP relay simulation: calls, participants, and per-call telemetry.
+//
+// Each call is hosted by an MP server in a DC; every participant exchanges
+// RTP with the MP over its assigned routing option. The simulator runs the
+// packet-level RTP legs against the network ground truth (latency, loss,
+// jitter — including load-dependent Internet congestion) and produces the
+// telemetry records Titan's control loop and the paper's quality figures
+// consume: per-participant RTP loss / RTT / jitter, per-call maximum
+// end-to-end latency, and sampled MOS ratings.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "core/timegrid.h"
+#include "core/units.h"
+#include "media/media_types.h"
+#include "media/mos.h"
+#include "media/rtp.h"
+#include "net/network_db.h"
+
+namespace titan::media {
+
+struct Participant {
+  core::ParticipantId id;
+  core::CountryId country;
+  net::PathType path = net::PathType::kWan;
+};
+
+struct Call {
+  core::CallId id;
+  core::DcId mp_dc;
+  MediaType media = MediaType::kAudio;
+  std::vector<Participant> participants;
+};
+
+struct ParticipantTelemetry {
+  core::CallId call;
+  core::ParticipantId participant;
+  core::CountryId country;
+  core::DcId dc;
+  net::PathType path = net::PathType::kWan;
+  core::SlotIndex slot = 0;
+  double rtp_loss = 0.0;         // end-to-end through the relay
+  core::Millis rtt_ms = 0.0;     // client <-> MP round trip
+  core::Millis jitter_ms = 0.0;  // RFC 3550 estimate on the downlink
+};
+
+struct CallTelemetry {
+  core::CallId call;
+  core::DcId dc;
+  core::SlotIndex slot = 0;
+  core::Millis max_e2e_ms = 0.0;
+  double mean_loss = 0.0;
+  std::optional<double> mos;  // present only for sampled calls
+  std::vector<ParticipantTelemetry> participants;
+};
+
+// Offered Internet load (Mbps) per (client country, DC) pair — drives the
+// elasticity response. Return 0 when unknown.
+using OfferedLoadFn = std::function<core::Mbps(core::CountryId, core::DcId)>;
+
+struct RelaySimOptions {
+  std::uint64_t seed = 55;
+  // Seconds of RTP simulated per participant leg (shorter than the slot;
+  // a statistically sufficient sample).
+  double leg_duration_s = 10.0;
+};
+
+class RelaySimulator {
+ public:
+  RelaySimulator(const net::NetworkDb& net, const MosModel& mos,
+                 const RelaySimOptions& options = {});
+
+  // Simulates one call in one slot. `offered` may be null (no elasticity).
+  [[nodiscard]] CallTelemetry simulate_call(const Call& call, core::SlotIndex slot,
+                                            const OfferedLoadFn& offered, core::Rng& rng) const;
+
+  // Convenience for a batch of calls.
+  [[nodiscard]] std::vector<CallTelemetry> simulate_slot(const std::vector<Call>& calls,
+                                                         core::SlotIndex slot,
+                                                         const OfferedLoadFn& offered,
+                                                         core::Rng& rng) const;
+
+ private:
+  const net::NetworkDb* net_;
+  const MosModel* mos_;
+  RelaySimOptions options_;
+};
+
+}  // namespace titan::media

@@ -1,0 +1,65 @@
+#include "media/rtp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace titan::media {
+
+std::vector<RtpArrival> simulate_arrivals(const RtpLegParams& params, core::Rng& rng) {
+  std::vector<RtpArrival> arrivals;
+  const auto n = static_cast<std::uint32_t>(params.packet_rate_pps * params.duration_s);
+  arrivals.reserve(n);
+  const double interval_ms = 1000.0 / params.packet_rate_pps;
+  for (std::uint32_t seq = 0; seq < n; ++seq) {
+    if (rng.chance(params.loss)) continue;
+    RtpArrival a;
+    a.sequence = seq;
+    a.send_time_ms = seq * interval_ms;
+    // Delay noise: truncated normal keeps arrival causal.
+    const double noise = std::max(-params.one_way_delay_ms * 0.5,
+                                  rng.normal(0.0, params.jitter_ms));
+    a.arrival_time_ms = a.send_time_ms + params.one_way_delay_ms + noise;
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+RtpStats simulate_leg(const RtpLegParams& params, core::Rng& rng) {
+  RtpStats stats;
+  const auto arrivals = simulate_arrivals(params, rng);
+  stats.packets_sent =
+      static_cast<std::uint32_t>(params.packet_rate_pps * params.duration_s);
+  stats.packets_received = static_cast<std::uint32_t>(arrivals.size());
+
+  // RFC 3550: cumulative lost = extended highest seq received + 1 - received.
+  if (!arrivals.empty()) {
+    std::uint32_t highest = 0;
+    for (const auto& a : arrivals) highest = std::max(highest, a.sequence);
+    const std::uint32_t expected = highest + 1;
+    stats.cumulative_lost =
+        expected > stats.packets_received ? expected - stats.packets_received : 0;
+  }
+  stats.loss_fraction =
+      stats.packets_sent == 0
+          ? 0.0
+          : static_cast<double>(stats.packets_sent - stats.packets_received) /
+                static_cast<double>(stats.packets_sent);
+
+  // RFC 3550 interarrival jitter: J += (|D(i-1,i)| - J) / 16 where
+  // D compares arrival spacing to send spacing.
+  double j = 0.0;
+  double delay_sum = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    delay_sum += arrivals[i].arrival_time_ms - arrivals[i].send_time_ms;
+    if (i == 0) continue;
+    const double d = (arrivals[i].arrival_time_ms - arrivals[i - 1].arrival_time_ms) -
+                     (arrivals[i].send_time_ms - arrivals[i - 1].send_time_ms);
+    j += (std::abs(d) - j) / 16.0;
+  }
+  stats.interarrival_jitter_ms = j;
+  stats.mean_delay_ms =
+      arrivals.empty() ? 0.0 : delay_sum / static_cast<double>(arrivals.size());
+  return stats;
+}
+
+}  // namespace titan::media

@@ -1,0 +1,141 @@
+#include "net/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hash.h"
+
+namespace titan::net {
+
+namespace {
+
+using geo::Continent;
+
+constexpr std::uint64_t kPairStream = 0xA1;
+constexpr std::uint64_t kHourStream = 0xA2;
+constexpr std::uint64_t kCityStream = 0xA3;
+
+bool is_na_eu_corridor(Continent a, Continent b) {
+  return (a == Continent::kNorthAmerica && b == Continent::kEurope) ||
+         (a == Continent::kEurope && b == Continent::kNorthAmerica);
+}
+
+}  // namespace
+
+CorridorPrior corridor_prior(Continent client, Continent dc_continent) {
+  using C = Continent;
+  // delta as a fraction of the pair's geodesic RTT; negative means the
+  // Internet path is typically shorter than the WAN route for the pair.
+  // Values are calibrated so the fraction-F heatmap (Fig. 4) and the global
+  // difference buckets (Fig. 3) match the paper's shape.
+  if (client == C::kEurope && dc_continent == C::kEurope) return {-0.02, 0.34};
+  if (is_na_eu_corridor(client, dc_continent)) return {-0.01, 0.10};
+  if (client == C::kNorthAmerica && dc_continent == C::kNorthAmerica) return {0.00, 0.22};
+  if (client == C::kEurope && dc_continent == C::kAfrica) return {-0.04, 0.08};
+  if (client == C::kEurope && dc_continent == C::kAsia) return {0.14, 0.12};
+  if (client == C::kAsia && dc_continent == C::kEurope) return {0.09, 0.12};
+  if (client == C::kAsia && dc_continent == C::kAsia) return {0.05, 0.16};
+  if (client == C::kAsia && dc_continent == C::kNorthAmerica) return {0.07, 0.18};
+  if (client == C::kNorthAmerica && dc_continent == C::kAsia) return {0.07, 0.18};
+  if (client == C::kOceania || dc_continent == C::kOceania) return {0.04, 0.16};
+  if (client == C::kAfrica || dc_continent == C::kAfrica) return {0.05, 0.20};
+  if (client == C::kSouthAmerica || dc_continent == C::kSouthAmerica) return {0.05, 0.18};
+  return {0.05, 0.20};
+}
+
+LatencyModel::LatencyModel(const geo::World& world, const WanTopology& topology,
+                           const LatencyModelOptions& options)
+    : world_(&world), topology_(&topology), options_(options) {
+  pairs_.resize(world.countries().size());
+  for (const auto& country : world.countries()) {
+    auto& row = pairs_[static_cast<std::size_t>(country.id.value())];
+    row.resize(world.dcs().size());
+    for (const auto& dc : world.dcs()) {
+      PairParams p;
+      const double geodesic_one_way =
+          geo::fiber_delay_ms(country.centroid, dc.position);
+      p.geodesic_rtt = 2.0 * geodesic_one_way;
+
+      core::Rng prng = core::rng_at(options.seed, kPairStream,
+                                    country.id.value(), dc.id.value());
+      // Last-mile access delay (both routing options traverse the same
+      // last-mile ISP segment).
+      const double last_mile = prng.uniform(2.0, 7.0);
+      p.wan_base_rtt =
+          2.0 * (topology.path(country.id, dc.id).one_way_ms) + 2.0 * last_mile + 1.0;
+
+      CorridorPrior prior = corridor_prior(country.continent, dc.continent);
+      // 6 months back the NA-EU Internet corridor was slightly worse
+      // (Fig. 19); apply a small positive shift for past epochs.
+      if (options.epoch_months < -3.0 && is_na_eu_corridor(country.continent, dc.continent))
+        prior.delta_mu += 0.03;
+      const double delta_frac = prng.normal(prior.delta_mu, prior.delta_sigma);
+      // The delta scales with geodesic RTT plus a floor so that even
+      // same-metro pairs can differ by a few msec (peering richness).
+      p.internet_delta = delta_frac * std::max(p.geodesic_rtt, 12.0);
+
+      p.wander_scale =
+          options.hourly_sigma * std::max(p.geodesic_rtt, 15.0) * prng.uniform(0.6, 1.6);
+      row[static_cast<std::size_t>(dc.id.value())] = p;
+    }
+  }
+}
+
+const LatencyModel::PairParams& LatencyModel::pair(core::CountryId c, core::DcId d) const {
+  return pairs_[static_cast<std::size_t>(c.value())][static_cast<std::size_t>(d.value())];
+}
+
+core::Millis LatencyModel::epoch_scale(PathType path) const {
+  // Latencies improved over the last 12 months for 80+% of paths, slightly
+  // more on the Internet (Fig. 18). epoch_months <= 0; the past is slower.
+  const double months_back = -options_.epoch_months;
+  const double rate = path == PathType::kInternet ? 0.0050 : 0.0032;
+  return 1.0 + rate * months_back;
+}
+
+core::Millis LatencyModel::hourly_rtt_ms(core::CountryId client, core::DcId dc, PathType path,
+                                         int absolute_hour) const {
+  const PairParams& p = pair(client, dc);
+  core::Rng hrng = core::rng_at(options_.seed, kHourStream, client.value(), dc.value(),
+                                static_cast<std::uint64_t>(path),
+                                static_cast<std::uint64_t>(absolute_hour));
+  double rtt = (path == PathType::kWan) ? p.wan_base_rtt : p.wan_base_rtt + p.internet_delta;
+  // Internet medians wander hour to hour more than WAN medians.
+  const double wander = p.wander_scale * (path == PathType::kInternet ? 1.0 : 0.45);
+  rtt += hrng.normal(0.0, wander);
+  rtt *= epoch_scale(path);
+  // Physical floor: no path beats light in fibre (plus a processing msec).
+  return std::max(rtt, p.geodesic_rtt + 1.0);
+}
+
+core::Millis LatencyModel::base_rtt_ms(core::CountryId client, core::DcId dc,
+                                       PathType path) const {
+  const PairParams& p = pair(client, dc);
+  double rtt = (path == PathType::kWan) ? p.wan_base_rtt : p.wan_base_rtt + p.internet_delta;
+  rtt *= epoch_scale(path);
+  return std::max(rtt, p.geodesic_rtt + 1.0);
+}
+
+core::Millis LatencyModel::probe_rtt_ms(core::CityId city, core::AsnId asn, core::DcId dc,
+                                        PathType path, int absolute_hour,
+                                        core::Rng& rng) const {
+  const geo::City& c = world_->city(city);
+  const geo::Asn& a = world_->asn(asn);
+  const double median = hourly_rtt_ms(c.country, dc, path, absolute_hour);
+
+  // Persistent city offset: distance from the city to the country centroid
+  // changes the effective last mile for both options.
+  core::Rng crng = core::rng_at(options_.seed, kCityStream, city.value(), dc.value());
+  const double city_offset =
+      2.0 * geo::fiber_delay_ms(c.position, world_->country(c.country).centroid) *
+      crng.uniform(0.5, 1.5);
+
+  // ASN quality inflates Internet paths only: eyeball networks with poor
+  // transit see it on hot-potato routes, while WAN ingress hides it.
+  const double asn_factor = (path == PathType::kInternet) ? a.quality : 1.0;
+
+  const double noise = rng.lognormal(0.0, 0.6) * options_.probe_noise_ms;
+  return std::max(1.0, median * asn_factor + city_offset + noise);
+}
+
+}  // namespace titan::net

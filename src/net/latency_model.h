@@ -1,0 +1,93 @@
+// Ground-truth latency model for the WAN and Internet routing options.
+//
+// The WAN side is structural: a (client country, DC) pair's WAN RTT is
+// last-mile access delay plus twice the shortest-path propagation over the
+// synthetic backbone (cold potato — the path rides the WAN from the client's
+// country PoP).
+//
+// The Internet side is calibrated: the paper's central measurement result
+// (Fig. 3/4) is the *distribution of the Internet-minus-WAN difference* per
+// corridor. We therefore model the Internet RTT as WAN RTT plus a
+// per-(country, DC) persistent delta drawn from a corridor-level prior
+// (NA–EU good, intra-EU good, EU–HK poor, ...), scaled by the pair's
+// geodesic distance, plus hourly wander and per-probe noise. The Internet
+// RTT is clamped to stay above the speed-of-light bound.
+//
+// `epoch_months` shifts the model back in time: latencies were globally a
+// few percent higher 12 months ago (Fig. 18, Internet improved slightly
+// more), and the NA–EU Internet corridor was slightly worse 6 months ago
+// (Fig. 19).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "core/units.h"
+#include "geo/world.h"
+#include "net/path.h"
+#include "net/wan_topology.h"
+
+namespace titan::net {
+
+struct LatencyModelOptions {
+  std::uint64_t seed = 21;
+  // 0 = the paper's "June 2024" reference week; negative values move the
+  // model into the past (e.g. -6 for December 2023, -12 for June 2023).
+  double epoch_months = 0.0;
+  // Per-hour wander of the pair's median, as a fraction of geodesic RTT.
+  double hourly_sigma = 0.11;
+  // Per-probe noise scale (msec, lognormal-ish).
+  double probe_noise_ms = 2.0;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const geo::World& world, const WanTopology& topology,
+               const LatencyModelOptions& options = {});
+
+  // Deterministic hourly median RTT (msec) for the pair; `absolute_hour`
+  // counts from the start of the trace.
+  [[nodiscard]] core::Millis hourly_rtt_ms(core::CountryId client, core::DcId dc,
+                                           PathType path, int absolute_hour) const;
+
+  // Time-invariant pair RTT used for planning (the LP's E2ELatency inputs):
+  // the pair's median across hours.
+  [[nodiscard]] core::Millis base_rtt_ms(core::CountryId client, core::DcId dc,
+                                         PathType path) const;
+
+  // One probe observation: hourly median + city/ASN heterogeneity +
+  // measurement noise, as logged by the HTTPS 1x1-image endpoints (§3).
+  [[nodiscard]] core::Millis probe_rtt_ms(core::CityId city, core::AsnId asn, core::DcId dc,
+                                          PathType path, int absolute_hour,
+                                          core::Rng& rng) const;
+
+  [[nodiscard]] const geo::World& world() const { return *world_; }
+
+ private:
+  struct PairParams {
+    core::Millis wan_base_rtt;    // 2 * (last-mile + backbone one-way)
+    core::Millis internet_delta;  // persistent Internet - WAN median gap
+    core::Millis geodesic_rtt;    // physical lower bound (RTT)
+    core::Millis wander_scale;    // hourly wander magnitude
+  };
+
+  [[nodiscard]] const PairParams& pair(core::CountryId c, core::DcId d) const;
+  [[nodiscard]] core::Millis epoch_scale(PathType path) const;
+
+  const geo::World* world_;
+  const WanTopology* topology_;
+  LatencyModelOptions options_;
+  std::vector<std::vector<PairParams>> pairs_;  // [country][dc]
+};
+
+// Corridor prior: mean/stddev of the persistent Internet-minus-WAN delta as
+// a fraction of the pair's geodesic RTT. Exposed for tests.
+struct CorridorPrior {
+  double delta_mu;
+  double delta_sigma;
+};
+[[nodiscard]] CorridorPrior corridor_prior(geo::Continent client, geo::Continent dc_continent);
+
+}  // namespace titan::net

@@ -1,0 +1,141 @@
+#include "net/loss_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hash.h"
+
+namespace titan::net {
+
+namespace {
+constexpr std::uint64_t kWanLossStream = 0xB1;
+constexpr std::uint64_t kBaseLossStream = 0xB2;
+constexpr std::uint64_t kEpisodeStream = 0xB3;
+constexpr std::uint64_t kPairSpikeStream = 0xB4;
+constexpr std::uint64_t kJitterStream = 0xB5;
+constexpr std::uint64_t kSeverityStream = 0xB6;
+
+std::uint64_t pair_key(core::CountryId c, core::DcId d) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.value())) << 32) |
+         static_cast<std::uint32_t>(d.value());
+}
+}  // namespace
+
+LossModel::LossModel(const geo::World& world, const LossModelOptions& options)
+    : world_(&world), options_(options) {
+  transits_by_dc_.resize(world.dcs().size());
+  core::Rng rng(options.seed);
+  for (const auto& dc : world.dcs()) {
+    for (int i = 0; i < options.transits_per_dc; ++i) {
+      TransitIsp t;
+      t.id = core::TransitId(static_cast<int>(transits_.size()));
+      t.dc = dc.id;
+      t.name = dc.name + "-transit" + std::to_string(i);
+      t.peering_capacity_mbps = rng.uniform(30.0, 120.0) * core::kMbpsPerGbps;
+      transits_by_dc_[static_cast<std::size_t>(dc.id.value())].push_back(t.id);
+      transits_.push_back(std::move(t));
+    }
+  }
+  unusable_.assign(world.countries().size(), false);
+  for (const auto& name : options.unusable_internet_countries) {
+    const core::CountryId id = world.find_country(name);
+    if (id.valid()) unusable_[static_cast<std::size_t>(id.value())] = true;
+  }
+}
+
+int LossModel::default_transit_index(core::CountryId client, core::DcId dc) const {
+  // BGP picks one of the transit options (footnote 4); deterministic per pair.
+  core::Rng r = core::rng_at(options_.seed, 0xBB, client.value(), dc.value());
+  return static_cast<int>(r.uniform_int(0, options_.transits_per_dc - 1));
+}
+
+core::TransitId LossModel::transit_for(core::CountryId client, core::DcId dc) const {
+  int idx = default_transit_index(client, dc);
+  const auto it = failover_.find(pair_key(client, dc));
+  if (it != failover_.end()) idx = it->second;
+  return transits_by_dc_[static_cast<std::size_t>(dc.value())]
+                        [static_cast<std::size_t>(idx % options_.transits_per_dc)];
+}
+
+void LossModel::fail_over(core::CountryId client, core::DcId dc) {
+  int idx = default_transit_index(client, dc);
+  const auto it = failover_.find(pair_key(client, dc));
+  if (it != failover_.end()) idx = it->second;
+  failover_[pair_key(client, dc)] = (idx + 1) % options_.transits_per_dc;
+}
+
+void LossModel::reset_failovers() { failover_.clear(); }
+
+std::vector<core::TransitId> LossModel::transits_of(core::DcId dc) const {
+  return transits_by_dc_.at(static_cast<std::size_t>(dc.value()));
+}
+
+bool LossModel::transit_congested(core::TransitId t, core::SlotIndex slot) const {
+  core::Rng r = core::rng_at(options_.seed, kEpisodeStream, t.value(),
+                             static_cast<std::uint64_t>(slot));
+  return r.chance(options_.transit_episode_prob);
+}
+
+bool LossModel::internet_unusable(core::CountryId client) const {
+  return unusable_.at(static_cast<std::size_t>(client.value()));
+}
+
+core::LossFraction LossModel::slot_loss(core::CountryId client, core::DcId dc, PathType path,
+                                        core::SlotIndex slot) const {
+  if (path == PathType::kWan) {
+    // WAN loss is near zero: median ~0.002%, spikes bounded by ~0.02%
+    // (Fig. 7 caps WAN at 0.02%).
+    core::Rng r = core::rng_at(options_.seed, kWanLossStream, client.value(), dc.value(),
+                               static_cast<std::uint64_t>(slot));
+    const double base = 0.00002 * r.lognormal(0.0, 0.8);
+    return std::min(base, 0.0002);
+  }
+
+  // Internet: unusable countries see persistent heavy loss regardless of
+  // offered load (production finding 5).
+  if (internet_unusable(client)) {
+    core::Rng r = core::rng_at(options_.seed, kBaseLossStream, client.value(), dc.value(),
+                               static_cast<std::uint64_t>(slot));
+    return 0.01 + 0.02 * r.uniform();  // 1-3%
+  }
+
+  // Baseline: clean most of the time.
+  core::Rng r = core::rng_at(options_.seed, kBaseLossStream, client.value(), dc.value(),
+                             static_cast<std::uint64_t>(slot));
+  double loss = 0.00004 * r.lognormal(0.0, 1.0);
+
+  // Transit-ISP congestion episode: shared by all countries homed onto this
+  // transit for this DC (the paper's one-to-many loss signature).
+  const core::TransitId transit = transit_for(client, dc);
+  if (transit_congested(transit, slot)) {
+    core::Rng sev = core::rng_at(options_.seed, kSeverityStream, transit.value(),
+                                 static_cast<std::uint64_t>(slot));
+    // Episode severity: mostly 0.1-1%, occasionally worse. A per-pair factor
+    // keeps affected countries correlated but not identical.
+    const double severity = 0.001 * sev.lognormal(0.6, 0.9);
+    core::Rng pf = core::rng_at(options_.seed, 0xBC, client.value(), dc.value(),
+                                static_cast<std::uint64_t>(slot));
+    loss += severity * pf.uniform(0.6, 1.4);
+  }
+
+  // Idiosyncratic last-mile spike.
+  core::Rng pr = core::rng_at(options_.seed, kPairSpikeStream, client.value(), dc.value(),
+                              static_cast<std::uint64_t>(slot));
+  if (pr.chance(options_.pair_episode_prob)) loss += 0.0008 * pr.lognormal(0.0, 1.0);
+
+  return std::min(loss, 0.2);
+}
+
+core::Millis LossModel::slot_jitter_ms(core::CountryId client, core::DcId dc, PathType path,
+                                       core::SlotIndex slot) const {
+  // Mean jitter ~3.4 msec on WAN, ~3.52 on Internet (§4.2 finding 3), with
+  // episode-correlated inflation on the Internet side.
+  core::Rng r = core::rng_at(options_.seed, kJitterStream, client.value(), dc.value(),
+                             static_cast<std::uint64_t>(path), static_cast<std::uint64_t>(slot));
+  double jitter = (path == PathType::kWan ? 3.4 : 3.52) * r.lognormal(0.0, 0.18);
+  if (path == PathType::kInternet && transit_congested(transit_for(client, dc), slot))
+    jitter *= r.uniform(1.2, 2.0);
+  return jitter;
+}
+
+}  // namespace titan::net

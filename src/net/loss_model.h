@@ -1,0 +1,91 @@
+// Ground-truth packet-loss and jitter model.
+//
+// Production findings the model reproduces (§4.2):
+//  (1) both options are mostly clean (median loss <= 0.01%), but the
+//      Internet has a heavier tail — ~10% of pair-hours see >= 0.1% loss;
+//  (2) the Internet shows more frequent and taller loss spikes (Fig. 7);
+//  (3) Internet jitter is slightly worse (3.52 vs 3.40 msec mean);
+//  (5) some client countries have unusable Internet paths outright;
+//  (6) congestion concentrates at transit ISPs: every client country whose
+//      BGP-selected transit to a DC is congested sees loss simultaneously,
+//      with no corresponding WAN inflation — reproduced by modelling 3
+//      transit providers per DC with slot-level congestion episodes.
+//
+// All per-slot values are pure functions of (seed, pair, slot) via hashed
+// RNG streams; the only mutable state is the transit failover table, which
+// reproduces Titan's "steer traffic to an alternate transit provider" knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/timegrid.h"
+#include "core/units.h"
+#include "geo/world.h"
+#include "net/path.h"
+
+namespace titan::net {
+
+struct LossModelOptions {
+  std::uint64_t seed = 31;
+  int transits_per_dc = 3;
+  // Probability that a given (DC, transit) is congested in a 30-min slot.
+  double transit_episode_prob = 0.035;
+  // Probability of an idiosyncratic per-pair Internet loss spike per slot.
+  double pair_episode_prob = 0.01;
+  // Client countries whose Internet paths are unusable (production finding
+  // 5 names Germany and Austria).
+  std::vector<std::string> unusable_internet_countries = {"germany", "austria"};
+};
+
+struct TransitIsp {
+  core::TransitId id;
+  core::DcId dc;
+  std::string name;
+  core::Mbps peering_capacity_mbps;  // Azure<->transit peering link capacity
+};
+
+class LossModel {
+ public:
+  LossModel(const geo::World& world, const LossModelOptions& options = {});
+
+  // Loss fraction for the pair in a slot, before any load-dependent
+  // (elasticity) penalty.
+  [[nodiscard]] core::LossFraction slot_loss(core::CountryId client, core::DcId dc,
+                                             PathType path, core::SlotIndex slot) const;
+
+  // Mean interarrival jitter (msec) for the pair in a slot.
+  [[nodiscard]] core::Millis slot_jitter_ms(core::CountryId client, core::DcId dc,
+                                            PathType path, core::SlotIndex slot) const;
+
+  // True when the client country's Internet paths are unusable (finding 5).
+  [[nodiscard]] bool internet_unusable(core::CountryId client) const;
+
+  // Transit ISP handling. Each (country, DC) pair is BGP-assigned one of the
+  // DC's transit providers; `fail_over` steers the pair to the next one.
+  [[nodiscard]] const std::vector<TransitIsp>& transits() const { return transits_; }
+  [[nodiscard]] std::vector<core::TransitId> transits_of(core::DcId dc) const;
+  [[nodiscard]] core::TransitId transit_for(core::CountryId client, core::DcId dc) const;
+  void fail_over(core::CountryId client, core::DcId dc);
+  void reset_failovers();
+
+  // Whether the (DC, transit) peering is congested in this slot — exposed so
+  // tests can verify the one-to-many loss pattern.
+  [[nodiscard]] bool transit_congested(core::TransitId t, core::SlotIndex slot) const;
+
+ private:
+  [[nodiscard]] int default_transit_index(core::CountryId client, core::DcId dc) const;
+
+  const geo::World* world_;
+  LossModelOptions options_;
+  std::vector<TransitIsp> transits_;
+  std::vector<std::vector<core::TransitId>> transits_by_dc_;
+  std::vector<bool> unusable_;  // per country
+  // (country, dc) -> transit index override after failovers.
+  std::unordered_map<std::uint64_t, int> failover_;
+};
+
+}  // namespace titan::net

@@ -1,0 +1,93 @@
+// Network database façade.
+//
+// Titan-Next's inputs (§6) include "WAN topology and Internet peering
+// points" plus the Internet path capacities learnt by Titan. `NetworkDb`
+// bundles the synthetic ground truth — topology, latency, loss — with the
+// *physical* Internet path capacities and the load-dependent elasticity
+// response (Fig. 8: loss and RTT stay flat as offload grows to 20%, then a
+// congestion knee appears).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/timegrid.h"
+#include "core/units.h"
+#include "geo/world.h"
+#include "net/latency_model.h"
+#include "net/loss_model.h"
+#include "net/wan_topology.h"
+
+namespace titan::net {
+
+struct ElasticityParams {
+  // Utilization (offered / capacity) where the congestion knee begins.
+  double knee_utilization = 0.85;
+  // Quadratic growth coefficients past the knee.
+  double loss_coeff = 0.25;       // added loss fraction per (u - knee)^2
+  core::Millis latency_coeff = 220.0;  // added msec per (u - knee)^2
+};
+
+struct NetworkDbOptions {
+  std::uint64_t seed = 1001;
+  WanTopologyOptions topology;
+  LatencyModelOptions latency;
+  LossModelOptions loss;
+  ElasticityParams elasticity;
+  // Reference peak Teams demand per (client country, DC) pair in Mbps,
+  // scaled by the country's call-volume weight. The physical Internet
+  // capacity available to Teams on a pair is a multiple of this demand such
+  // that ~20% offload leaves comfortable headroom and ~30-50% hits the knee
+  // (the paper stops at 20% and never observed congestion).
+  core::Mbps reference_pair_demand_mbps = 2000.0;
+};
+
+class NetworkDb {
+ public:
+  explicit NetworkDb(const geo::World& world, const NetworkDbOptions& options = {});
+
+  [[nodiscard]] const geo::World& world() const { return *world_; }
+  [[nodiscard]] const WanTopology& topology() const { return *topology_; }
+  [[nodiscard]] WanTopology& topology() { return *topology_; }
+  [[nodiscard]] const LatencyModel& latency() const { return *latency_; }
+  [[nodiscard]] const LossModel& loss() const { return *loss_; }
+  [[nodiscard]] LossModel& loss() { return *loss_; }
+  [[nodiscard]] const NetworkDbOptions& options() const { return options_; }
+
+  // Physical Internet capacity (Mbps) available to Teams traffic between a
+  // client country and a DC: the minimum transit peering capacity at the DC
+  // split across client countries by priority (§4.1, element 3), expressed
+  // in our scaled-down demand units.
+  [[nodiscard]] core::Mbps physical_internet_capacity(core::CountryId client,
+                                                      core::DcId dc) const;
+
+  // Expected peak Teams demand for the pair (Mbps) in the scaled world.
+  [[nodiscard]] core::Mbps pair_peak_demand(core::CountryId client, core::DcId dc) const;
+
+  // Load-dependent effective metrics for the Internet path when
+  // `offered_mbps` of Teams traffic is placed on the pair in this slot.
+  [[nodiscard]] core::LossFraction effective_internet_loss(core::CountryId client,
+                                                           core::DcId dc,
+                                                           core::SlotIndex slot,
+                                                           core::Mbps offered_mbps) const;
+  [[nodiscard]] core::Millis effective_internet_rtt(core::CountryId client, core::DcId dc,
+                                                    core::SlotIndex slot,
+                                                    core::Mbps offered_mbps) const;
+
+  // Fiber-cut experiment (§4.2 finding 7): sever the highest-capacity WAN
+  // link on the path between a country and a DC; returns the link cut.
+  core::LinkId cut_wan_link_on_path(core::CountryId client, core::DcId dc,
+                                    double remaining_scale = 0.0);
+
+ private:
+  const geo::World* world_;
+  NetworkDbOptions options_;
+  std::unique_ptr<WanTopology> topology_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<LossModel> loss_;
+  std::vector<double> priority_share_;  // per country, sums to 1
+};
+
+}  // namespace titan::net

@@ -1,0 +1,30 @@
+// Routing option and WAN path descriptors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/units.h"
+
+namespace titan::net {
+
+// The two routing options of the paper (Fig. 1): the private WAN carries the
+// traffic end-to-end (cold potato: ingress near the user), while the Internet
+// option hands traffic to transit ISPs near the DC (hot potato).
+enum class PathType { kWan, kInternet };
+
+[[nodiscard]] inline std::string path_type_name(PathType p) {
+  return p == PathType::kWan ? "WAN" : "Internet";
+}
+
+// A concrete WAN route between a client country's ingress PoP and an MP DC:
+// the ordered backbone links it traverses and its propagation latency.
+// isLinkUsed(c, m, p, l) in the paper's LP (Fig. 13, C5) is membership in
+// `links` here.
+struct WanPath {
+  std::vector<core::LinkId> links;
+  core::Millis one_way_ms = 0.0;  // PoP -> DC propagation
+};
+
+}  // namespace titan::net

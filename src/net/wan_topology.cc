@@ -1,0 +1,210 @@
+#include "net/wan_topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace titan::net {
+
+namespace {
+
+double node_distance_km(const WanNode& a, const WanNode& b) {
+  return geo::haversine_km(a.position, b.position);
+}
+
+}  // namespace
+
+WanTopology WanTopology::make(const geo::World& world, const WanTopologyOptions& options) {
+  WanTopology t;
+  core::Rng rng(options.seed);
+
+  // Nodes: one per DC, then one ingress PoP per country. A country that
+  // hosts a DC still gets its own PoP — cold-potato ingress happens at the
+  // metro edge, not inside the DC.
+  t.node_by_dc_.resize(world.dcs().size(), core::PopId::invalid());
+  t.pop_by_country_.resize(world.countries().size(), core::PopId::invalid());
+
+  for (const auto& dc : world.dcs()) {
+    WanNode n;
+    n.id = core::PopId(static_cast<int>(t.nodes_.size()));
+    n.position = dc.position;
+    n.is_dc = true;
+    n.dc = dc.id;
+    n.country = dc.country;
+    t.node_by_dc_[static_cast<std::size_t>(dc.id.value())] = n.id;
+    t.nodes_.push_back(n);
+  }
+  for (const auto& c : world.countries()) {
+    WanNode n;
+    n.id = core::PopId(static_cast<int>(t.nodes_.size()));
+    // PoP sits at the country's largest synthetic city.
+    const auto& cities = world.cities_of(c.id);
+    n.position = cities.empty() ? c.centroid : world.city(cities.front()).position;
+    n.is_dc = false;
+    n.country = c.id;
+    t.pop_by_country_[static_cast<std::size_t>(c.id.value())] = n.id;
+    t.nodes_.push_back(n);
+  }
+
+  // Edge set: start from an MST over geodesic distances (guarantees
+  // connectivity), then enrich with k-nearest extras.
+  const std::size_t n = t.nodes_.size();
+  std::set<std::pair<int, int>> edge_set;
+  auto add_edge_key = [&](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return edge_set.insert({a, b}).second;
+  };
+
+  // Prim's MST.
+  {
+    std::vector<bool> in_tree(n, false);
+    std::vector<double> best(n, std::numeric_limits<double>::infinity());
+    std::vector<int> parent(n, -1);
+    best[0] = 0.0;
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      int u = -1;
+      double bd = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i)
+        if (!in_tree[i] && best[i] < bd) {
+          bd = best[i];
+          u = static_cast<int>(i);
+        }
+      assert(u >= 0);
+      in_tree[static_cast<std::size_t>(u)] = true;
+      if (parent[static_cast<std::size_t>(u)] >= 0)
+        add_edge_key(parent[static_cast<std::size_t>(u)], u);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (in_tree[v]) continue;
+        const double d = node_distance_km(t.nodes_[static_cast<std::size_t>(u)], t.nodes_[v]);
+        if (d < best[v]) {
+          best[v] = d;
+          parent[v] = u;
+        }
+      }
+    }
+  }
+
+  // k-nearest enrichment.
+  auto nearest = [&](std::size_t i, int k, bool dcs_only) {
+    std::vector<std::pair<double, int>> cand;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (dcs_only && !t.nodes_[j].is_dc) continue;
+      cand.push_back({node_distance_km(t.nodes_[i], t.nodes_[j]), static_cast<int>(j)});
+    }
+    std::sort(cand.begin(), cand.end());
+    if (static_cast<int>(cand.size()) > k) cand.resize(static_cast<std::size_t>(k));
+    return cand;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t.nodes_[i].is_dc) {
+      for (const auto& [d, j] : nearest(i, options.dc_neighbors, /*dcs_only=*/true))
+        add_edge_key(static_cast<int>(i), j);
+    } else {
+      for (const auto& [d, j] : nearest(i, options.pop_dc_neighbors, /*dcs_only=*/true))
+        add_edge_key(static_cast<int>(i), j);
+      int added = 0;
+      for (const auto& [d, j] : nearest(i, options.pop_pop_neighbors + 4, /*dcs_only=*/false)) {
+        if (t.nodes_[static_cast<std::size_t>(j)].is_dc) continue;
+        add_edge_key(static_cast<int>(i), j);
+        if (++added >= options.pop_pop_neighbors) break;
+      }
+    }
+  }
+
+  // Materialize links.
+  t.adjacency_.resize(n);
+  for (const auto& [a, b] : edge_set) {
+    WanLink l;
+    l.id = core::LinkId(static_cast<int>(t.links_.size()));
+    l.a = core::PopId(a);
+    l.b = core::PopId(b);
+    const double km = node_distance_km(t.nodes_[static_cast<std::size_t>(a)],
+                                       t.nodes_[static_cast<std::size_t>(b)]);
+    l.latency_ms = geo::fiber_delay_ms(t.nodes_[static_cast<std::size_t>(a)].position,
+                                       t.nodes_[static_cast<std::size_t>(b)].position) *
+                   options.routing_inflation;
+    // Long-haul links are fatter (trunked); all values synthetic.
+    l.capacity_mbps = (km > 3000 ? 800.0 : 400.0) * core::kMbpsPerGbps *
+                      rng.uniform(0.8, 1.3);
+    t.adjacency_[static_cast<std::size_t>(a)].push_back({l.b, l.id});
+    t.adjacency_[static_cast<std::size_t>(b)].push_back({l.a, l.id});
+    t.links_.push_back(l);
+  }
+
+  t.compute_paths(world);
+  return t;
+}
+
+void WanTopology::compute_paths(const geo::World& world) {
+  const std::size_t n = nodes_.size();
+  paths_.assign(world.countries().size(), std::vector<WanPath>(world.dcs().size()));
+
+  // Dijkstra from each DC node (fewer DCs than countries).
+  for (const auto& dc : world.dcs()) {
+    const core::PopId src = node_by_dc_[static_cast<std::size_t>(dc.id.value())];
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<core::LinkId> via(n, core::LinkId::invalid());
+    std::vector<int> prev(n, -1);
+    using QE = std::pair<double, int>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
+    dist[static_cast<std::size_t>(src.value())] = 0.0;
+    q.push({0.0, src.value()});
+    while (!q.empty()) {
+      const auto [d, u] = q.top();
+      q.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      for (const auto& [v, lid] : adjacency_[static_cast<std::size_t>(u)]) {
+        const double nd = d + links_[static_cast<std::size_t>(lid.value())].latency_ms;
+        if (nd < dist[static_cast<std::size_t>(v.value())]) {
+          dist[static_cast<std::size_t>(v.value())] = nd;
+          via[static_cast<std::size_t>(v.value())] = lid;
+          prev[static_cast<std::size_t>(v.value())] = u;
+          q.push({nd, v.value()});
+        }
+      }
+    }
+
+    for (const auto& c : world.countries()) {
+      const core::PopId pop = pop_by_country_[static_cast<std::size_t>(c.id.value())];
+      WanPath p;
+      p.one_way_ms = dist[static_cast<std::size_t>(pop.value())];
+      // Walk back from the PoP to the DC collecting links.
+      int cur = pop.value();
+      while (cur != src.value() && prev[static_cast<std::size_t>(cur)] != -1) {
+        p.links.push_back(via[static_cast<std::size_t>(cur)]);
+        cur = prev[static_cast<std::size_t>(cur)];
+      }
+      std::reverse(p.links.begin(), p.links.end());
+      paths_[static_cast<std::size_t>(c.id.value())][static_cast<std::size_t>(dc.id.value())] =
+          std::move(p);
+    }
+  }
+}
+
+const WanLink& WanTopology::link(core::LinkId id) const {
+  return links_.at(static_cast<std::size_t>(id.value()));
+}
+
+core::PopId WanTopology::pop_of_country(core::CountryId c) const {
+  return pop_by_country_.at(static_cast<std::size_t>(c.value()));
+}
+
+core::PopId WanTopology::node_of_dc(core::DcId d) const {
+  return node_by_dc_.at(static_cast<std::size_t>(d.value()));
+}
+
+const WanPath& WanTopology::path(core::CountryId c, core::DcId d) const {
+  return paths_.at(static_cast<std::size_t>(c.value())).at(static_cast<std::size_t>(d.value()));
+}
+
+void WanTopology::set_link_capacity_scale(core::LinkId id, double scale) {
+  if (scale < 0.0) throw std::invalid_argument("capacity scale must be >= 0");
+  links_.at(static_cast<std::size_t>(id.value())).capacity_scale = scale;
+}
+
+}  // namespace titan::net

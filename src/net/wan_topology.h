@@ -1,0 +1,84 @@
+// Synthetic private-WAN backbone.
+//
+// The paper's cost metric — the sum over WAN links of each link's peak
+// bandwidth — needs a concrete link set and a mapping from (client country,
+// MP DC) to the links its WAN path traverses. Azure's real topology is
+// proprietary; we synthesize a globe-spanning backbone with the same
+// structure: one ingress PoP per country, one node per DC, an MST for
+// connectivity plus k-nearest-neighbour richness, and latency-weighted
+// shortest-path routing. Cold-potato semantics fall out naturally: WAN
+// traffic enters at the client country's PoP and rides the backbone all the
+// way to the DC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/units.h"
+#include "geo/world.h"
+#include "net/path.h"
+
+namespace titan::net {
+
+struct WanNode {
+  core::PopId id;
+  geo::LatLon position;
+  bool is_dc = false;
+  core::DcId dc = core::DcId::invalid();            // valid when is_dc
+  core::CountryId country = core::CountryId::invalid();  // ingress PoP country
+};
+
+struct WanLink {
+  core::LinkId id;
+  core::PopId a;
+  core::PopId b;
+  core::Millis latency_ms;   // one-way propagation
+  core::Mbps capacity_mbps;  // provisioned capacity (fiber-cut experiments)
+  double capacity_scale = 1.0;  // 1.0 healthy; <1 after a fiber cut
+};
+
+struct WanTopologyOptions {
+  std::uint64_t seed = 11;
+  int dc_neighbors = 4;       // extra k-nearest edges between DCs
+  int pop_dc_neighbors = 2;   // each PoP homes to this many nearby DCs
+  int pop_pop_neighbors = 1;  // plus this many nearby peer PoPs
+  double routing_inflation = 1.18;  // link latency vs geodesic fibre bound
+};
+
+class WanTopology {
+ public:
+  static WanTopology make(const geo::World& world, const WanTopologyOptions& options = {});
+
+  [[nodiscard]] const std::vector<WanNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<WanLink>& links() const { return links_; }
+  [[nodiscard]] const WanLink& link(core::LinkId id) const;
+
+  [[nodiscard]] core::PopId pop_of_country(core::CountryId c) const;
+  [[nodiscard]] core::PopId node_of_dc(core::DcId d) const;
+
+  // Shortest WAN route (by latency) from a country's ingress PoP to a DC.
+  // Precomputed; cheap to call.
+  [[nodiscard]] const WanPath& path(core::CountryId c, core::DcId d) const;
+
+  // Fiber-cut experiment support: scale a link's capacity (0 = severed).
+  // Routing is latency-based and unchanged; capacity drops surface as
+  // headroom loss in the evaluation layer.
+  void set_link_capacity_scale(core::LinkId id, double scale);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+ private:
+  void compute_paths(const geo::World& world);
+
+  std::vector<WanNode> nodes_;
+  std::vector<WanLink> links_;
+  std::vector<std::vector<std::pair<core::PopId, core::LinkId>>> adjacency_;
+  std::vector<core::PopId> pop_by_country_;
+  std::vector<core::PopId> node_by_dc_;
+  // paths_[country][dc]
+  std::vector<std::vector<WanPath>> paths_;
+};
+
+}  // namespace titan::net

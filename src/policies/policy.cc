@@ -1,0 +1,18 @@
+#include "policies/policy.h"
+
+namespace titan::policies {
+
+PolicyContext PolicyContext::make(const net::NetworkDb& net, geo::Continent continent,
+                                  double uniform_fraction) {
+  PolicyContext ctx;
+  ctx.net = &net;
+  ctx.continent = continent;
+  ctx.dcs = net.world().dcs_in(continent);
+  for (const auto c : net.world().countries_in(continent)) {
+    const double f = net.loss().internet_unusable(c) ? 0.0 : uniform_fraction;
+    for (const auto d : ctx.dcs) ctx.internet_fractions[{c.value(), d.value()}] = f;
+  }
+  return ctx;
+}
+
+}  // namespace titan::policies

@@ -1,0 +1,69 @@
+// Assignment policy interface (§7.2 oracle mode, §8.1 first-joiner mode).
+//
+// A policy maps every call of a trace to an (MP DC, routing option) pair —
+// one routing option per call, as in the paper's LP. Oracle policies see
+// the full call config (ground truth); online policies may only use the
+// first joiner's country and media type at assignment time, and may
+// migrate later (counted, because migrations are user-visible glitches).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "net/network_db.h"
+#include "workload/callgen.h"
+
+namespace titan::policies {
+
+struct CallAssignment {
+  core::DcId dc;
+  net::PathType path = net::PathType::kWan;
+};
+
+struct PolicyRun {
+  std::string policy_name;
+  std::vector<CallAssignment> assignments;  // indexed like trace.calls()
+  // Online-mode accounting.
+  std::int64_t dc_migrations = 0;
+  std::int64_t route_changes = 0;
+  std::int64_t fallback_assignments = 0;
+  double plan_seconds = 0.0;  // LP + forecast time
+};
+
+// Shared inputs every policy may use. Capacities and fractions are
+// "provisioned in advance": derived from the *training* window, never from
+// the evaluation week.
+struct PolicyContext {
+  const net::NetworkDb* net = nullptr;
+  geo::Continent continent = geo::Continent::kEurope;
+  std::vector<core::DcId> dcs;
+  // Safe Internet fraction per (country id, dc id) as learnt by Titan.
+  std::map<std::pair<int, int>, double> internet_fractions;
+
+  [[nodiscard]] double fraction(core::CountryId c, core::DcId d) const {
+    const auto it = internet_fractions.find({c.value(), d.value()});
+    return it == internet_fractions.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double dc_cores(core::DcId d) const { return net->world().dc(d).cores; }
+
+  // Builds the standard context for a continent with uniform Titan
+  // fractions (pairs with unusable Internet get 0).
+  static PolicyContext make(const net::NetworkDb& net, geo::Continent continent,
+                            double uniform_fraction = 0.20);
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Assigns every call in `eval_trace`. `history` is the training window
+  // (may be ignored); both traces share a config registry.
+  [[nodiscard]] virtual PolicyRun run(const workload::Trace& eval_trace,
+                                      const workload::Trace& history, core::Rng& rng) = 0;
+};
+
+}  // namespace titan::policies

@@ -1,0 +1,43 @@
+// Titan-Next policy (§7.2 oracle / §8.1 practical).
+//
+// Oracle mode solves the Fig. 13 LP per day on ground-truth call counts and
+// draws per-call assignments from the plan weights (no migrations — the
+// config is known up front). Practical mode trains Holt-Winters on the
+// history, plans on the forecast, assigns by first joiner through the
+// online controller, and counts the inter-DC migrations discovered at
+// config convergence (Table 4).
+#pragma once
+
+#include "policies/policy.h"
+#include "titannext/pipeline.h"
+
+namespace titan::policies {
+
+struct TitanNextPolicyOptions {
+  bool oracle = true;
+  titannext::PipelineOptions pipeline;
+  // §6.3 "What did not work": pin every call from a country to a single MP
+  // DC (the paper's ILP experiment). Intra-country migrations vanish, but
+  // calls can no longer be split across DCs and the peak savings collapse.
+  // The ILP is approximated by rounding each country to its plan-dominant
+  // DC. Oracle mode only.
+  bool pin_intra_country = false;
+};
+
+class TitanNextPolicy : public Policy {
+ public:
+  TitanNextPolicy(const PolicyContext& ctx, const TitanNextPolicyOptions& options)
+      : ctx_(&ctx), options_(options) {}
+
+  [[nodiscard]] std::string name() const override {
+    return options_.oracle ? "TN" : "TN-online";
+  }
+  [[nodiscard]] PolicyRun run(const workload::Trace& eval_trace,
+                              const workload::Trace& history, core::Rng& rng) override;
+
+ private:
+  const PolicyContext* ctx_;
+  TitanNextPolicyOptions options_;
+};
+
+}  // namespace titan::policies

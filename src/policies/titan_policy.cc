@@ -1,0 +1,26 @@
+#include "policies/titan_policy.h"
+
+namespace titan::policies {
+
+PolicyRun TitanPolicy::run(const workload::Trace& eval_trace, const workload::Trace& history,
+                           core::Rng& rng) {
+  (void)history;
+  PolicyRun out;
+  out.policy_name = name();
+  out.assignments.resize(eval_trace.calls().size());
+
+  std::vector<double> dc_weights;
+  dc_weights.reserve(ctx_->dcs.size());
+  for (const auto dc : ctx_->dcs) dc_weights.push_back(ctx_->dc_cores(dc));
+
+  for (std::size_t i = 0; i < eval_trace.calls().size(); ++i) {
+    const auto& call = eval_trace.calls()[i];
+    const auto dc = ctx_->dcs[rng.weighted_pick(dc_weights)];
+    const double f = ctx_->fraction(call.first_joiner, dc);
+    out.assignments[i] = {dc,
+                          rng.chance(f) ? net::PathType::kInternet : net::PathType::kWan};
+  }
+  return out;
+}
+
+}  // namespace titan::policies

@@ -1,0 +1,25 @@
+// Titan baseline policy (§7.2 / §8.1).
+//
+// Titan does not choose MP DCs intelligently: the DC comes from a weighted
+// random draw proportional to provisioned cores, and the routing option is
+// a coin flip at the pair's learnt safe Internet fraction for the first
+// joiner's (or, in oracle mode, the call's primary) country.
+#pragma once
+
+#include "policies/policy.h"
+
+namespace titan::policies {
+
+class TitanPolicy : public Policy {
+ public:
+  explicit TitanPolicy(const PolicyContext& ctx) : ctx_(&ctx) {}
+
+  [[nodiscard]] std::string name() const override { return "Titan"; }
+  [[nodiscard]] PolicyRun run(const workload::Trace& eval_trace,
+                              const workload::Trace& history, core::Rng& rng) override;
+
+ private:
+  const PolicyContext* ctx_;
+};
+
+}  // namespace titan::policies

@@ -1,0 +1,46 @@
+#include "policies/wrr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace titan::policies {
+
+PolicyRun WrrPolicy::run(const workload::Trace& eval_trace, const workload::Trace& history,
+                         core::Rng& rng) {
+  (void)history;
+  PolicyRun out;
+  out.policy_name = name();
+  out.assignments.resize(eval_trace.calls().size());
+
+  for (std::size_t i = 0; i < eval_trace.calls().size(); ++i) {
+    const auto& call = eval_trace.calls()[i];
+    const auto& config = eval_trace.configs().get(call.config);
+
+    // Effective Internet fraction for this call.
+    double fraction_for_dc_min = std::numeric_limits<double>::infinity();
+    std::vector<double> weights;
+    std::vector<CallAssignment> buckets;
+    for (const auto dc : ctx_->dcs) {
+      double f;
+      if (oracle_) {
+        f = std::numeric_limits<double>::infinity();
+        for (const auto& [country, count] : config.participants)
+          f = std::min(f, ctx_->fraction(country, dc));
+        if (!std::isfinite(f)) f = 0.0;
+      } else {
+        f = ctx_->fraction(call.first_joiner, dc);
+      }
+      fraction_for_dc_min = std::min(fraction_for_dc_min, f);
+      const double w = ctx_->dc_cores(dc);
+      buckets.push_back({dc, net::PathType::kInternet});
+      weights.push_back(w * f);
+      buckets.push_back({dc, net::PathType::kWan});
+      weights.push_back(w * (1.0 - f));
+    }
+    out.assignments[i] = buckets[rng.weighted_pick(weights)];
+  }
+  return out;
+}
+
+}  // namespace titan::policies

@@ -1,0 +1,29 @@
+// Weighted Round Robin baseline (§7.2 / §8.1).
+//
+// Buckets are distinct (MP DC, routing option) combinations. A DC's weight
+// is its share of compute; the Internet bucket gets the Titan fraction of
+// that share and the WAN bucket the rest. In oracle mode the fraction for a
+// multi-country config is the minimum across its countries (per §7.2's
+// example); in first-joiner mode it is the first joiner's fraction.
+#pragma once
+
+#include "policies/policy.h"
+
+namespace titan::policies {
+
+class WrrPolicy : public Policy {
+ public:
+  WrrPolicy(const PolicyContext& ctx, bool oracle) : ctx_(&ctx), oracle_(oracle) {}
+
+  [[nodiscard]] std::string name() const override {
+    return oracle_ ? "WRR" : "WRR-online";
+  }
+  [[nodiscard]] PolicyRun run(const workload::Trace& eval_trace,
+                              const workload::Trace& history, core::Rng& rng) override;
+
+ private:
+  const PolicyContext* ctx_;
+  bool oracle_;
+};
+
+}  // namespace titan::policies

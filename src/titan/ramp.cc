@@ -1,0 +1,63 @@
+#include "titan/ramp.h"
+
+#include <algorithm>
+
+namespace titan::titan_sys {
+
+std::string ramp_state_name(RampState s) {
+  switch (s) {
+    case RampState::kDisabled: return "disabled";
+    case RampState::kRamping: return "ramping";
+    case RampState::kHolding: return "holding";
+    case RampState::kBackoff: return "backoff";
+  }
+  return "?";
+}
+
+RampController::RampController(const RampOptions& options, bool internet_allowed)
+    : options_(options),
+      state_(internet_allowed ? RampState::kRamping : RampState::kDisabled) {}
+
+void RampController::step(const Scorecard& scorecard, core::Rng& rng) {
+  if (state_ == RampState::kDisabled) return;
+
+  if (state_ == RampState::kBackoff) {
+    if (--backoff_remaining_ > 0) return;
+    // Cooldown over: resume cautiously from zero.
+    state_ = RampState::kRamping;
+    fraction_ = 0.0;
+  }
+
+  // Without signal (not enough treated users yet) keep ramping cautiously:
+  // the very first increments necessarily act on thin data, mirroring the
+  // small-community flights of §4.1 element 1.
+  const bool has_signal = scorecard.has_signal(options_.min_samples);
+
+  if (has_signal && scorecard.internet.p50_loss >= options_.severe_p50_loss) {
+    // Emergency brake: reroute everything to WAN instantly.
+    fraction_ = 0.0;
+    state_ = RampState::kBackoff;
+    backoff_remaining_ = options_.backoff_epochs;
+    ++emergency_brakes_;
+    return;
+  }
+
+  if (has_signal &&
+      (scorecard.internet.p50_loss >= options_.moderate_p50_loss ||
+       scorecard.latency_inflation() >= options_.moderate_latency_inflation)) {
+    fraction_ = std::max(0.0, fraction_ - options_.decrement);
+    state_ = RampState::kRamping;
+    ++decrements_;
+    return;
+  }
+
+  if (state_ == RampState::kHolding) return;  // safety: never exceed the cap
+
+  fraction_ += rng.uniform(options_.increment_lo, options_.increment_hi);
+  if (fraction_ >= options_.cap) {
+    fraction_ = options_.cap;
+    state_ = RampState::kHolding;
+  }
+}
+
+}  // namespace titan::titan_sys

@@ -1,0 +1,65 @@
+// Per-pair ramp state machine (§4.1).
+//
+// For each (client country, MP DC) pair Titan moves traffic to the Internet
+// iteratively: increment 1-3% at a time, dwell for a monitoring period,
+// and react to the scorecard. Safety beats optimality: the ramp stops at a
+// hard cap (20% in production) even when nothing degrades. Reactions
+// (§4.1, element 4):
+//   (a) moderate degradation        -> decrement the fraction;
+//   (b) severe (P50 loss >= 1%)     -> emergency brake, all traffic to WAN;
+//   (c) per-user issues             -> handled by reaction rules in titan.h;
+//   (d) transit unavailability      -> BGP failover to an alternate peer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.h"
+#include "titan/scorecard.h"
+
+namespace titan::titan_sys {
+
+enum class RampState {
+  kDisabled,  // Internet never used for this pair (unusable countries)
+  kRamping,   // still stepping toward the cap
+  kHolding,   // at cap, monitoring only
+  kBackoff,   // emergency brake engaged; waiting out a cooldown
+};
+
+[[nodiscard]] std::string ramp_state_name(RampState s);
+
+struct RampOptions {
+  double increment_lo = 0.01;  // "typically increment 1-3%"
+  double increment_hi = 0.03;
+  double decrement = 0.04;
+  double cap = 0.20;              // operational stop point
+  double severe_p50_loss = 0.01;  // emergency brake threshold (1%)
+  double moderate_p50_loss = 0.0025;
+  double moderate_latency_inflation = 0.10;
+  int backoff_epochs = 4;  // cooldown after an emergency brake
+  std::size_t min_samples = 20;
+};
+
+class RampController {
+ public:
+  explicit RampController(const RampOptions& options = {}, bool internet_allowed = true);
+
+  // One control epoch: consume the pair's scorecard and update the target
+  // Internet fraction. Call once per dwell period.
+  void step(const Scorecard& scorecard, core::Rng& rng);
+
+  [[nodiscard]] double fraction() const { return fraction_; }
+  [[nodiscard]] RampState state() const { return state_; }
+  [[nodiscard]] int emergency_brakes() const { return emergency_brakes_; }
+  [[nodiscard]] int decrements() const { return decrements_; }
+
+ private:
+  RampOptions options_;
+  RampState state_;
+  double fraction_ = 0.0;
+  int backoff_remaining_ = 0;
+  int emergency_brakes_ = 0;
+  int decrements_ = 0;
+};
+
+}  // namespace titan::titan_sys

@@ -1,0 +1,58 @@
+#include "titan/scorecard.h"
+
+#include <map>
+
+#include "core/stats.h"
+
+namespace titan::titan_sys {
+
+std::vector<Scorecard> build_scorecards(const std::vector<media::CallTelemetry>& telemetry) {
+  struct RawArm {
+    std::vector<double> loss, rtt;
+    double jitter_sum = 0.0;
+    double mos_sum = 0.0;
+    std::size_t mos_n = 0;
+  };
+  struct Raw {
+    RawArm internet, wan;
+  };
+  std::map<std::pair<int, int>, Raw> raw;
+
+  for (const auto& call : telemetry) {
+    for (const auto& p : call.participants) {
+      auto& arm_pair = raw[{p.country.value(), p.dc.value()}];
+      RawArm& arm = (p.path == net::PathType::kInternet) ? arm_pair.internet : arm_pair.wan;
+      arm.loss.push_back(p.rtp_loss);
+      arm.rtt.push_back(p.rtt_ms);
+      arm.jitter_sum += p.jitter_ms;
+      if (call.mos) {
+        // Attribute the call's rating to each participating arm.
+        arm.mos_sum += *call.mos;
+        ++arm.mos_n;
+      }
+    }
+  }
+
+  std::vector<Scorecard> out;
+  out.reserve(raw.size());
+  for (auto& [key, r] : raw) {
+    Scorecard sc;
+    sc.country = core::CountryId(key.first);
+    sc.dc = core::DcId(key.second);
+    auto fill = [](RawArm& a, ArmStats& s) {
+      s.samples = a.loss.size();
+      if (a.loss.empty()) return;
+      s.p50_loss = core::median(a.loss);
+      s.p50_rtt_ms = core::median(a.rtt);
+      s.mean_jitter_ms = a.jitter_sum / static_cast<double>(a.loss.size());
+      s.mos_samples = a.mos_n;
+      s.mean_mos = a.mos_n == 0 ? 0.0 : a.mos_sum / static_cast<double>(a.mos_n);
+    };
+    fill(r.internet, sc.internet);
+    fill(r.wan, sc.wan);
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace titan::titan_sys

@@ -1,0 +1,46 @@
+// ECS-style A|B experimentation scorecards (§4.1, element 2).
+//
+// Titan shifts traffic through an Experimentation and Configuration System
+// that runs A|B experiments on a slice of the user population and produces
+// scorecards comparing treatment (Internet routing) against control (WAN).
+// A scorecard aggregates the per-participant telemetry of one
+// (client country, MP DC) pair over a monitoring window: median loss and
+// RTT, mean jitter, and mean MOS per arm, plus sample counts so callers can
+// refuse to act on thin data.
+#pragma once
+
+#include <vector>
+
+#include "core/ids.h"
+#include "media/relay_sim.h"
+
+namespace titan::titan_sys {
+
+struct ArmStats {
+  std::size_t samples = 0;
+  double p50_loss = 0.0;
+  double p50_rtt_ms = 0.0;
+  double mean_jitter_ms = 0.0;
+  double mean_mos = 0.0;
+  std::size_t mos_samples = 0;
+};
+
+struct Scorecard {
+  core::CountryId country;
+  core::DcId dc;
+  ArmStats internet;  // treatment
+  ArmStats wan;       // control
+  [[nodiscard]] bool has_signal(std::size_t min_samples = 20) const {
+    return internet.samples >= min_samples && wan.samples >= min_samples;
+  }
+  // Latency inflation of treatment over control (0.1 == +10%).
+  [[nodiscard]] double latency_inflation() const {
+    return wan.p50_rtt_ms <= 0.0 ? 0.0 : internet.p50_rtt_ms / wan.p50_rtt_ms - 1.0;
+  }
+};
+
+// Builds scorecards for every (country, DC) pair present in the telemetry.
+[[nodiscard]] std::vector<Scorecard> build_scorecards(
+    const std::vector<media::CallTelemetry>& telemetry);
+
+}  // namespace titan::titan_sys

@@ -1,0 +1,98 @@
+#include "titan/titan.h"
+
+#include <algorithm>
+
+namespace titan::titan_sys {
+
+TitanSystem::TitanSystem(net::NetworkDb& net, geo::Continent continent,
+                         const TitanOptions& options)
+    : net_(&net), options_(options), rng_(options.seed) {
+  const auto countries = net.world().countries_in(continent);
+  const auto dcs = net.world().dcs_in(continent);
+  for (const auto c : countries) {
+    for (const auto d : dcs) {
+      const bool allowed = !net.loss().internet_unusable(c);
+      pairs_.emplace_back(c, d);
+      ramps_.emplace(std::make_pair(c.value(), d.value()),
+                     RampController(options.ramp, allowed));
+    }
+  }
+}
+
+const RampController* TitanSystem::ramp(core::CountryId c, core::DcId d) const {
+  const auto it = ramps_.find({c.value(), d.value()});
+  return it == ramps_.end() ? nullptr : &it->second;
+}
+
+net::PathType TitanSystem::assign_path(core::CountryId country, core::DcId dc,
+                                       core::Rng& rng) const {
+  const RampController* r = ramp(country, dc);
+  if (r == nullptr) return net::PathType::kWan;
+  return rng.chance(r->fraction()) ? net::PathType::kInternet : net::PathType::kWan;
+}
+
+double TitanSystem::internet_fraction(core::CountryId country, core::DcId dc) const {
+  const RampController* r = ramp(country, dc);
+  return r == nullptr ? 0.0 : r->fraction();
+}
+
+RampState TitanSystem::pair_state(core::CountryId country, core::DcId dc) const {
+  const RampController* r = ramp(country, dc);
+  return r == nullptr ? RampState::kDisabled : r->state();
+}
+
+void TitanSystem::control_step(const std::vector<media::CallTelemetry>& telemetry) {
+  ++control_epochs_;
+  const auto scorecards = build_scorecards(telemetry);
+
+  // Step every managed pair that has a scorecard; pairs with no treated
+  // traffic this epoch still ramp cautiously on an empty card.
+  std::map<std::pair<int, int>, const Scorecard*> by_pair;
+  for (const auto& sc : scorecards) by_pair[{sc.country.value(), sc.dc.value()}] = &sc;
+
+  // Track per-DC degradation for the transit-failover heuristic: multiple
+  // client countries degrading toward one DC at once points at the transit
+  // ISP, not the last mile (§4.2 finding 6).
+  std::map<int, std::vector<core::CountryId>> degraded_by_dc;
+  std::map<int, std::size_t> managed_by_dc;
+
+  for (auto& [key, controller] : ramps_) {
+    Scorecard empty;
+    empty.country = core::CountryId(key.first);
+    empty.dc = core::DcId(key.second);
+    const auto it = by_pair.find(key);
+    const Scorecard& sc = (it == by_pair.end()) ? empty : *it->second;
+    ++managed_by_dc[key.second];
+    if (sc.has_signal(options_.ramp.min_samples) &&
+        sc.internet.p50_loss >= options_.ramp.moderate_p50_loss)
+      degraded_by_dc[key.second].push_back(core::CountryId(key.first));
+    controller.step(sc, rng_);
+  }
+
+  for (const auto& [dc, countries] : degraded_by_dc) {
+    if (countries.size() < options_.transit_failover_min_pairs) continue;
+    const double share = static_cast<double>(countries.size()) /
+                         static_cast<double>(std::max<std::size_t>(1, managed_by_dc[dc]));
+    if (share < options_.transit_failover_share) continue;
+    for (const auto c : countries) net_->loss().fail_over(c, core::DcId(dc));
+    ++transit_failovers_;
+  }
+}
+
+bool TitanSystem::should_failover_user(const media::ParticipantTelemetry& t) const {
+  if (t.path != net::PathType::kInternet) return false;
+  if (t.rtp_loss >= options_.user_failover_loss) return true;
+  // Latency threshold depends on physical distance: compare against the
+  // pair's WAN RTT (a distance proxy) scaled by the failover factor.
+  const double wan_rtt = net_->latency().base_rtt_ms(t.country, t.dc, net::PathType::kWan);
+  return t.rtt_ms > wan_rtt * options_.user_failover_rtt_factor;
+}
+
+core::Mbps TitanSystem::internet_capacity_mbps(core::CountryId country, core::DcId dc,
+                                               double headroom) const {
+  const RampController* r = ramp(country, dc);
+  if (r == nullptr) return 0.0;
+  return r->fraction() * net_->pair_peak_demand(country, dc) * headroom;
+}
+
+}  // namespace titan::titan_sys

@@ -1,0 +1,84 @@
+// Titan: quality-controlled movement of conferencing traffic to the
+// Internet (§4). Production system reproduced end to end:
+//
+//  - manages a ramp state machine per (client country, MP DC) pair within
+//    a target region (Europe in production);
+//  - assigns each new call participant a routing option by weighted coin
+//    flip at the pair's current fraction (§4.1 element 5: random selection);
+//  - consumes relay telemetry through ECS scorecards each control epoch and
+//    reacts (decrement / emergency brake / per-user WAN failover / transit
+//    failover);
+//  - exports the learnt safe Internet fractions as per-pair capacity
+//    estimates — exactly the `InternetCap` input Titan-Next's LP uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "media/relay_sim.h"
+#include "net/network_db.h"
+#include "titan/ramp.h"
+#include "titan/scorecard.h"
+
+namespace titan::titan_sys {
+
+struct TitanOptions {
+  std::uint64_t seed = 77;
+  RampOptions ramp;
+  // Per-user failover (§6.4): move a participant to WAN when their Internet
+  // leg shows loss >= 1% or RTT beyond the distance-scaled threshold.
+  double user_failover_loss = 0.01;
+  double user_failover_rtt_factor = 1.6;  // x the pair's WAN RTT
+  // Transit failover: if this fraction of a DC's managed pairs degrade in
+  // the same epoch, steer the affected pairs to an alternate transit.
+  double transit_failover_share = 0.5;
+  std::size_t transit_failover_min_pairs = 3;
+};
+
+class TitanSystem {
+ public:
+  // Manages all (client country in `continent`, DC in `continent`) pairs.
+  TitanSystem(net::NetworkDb& net, geo::Continent continent, const TitanOptions& options = {});
+
+  // Routing decision for a new participant (random per the pair fraction).
+  [[nodiscard]] net::PathType assign_path(core::CountryId country, core::DcId dc,
+                                          core::Rng& rng) const;
+
+  [[nodiscard]] double internet_fraction(core::CountryId country, core::DcId dc) const;
+  [[nodiscard]] RampState pair_state(core::CountryId country, core::DcId dc) const;
+
+  // One control epoch: build scorecards from the window's telemetry, step
+  // every ramp, and fire transit failovers.
+  void control_step(const std::vector<media::CallTelemetry>& telemetry);
+
+  // Per-user reaction (§6.4): should this participant be moved to WAN now?
+  [[nodiscard]] bool should_failover_user(const media::ParticipantTelemetry& t) const;
+
+  // Capacity estimate exported to Titan-Next: learnt safe fraction times the
+  // pair's peak demand, scaled by `headroom` (the "hypothetically double the
+  // Internet traffic" ablation passes 2.0).
+  [[nodiscard]] core::Mbps internet_capacity_mbps(core::CountryId country, core::DcId dc,
+                                                  double headroom = 1.0) const;
+
+  [[nodiscard]] const std::vector<std::pair<core::CountryId, core::DcId>>& pairs() const {
+    return pairs_;
+  }
+  [[nodiscard]] int transit_failovers() const { return transit_failovers_; }
+  [[nodiscard]] int control_epochs() const { return control_epochs_; }
+
+ private:
+  [[nodiscard]] const RampController* ramp(core::CountryId c, core::DcId d) const;
+
+  net::NetworkDb* net_;
+  TitanOptions options_;
+  core::Rng rng_;
+  std::vector<std::pair<core::CountryId, core::DcId>> pairs_;
+  std::map<std::pair<int, int>, RampController> ramps_;
+  int transit_failovers_ = 0;
+  int control_epochs_ = 0;
+};
+
+}  // namespace titan::titan_sys

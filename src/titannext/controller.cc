@@ -1,0 +1,103 @@
+#include "titannext/controller.h"
+
+#include <limits>
+
+namespace titan::titannext {
+
+OnlineController::OnlineController(const PlanInputs& inputs, const OfflinePlan& plan,
+                                   const ControllerOptions& options)
+    : inputs_(&inputs), plan_(&plan), options_(options) {}
+
+Assignment OnlineController::fallback(core::CountryId country) const {
+  core::DcId best = inputs_->dcs().front();
+  double best_rtt = std::numeric_limits<double>::infinity();
+  for (const auto dc : inputs_->dcs()) {
+    const double rtt = inputs_->net().latency().base_rtt_ms(country, dc, net::PathType::kWan);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = dc;
+    }
+  }
+  return Assignment{best, net::PathType::kWan};
+}
+
+InitialAssignment OnlineController::assign_initial(core::CountryId first_joiner,
+                                                   media::MediaType media, core::SlotIndex t,
+                                                   core::Rng& rng) {
+  InitialAssignment out;
+  // Most recently used reduced config for the country+media; default to the
+  // intra-country singleton (the majority shape).
+  const auto key = std::make_pair(first_joiner.value(), static_cast<int>(media));
+  const auto it = recent_.find(key);
+  if (it != recent_.end()) {
+    out.guessed_config = it->second;
+  } else {
+    out.guessed_config.participants = {{first_joiner, 1}};
+    out.guessed_config.media = media;
+  }
+
+  auto picked = plan_->pick(out.guessed_config, t, rng);
+  if (!picked) {
+    // The guessed shape has no planned units in this slot (e.g. the
+    // forecast expected none for this country+media). Any planned media
+    // variant of the intra-country shape is a better guide than blind
+    // nearest-DC fallback — it reflects where the LP wants this country.
+    for (int m = 0; m < media::kMediaTypeCount && !picked; ++m) {
+      workload::CallConfig variant;
+      variant.participants = {{first_joiner, 1}};
+      variant.media = static_cast<media::MediaType>(m);
+      picked = plan_->pick(variant, t, rng);
+    }
+  }
+  if (picked) {
+    out.assignment = *picked;
+    out.from_plan = true;
+  } else {
+    out.assignment = fallback(first_joiner);
+    out.from_plan = false;
+  }
+  return out;
+}
+
+ConvergenceResult OnlineController::converge(const InitialAssignment& initial,
+                                             const workload::CallConfig& true_config,
+                                             core::SlotIndex t, core::Rng& rng) {
+  ConvergenceResult out;
+  const workload::CallConfig reduced =
+      options_.use_reduction ? workload::reduce(true_config).config : true_config;
+
+  // Remember the converged reduced config for future first-joiner guesses.
+  if (!true_config.participants.empty()) {
+    const auto key = std::make_pair(true_config.participants.front().first.value(),
+                                    static_cast<int>(true_config.media));
+    recent_[key] = reduced;
+  }
+
+  // Stay put when the plan supports the current DC for the true config.
+  if (plan_->supports(reduced, t, initial.assignment.dc)) {
+    out.final_assignment = initial.assignment;
+    return out;
+  }
+
+  const auto target = plan_->pick(reduced, t, rng);
+  if (!target) {
+    // True config is out of plan: keep the call where it is.
+    out.final_assignment = initial.assignment;
+    out.out_of_plan = true;
+    return out;
+  }
+  out.final_assignment = *target;
+  out.dc_migration = target->dc != initial.assignment.dc;
+  out.route_change = !out.dc_migration && target->path != initial.assignment.path;
+  return out;
+}
+
+bool OnlineController::should_route_failover(core::CountryId country, core::DcId dc,
+                                             double observed_loss,
+                                             core::Millis observed_rtt_ms) const {
+  if (observed_loss >= options_.route_failover_loss) return true;
+  const double wan_rtt = inputs_->net().latency().base_rtt_ms(country, dc, net::PathType::kWan);
+  return observed_rtt_ms > wan_rtt * options_.route_failover_rtt_factor;
+}
+
+}  // namespace titan::titannext

@@ -1,0 +1,79 @@
+// Online controller for real-time call assignment (§6.4).
+//
+// When the first user joins we only know their country, so the controller
+// (1) assumes an intra-country call, (2) picks the most recently used
+// reduced call config for that country (per media type; audio when unseen),
+// and (3) draws the (MP DC, routing option) by weighted random from the
+// offline plan. Five minutes in, the converged call config may disagree
+// with the guess; if the plan's assignment for the true reduced config does
+// not cover the current DC, the call migrates (the user-visible glitch
+// Table 4 counts). Route-quality failover moves individual users from the
+// Internet to the WAN when loss or latency crosses the §6.4 thresholds;
+// calls are never moved WAN -> Internet mid-flight (capacity safety).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/rng.h"
+#include "titannext/plan.h"
+
+namespace titan::titannext {
+
+struct ControllerOptions {
+  std::uint64_t seed = 303;
+  double route_failover_loss = 0.01;      // loss >= 1%
+  double route_failover_rtt_factor = 1.6; // x pair WAN RTT (distance proxy)
+  // Must match the plan: when the offline LP was fed *full* call configs
+  // (Table 4's ablation), convergence must look configs up un-reduced.
+  bool use_reduction = true;
+};
+
+struct InitialAssignment {
+  Assignment assignment;
+  bool from_plan = false;  // false => fallback (nearest DC, WAN)
+  workload::CallConfig guessed_config;
+};
+
+struct ConvergenceResult {
+  Assignment final_assignment;
+  bool dc_migration = false;    // inter-DC migration (the damaging kind)
+  bool route_change = false;    // routing-option-only change
+  bool out_of_plan = false;     // true config not covered by the plan
+};
+
+class OnlineController {
+ public:
+  OnlineController(const PlanInputs& inputs, const OfflinePlan& plan,
+                   const ControllerOptions& options = {});
+
+  // Assignment when the first user joins.
+  [[nodiscard]] InitialAssignment assign_initial(core::CountryId first_joiner,
+                                                 media::MediaType media, core::SlotIndex t,
+                                                 core::Rng& rng);
+
+  // Convergence check a few minutes into the call, once the true config is
+  // known. Keeps the call in place whenever the plan supports the current
+  // DC for the true reduced config.
+  [[nodiscard]] ConvergenceResult converge(const InitialAssignment& initial,
+                                           const workload::CallConfig& true_config,
+                                           core::SlotIndex t, core::Rng& rng);
+
+  // §6.4 route migration: move this participant's traffic to WAN?
+  [[nodiscard]] bool should_route_failover(core::CountryId country, core::DcId dc,
+                                           double observed_loss,
+                                           core::Millis observed_rtt_ms) const;
+
+  // Fallback when the plan has nothing for a config: nearest in-scope DC by
+  // WAN latency ("assign MP DC closest to the first joiner"), WAN routing.
+  [[nodiscard]] Assignment fallback(core::CountryId country) const;
+
+ private:
+  const PlanInputs* inputs_;
+  const OfflinePlan* plan_;
+  ControllerOptions options_;
+  // Most recently used reduced config per (country, media).
+  std::map<std::pair<int, int>, workload::CallConfig> recent_;
+};
+
+}  // namespace titan::titannext

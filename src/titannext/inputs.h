@@ -1,0 +1,96 @@
+// Inputs to the Titan-Next offline plan (§6, "Inputs").
+//
+// The planner consumes: (a) per-DC MP compute capacity per timeslot,
+// (b) per-(reduced config, timeslot) call counts — ground truth in §7's
+// oracle evaluation, Holt-Winters forecasts in §8's practical evaluation,
+// (c) per-DC Internet path capacities as learnt by Titan, and (d) the WAN
+// topology (link set + per-pair paths) and latency tables. `PlanInputs`
+// materializes all of it in LP-ready form, with a scope restricted to one
+// continent (Europe in the paper's evaluation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/timegrid.h"
+#include "core/units.h"
+#include "net/network_db.h"
+#include "workload/call_config.h"
+#include "workload/callgen.h"
+
+namespace titan::titannext {
+
+struct ReducedDemand {
+  workload::CallConfig config;           // reduced shape
+  std::vector<double> units_per_slot;    // reduced-units per timeslot
+  double total_units = 0.0;
+};
+
+struct PlanScope {
+  geo::Continent continent = geo::Continent::kEurope;
+  int timeslots = core::kSlotsPerDay;  // planning horizon (24h of 30-min slots)
+  // Keep only the top-K reduced configs by volume (the paper predicts the
+  // top 3,000 call configs covering 90+% of calls; our scaled world needs
+  // far fewer).
+  int max_reduced_configs = 80;
+  // Total MP compute provisioned across in-scope DCs, as a multiple of the
+  // trace's peak per-slot compute demand. Distributed across DCs
+  // proportionally to their synthetic `cores`.
+  double compute_headroom = 2.0;
+  // Scale on the Titan-learnt Internet capacities (the "double the traffic
+  // on the Internet" ablation passes 2.0; "MP placement only" passes 0.0).
+  double internet_capacity_scale = 1.0;
+};
+
+class PlanInputs {
+ public:
+  // `fractions` maps (country, dc) -> safe Internet fraction as learnt by
+  // Titan; use titan_sys::TitanSystem::internet_fraction or a constant map.
+  PlanInputs(const net::NetworkDb& net, const PlanScope& scope,
+             const std::map<std::pair<int, int>, double>& fractions);
+
+  // Demand from per-(original config, slot) counts; reduction + grouping
+  // (§6.2) happens here. `use_reduction=false` feeds full configs to the LP
+  // (Table 4's ablation).
+  void set_demand(const workload::ConfigRegistry& registry,
+                  const std::vector<std::vector<double>>& counts_per_config,
+                  bool use_reduction = true);
+
+  [[nodiscard]] const PlanScope& scope() const { return scope_; }
+  [[nodiscard]] const net::NetworkDb& net() const { return *net_; }
+  [[nodiscard]] const std::vector<core::DcId>& dcs() const { return dcs_; }
+  [[nodiscard]] const std::vector<ReducedDemand>& demands() const { return demands_; }
+  [[nodiscard]] const std::vector<core::LinkId>& links() const { return links_; }
+
+  [[nodiscard]] core::Cores dc_capacity(core::DcId dc) const;
+  [[nodiscard]] core::Mbps internet_capacity(core::DcId dc) const;
+
+  // Resource helpers shared by the LP builder and the evaluators.
+  // Max end-to-end latency for a config hosted at `dc` over `path` (Fig. 10:
+  // worst participant pair, one-way legs through the MP).
+  [[nodiscard]] core::Millis max_e2e_ms(const workload::CallConfig& config, core::DcId dc,
+                                        net::PathType path) const;
+  // Sum of participant RTTs (the Locality-First objective).
+  [[nodiscard]] core::Millis total_latency_ms(const workload::CallConfig& config,
+                                              core::DcId dc, net::PathType path) const;
+
+  // Index of a reduced config shape, -1 when out of scope.
+  [[nodiscard]] int demand_index(const workload::CallConfig& reduced_shape) const;
+
+ private:
+  void finalize_capacities();
+
+  const net::NetworkDb* net_;
+  PlanScope scope_;
+  std::map<std::pair<int, int>, double> fractions_;
+  std::vector<core::DcId> dcs_;
+  std::vector<ReducedDemand> demands_;
+  std::map<workload::CallConfig, int> demand_index_;
+  std::vector<core::LinkId> links_;
+  std::vector<core::Cores> dc_capacity_;      // per dcs_ index
+  std::vector<core::Mbps> internet_capacity_;  // per dcs_ index
+};
+
+}  // namespace titan::titannext

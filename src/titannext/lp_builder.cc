@@ -1,0 +1,207 @@
+#include "titannext/lp_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace titan::titannext {
+
+namespace {
+
+// Variable layout: X vars first, y vars after.
+//   x_index(t, c, m, p) = ((t * C + c) * M + m) * 2 + p
+// with p: 0 = WAN, 1 = Internet.
+struct Layout {
+  int timeslots, configs, dcs;
+  [[nodiscard]] int x(int t, int c, int m, int p) const {
+    return ((t * configs + c) * dcs + m) * 2 + p;
+  }
+  [[nodiscard]] int num_x() const { return timeslots * configs * dcs * 2; }
+};
+
+// Per (config, dc): WAN bandwidth contributed to each in-scope link by one
+// assigned unit.
+using LinkLoads = std::vector<std::pair<int, double>>;  // (link index, Mbps)
+
+}  // namespace
+
+lp::LpModel build_model(const PlanInputs& inputs, const LpBuildOptions& options) {
+  const auto& demands = inputs.demands();
+  const auto& dcs = inputs.dcs();
+  const auto& links = inputs.links();
+  const Layout lay{inputs.scope().timeslots, static_cast<int>(demands.size()),
+                   static_cast<int>(dcs.size())};
+
+  lp::LpModel model;
+  // X variables (objective coefficients depend on the variant).
+  for (int t = 0; t < lay.timeslots; ++t)
+    for (int c = 0; c < lay.configs; ++c)
+      for (int m = 0; m < lay.dcs; ++m)
+        for (int p = 0; p < 2; ++p) {
+          double cost = 0.0;
+          const auto path = p == 0 ? net::PathType::kWan : net::PathType::kInternet;
+          if (options.objective == Objective::kMinimizeTotalLatency)
+            cost = inputs.total_latency_ms(demands[static_cast<std::size_t>(c)].config,
+                                           dcs[static_cast<std::size_t>(m)], path);
+          else if (options.objective == Objective::kMinimizeTotalMaxE2e)
+            cost = inputs.max_e2e_ms(demands[static_cast<std::size_t>(c)].config,
+                                     dcs[static_cast<std::size_t>(m)], path);
+          model.add_variable(cost);
+        }
+  // y variables (peak per link) — only part of the objective for the
+  // Titan-Next variant; harmless otherwise (cost 0 keeps them defined).
+  std::vector<int> yvar(links.size());
+  for (std::size_t l = 0; l < links.size(); ++l)
+    yvar[l] = model.add_variable(
+        options.objective == Objective::kMinimizeWanPeaks ? 1.0 : 0.0,
+        "y_link" + std::to_string(links[l].value()));
+
+  // Precompute per (config, dc) link loads and resource coefficients.
+  std::map<int, int> link_index;
+  for (std::size_t l = 0; l < links.size(); ++l) link_index[links[l].value()] = static_cast<int>(l);
+  std::vector<std::vector<LinkLoads>> loads(demands.size(),
+                                            std::vector<LinkLoads>(dcs.size()));
+  for (std::size_t c = 0; c < demands.size(); ++c) {
+    for (std::size_t m = 0; m < dcs.size(); ++m) {
+      std::map<int, double> acc;
+      for (const auto& [country, count] : demands[c].config.participants) {
+        const double bw = demands[c].config.network_mbps_from(country);
+        for (const auto lid : inputs.net().topology().path(country, dcs[m]).links) {
+          const auto it = link_index.find(lid.value());
+          if (it != link_index.end()) acc[it->second] += bw;
+        }
+      }
+      for (const auto& [l, bw] : acc) loads[c][m].push_back({l, bw});
+    }
+  }
+
+  // C1: all calls of each (t, c) assigned.
+  for (int t = 0; t < lay.timeslots; ++t)
+    for (int c = 0; c < lay.configs; ++c) {
+      const double n =
+          demands[static_cast<std::size_t>(c)].units_per_slot[static_cast<std::size_t>(t)];
+      const int row = model.add_constraint(lp::Sense::kEq, n);
+      for (int m = 0; m < lay.dcs; ++m)
+        for (int p = 0; p < 2; ++p) model.add_coefficient(row, lay.x(t, c, m, p), 1.0);
+    }
+
+  // C2: MP compute per (t, m).
+  for (int t = 0; t < lay.timeslots; ++t)
+    for (int m = 0; m < lay.dcs; ++m) {
+      const int row = model.add_constraint(lp::Sense::kLe,
+                                           inputs.dc_capacity(dcs[static_cast<std::size_t>(m)]));
+      for (int c = 0; c < lay.configs; ++c) {
+        const double cores = demands[static_cast<std::size_t>(c)].config.compute_cores();
+        for (int p = 0; p < 2; ++p)
+          model.add_coefficient(row, lay.x(t, c, m, p), cores);
+      }
+    }
+
+  // C3: Internet path capacity per (t, m).
+  for (int t = 0; t < lay.timeslots; ++t)
+    for (int m = 0; m < lay.dcs; ++m) {
+      const int row = model.add_constraint(
+          lp::Sense::kLe, inputs.internet_capacity(dcs[static_cast<std::size_t>(m)]));
+      for (int c = 0; c < lay.configs; ++c)
+        model.add_coefficient(row, lay.x(t, c, m, 1),
+                              demands[static_cast<std::size_t>(c)].config.network_mbps());
+    }
+
+  // C4: bound on the demand-weighted average of max-E2E latency.
+  if (options.e2e_bound_ms > 0.0) {
+    double total_units = 0.0;
+    for (const auto& d : demands) total_units += d.total_units;
+    if (total_units > 0.0) {
+      const int row =
+          model.add_constraint(lp::Sense::kLe, options.e2e_bound_ms * total_units);
+      for (int t = 0; t < lay.timeslots; ++t)
+        for (int c = 0; c < lay.configs; ++c)
+          for (int m = 0; m < lay.dcs; ++m)
+            for (int p = 0; p < 2; ++p) {
+              const auto path = p == 0 ? net::PathType::kWan : net::PathType::kInternet;
+              model.add_coefficient(
+                  row, lay.x(t, c, m, p),
+                  inputs.max_e2e_ms(demands[static_cast<std::size_t>(c)].config,
+                                    dcs[static_cast<std::size_t>(m)], path));
+            }
+    }
+  }
+
+  // C5: per-link peak definition, y_l >= slot WAN usage.
+  for (int t = 0; t < lay.timeslots; ++t)
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      const int row = model.add_constraint(lp::Sense::kLe, 0.0);
+      bool any = false;
+      for (int c = 0; c < lay.configs; ++c)
+        for (int m = 0; m < lay.dcs; ++m)
+          for (const auto& [li, bw] : loads[static_cast<std::size_t>(c)][static_cast<std::size_t>(m)])
+            if (li == static_cast<int>(l)) {
+              model.add_coefficient(row, lay.x(t, c, m, 0), bw);
+              any = true;
+            }
+      model.add_coefficient(row, yvar[l], -1.0);
+      (void)any;
+    }
+
+  return model;
+}
+
+LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options) {
+  LpPlanResult result;
+  const auto& demands = inputs.demands();
+  const auto& dcs = inputs.dcs();
+  const Layout lay{inputs.scope().timeslots, static_cast<int>(demands.size()),
+                   static_cast<int>(dcs.size())};
+
+  const lp::LpModel model = build_model(inputs, options);
+  const lp::Solution sol = lp::solve(model, options.solver);
+  result.status = sol.status;
+  result.objective = sol.objective;
+  result.solve_seconds = sol.solve_seconds;
+  result.iterations = sol.iterations;
+  if (sol.status != lp::SolveStatus::kOptimal) return result;
+
+  result.weights.assign(static_cast<std::size_t>(lay.timeslots),
+                        std::vector<AssignmentWeights>(demands.size()));
+  for (int t = 0; t < lay.timeslots; ++t)
+    for (int c = 0; c < lay.configs; ++c) {
+      auto& w = result.weights[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+      for (int m = 0; m < lay.dcs; ++m)
+        for (int p = 0; p < 2; ++p) {
+          const double units = sol.x[static_cast<std::size_t>(lay.x(t, c, m, p))];
+          if (units > 1e-7)
+            w.entries.push_back({dcs[static_cast<std::size_t>(m)],
+                                 p == 0 ? net::PathType::kWan : net::PathType::kInternet,
+                                 units});
+        }
+    }
+
+  // Realized sum of per-link WAN peaks of the fractional plan.
+  const auto& links = inputs.links();
+  std::map<int, int> link_index;
+  for (std::size_t l = 0; l < links.size(); ++l) link_index[links[l].value()] = static_cast<int>(l);
+  std::vector<double> peak(links.size(), 0.0);
+  for (int t = 0; t < lay.timeslots; ++t) {
+    std::vector<double> usage(links.size(), 0.0);
+    for (int c = 0; c < lay.configs; ++c) {
+      const auto& w = result.weights[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+      for (const auto& e : w.entries) {
+        if (e.path != net::PathType::kWan) continue;
+        for (const auto& [country, count] :
+             demands[static_cast<std::size_t>(c)].config.participants) {
+          const double bw =
+              demands[static_cast<std::size_t>(c)].config.network_mbps_from(country) * e.units;
+          for (const auto lid : inputs.net().topology().path(country, e.dc).links) {
+            const auto it = link_index.find(lid.value());
+            if (it != link_index.end()) usage[static_cast<std::size_t>(it->second)] += bw;
+          }
+        }
+      }
+    }
+    for (std::size_t l = 0; l < links.size(); ++l) peak[l] = std::max(peak[l], usage[l]);
+  }
+  for (const double p : peak) result.sum_of_wan_peaks_mbps += p;
+  return result;
+}
+
+}  // namespace titan::titannext

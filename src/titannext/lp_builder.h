@@ -1,0 +1,68 @@
+// LP formulation of the joint MP-DC + routing assignment (Fig. 13).
+//
+//   variable  X[t][c][m][p]  — reduced-config units of config c assigned in
+//                              timeslot t to MP DC m over routing option p;
+//   variable  y[l]           — peak WAN bandwidth on link l;
+//   objective minimize sum_l y[l]             (sum of WAN link peaks)
+//   C1  sum_{m,p} X = N[t][c]                 (all calls assigned)
+//   C2  sum_{c,p} X * computeUsed(c) <= Cap[t][m]
+//   C3  sum_c X[.,Internet] * networkUsed(c) <= InternetCap[t][m]
+//   C4  avg of max-E2E latency across assignments <= E
+//   C5  y[l] >= sum X * networkUsed * isLinkUsed(c,m,WAN,l)   for all t
+//
+// The builder also produces the Locality-First baselines (§7.2) by swapping
+// the objective for total latency (or total max-E2E latency) and dropping
+// C4 — per the paper, LF keeps the same constraint set otherwise.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "titannext/inputs.h"
+
+namespace titan::titannext {
+
+enum class Objective {
+  kMinimizeWanPeaks,      // Titan-Next
+  kMinimizeTotalLatency,  // Locality-First
+  kMinimizeTotalMaxE2e,   // LF variant optimizing total max-E2E latency
+};
+
+struct LpBuildOptions {
+  Objective objective = Objective::kMinimizeWanPeaks;
+  // C4 bound: average (over assigned units) of max-E2E latency, msec.
+  // <= 0 disables the constraint (the LF baselines drop it).
+  double e2e_bound_ms = 80.0;
+  lp::SolveOptions solver;
+};
+
+// Fractional assignment weights for one (timeslot, demand index).
+struct AssignmentWeights {
+  struct Entry {
+    core::DcId dc;
+    net::PathType path;
+    double units;
+  };
+  std::vector<Entry> entries;
+};
+
+struct LpPlanResult {
+  lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+  double objective = 0.0;
+  double solve_seconds = 0.0;
+  int iterations = 0;
+  // weights[t][demand_idx]
+  std::vector<std::vector<AssignmentWeights>> weights;
+  // Realized sum over links of peak WAN bandwidth of the fractional plan.
+  double sum_of_wan_peaks_mbps = 0.0;
+};
+
+// Builds and solves the plan LP over the inputs.
+[[nodiscard]] LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options);
+
+// Exposed for tests: just build the model (variable layout documented in
+// the .cc file).
+[[nodiscard]] lp::LpModel build_model(const PlanInputs& inputs, const LpBuildOptions& options);
+
+}  // namespace titan::titannext

@@ -1,0 +1,57 @@
+#include "titannext/plan.h"
+
+namespace titan::titannext {
+
+const AssignmentWeights* OfflinePlan::weights_for(const workload::CallConfig& shape,
+                                                  core::SlotIndex t) const {
+  if (!valid()) return nullptr;
+  if (t < 0 || t >= static_cast<int>(result_.weights.size())) return nullptr;
+  const int idx = inputs_->demand_index(shape);
+  if (idx < 0) return nullptr;
+  const auto& w =
+      result_.weights[static_cast<std::size_t>(t)][static_cast<std::size_t>(idx)];
+  return w.entries.empty() ? nullptr : &w;
+}
+
+std::optional<Assignment> OfflinePlan::pick(const workload::CallConfig& reduced_shape,
+                                            core::SlotIndex t, core::Rng& rng) const {
+  const AssignmentWeights* w = weights_for(reduced_shape, t);
+  if (w == nullptr) return std::nullopt;
+
+  const int idx = inputs_->demand_index(reduced_shape);
+  auto& credits = credits_[idx];
+
+  double total = 0.0;
+  for (const auto& e : w->entries) total += e.units;
+
+  // Smooth weighted round-robin: every entry earns credit proportional to
+  // its plan share at this slot; the richest entry serves this call and
+  // pays one unit. Credits persist across slots for the config.
+  std::size_t best = 0;
+  double best_credit = -1e300;
+  for (std::size_t i = 0; i < w->entries.size(); ++i) {
+    const auto key = std::make_pair(w->entries[i].dc.value(),
+                                    static_cast<int>(w->entries[i].path));
+    double& c = credits[key];
+    c += w->entries[i].units / total;
+    const double jitter = 1e-12 * rng.uniform();  // break exact ties
+    if (c + jitter > best_credit) {
+      best_credit = c + jitter;
+      best = i;
+    }
+  }
+  credits[{w->entries[best].dc.value(), static_cast<int>(w->entries[best].path)}] -= 1.0;
+  const auto& e = w->entries[best];
+  return Assignment{e.dc, e.path};
+}
+
+bool OfflinePlan::supports(const workload::CallConfig& reduced_shape, core::SlotIndex t,
+                           core::DcId dc) const {
+  const AssignmentWeights* w = weights_for(reduced_shape, t);
+  if (w == nullptr) return false;
+  for (const auto& e : w->entries)
+    if (e.dc == dc) return true;
+  return false;
+}
+
+}  // namespace titan::titannext

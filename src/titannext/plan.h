@@ -1,0 +1,66 @@
+// Offline precomputed assignment plan (§6.1 building block 4).
+//
+// Wraps the LP solution into the runtime lookup structure the online
+// controller uses: for a (timeslot, reduced config) it exposes the
+// fractional assignment weights over (MP DC, routing option) and supports
+// weighted-random picks (§6.4: "use all the counts ... as weights and use
+// weighted random to pick the assignment").
+#pragma once
+
+#include <optional>
+
+#include "core/rng.h"
+#include "titannext/lp_builder.h"
+
+namespace titan::titannext {
+
+struct Assignment {
+  core::DcId dc;
+  net::PathType path = net::PathType::kWan;
+};
+
+class OfflinePlan {
+ public:
+  OfflinePlan() = default;
+  OfflinePlan(const PlanInputs* inputs, LpPlanResult result)
+      : inputs_(inputs), result_(std::move(result)) {}
+
+  [[nodiscard]] bool valid() const {
+    return inputs_ != nullptr && result_.status == lp::SolveStatus::kOptimal;
+  }
+  [[nodiscard]] const LpPlanResult& result() const { return result_; }
+
+  // Assignment draw for the reduced shape at slot t; nullopt when the shape
+  // is out of plan scope or the plan has no units for it at t.
+  //
+  // The paper's controller uses the plan counts as weights for a weighted-
+  // random pick (§6.4); at production scale (millions of calls) the law of
+  // large numbers makes the realized split match the plan. Our scaled-down
+  // traces have thousands of calls, where independent random draws would
+  // inflate the realized per-link peaks well above the fractional optimum,
+  // so we realize the same distribution deterministically with smooth
+  // weighted round-robin (per-entry credit counters). `rng` only breaks
+  // exact credit ties.
+  [[nodiscard]] std::optional<Assignment> pick(const workload::CallConfig& reduced_shape,
+                                               core::SlotIndex t, core::Rng& rng) const;
+
+  // True when `dc` carries positive weight for the shape at slot t — the
+  // controller keeps a call where it is if its current DC is in the plan's
+  // support, avoiding gratuitous migrations.
+  [[nodiscard]] bool supports(const workload::CallConfig& reduced_shape, core::SlotIndex t,
+                              core::DcId dc) const;
+
+ private:
+  [[nodiscard]] const AssignmentWeights* weights_for(const workload::CallConfig& shape,
+                                                     core::SlotIndex t) const;
+
+  const PlanInputs* inputs_ = nullptr;
+  LpPlanResult result_;
+  // Smooth-WRR credit state per demand index, keyed by (dc, path) so the
+  // smoothing carries across timeslots: with only a handful of calls per
+  // (slot, config) cell, per-slot exactness is impossible and cross-slot
+  // smoothing realizes the plan's mix over the day instead.
+  mutable std::map<int, std::map<std::pair<int, int>, double>> credits_;
+};
+
+}  // namespace titan::titannext

@@ -1,0 +1,148 @@
+#include "workload/callgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace titan::workload {
+
+double TraceGenerator::diurnal_factor(core::SlotIndex slot, double weekend_factor) {
+  const double hour = core::hour_of(slot) + (slot % core::kSlotsPerHour) * 0.5;
+  // Double-hump business day: peaks near 10:30 and 15:00, deep night trough.
+  const double morning = std::exp(-std::pow(hour - 10.5, 2.0) / (2.0 * 2.2 * 2.2));
+  const double afternoon = 0.9 * std::exp(-std::pow(hour - 15.0, 2.0) / (2.0 * 2.5 * 2.5));
+  double factor = 0.03 + morning + afternoon;
+  if (core::is_weekend(slot)) factor *= weekend_factor;
+  return factor;
+}
+
+Trace TraceGenerator::generate(const TraceOptions& options) const {
+  Trace trace;
+  trace.num_slots_ = options.weeks * core::kSlotsPerWeek;
+  trace.by_slot_.resize(static_cast<std::size_t>(trace.num_slots_));
+  core::Rng rng(options.seed);
+
+  // Countries eligible as participants.
+  const auto countries = world_->countries_in(options.continent);
+
+  // Neighbour table for international calls: a country's partners are drawn
+  // from the continent weighted by call volume (gravity-ish).
+  std::vector<double> volume_weights(world_->countries().size(), 0.0);
+  for (const auto c : countries)
+    volume_weights[static_cast<std::size_t>(c.value())] = world_->country(c).call_volume;
+
+  std::int64_t next_call_id = 0;
+  for (core::SlotIndex slot = 0; slot < trace.num_slots_; ++slot) {
+    const double rate = options.peak_slot_calls *
+                        diurnal_factor(slot, options.weekend_factor) /
+                        1.03;  // normalize peak of the diurnal curve to ~1
+    const int n_calls = rng.poisson(rate);
+    for (int k = 0; k < n_calls; ++k) {
+      CallRecord rec;
+      rec.id = core::CallId(next_call_id++);
+      rec.start_slot = slot;
+      rec.duration_slots = rng.chance(0.25) ? 2 : 1;
+
+      // Participants.
+      CallConfig config;
+      const core::CountryId home =
+          core::CountryId(static_cast<int>(rng.weighted_pick(volume_weights)));
+      int n_participants = 1;
+      while (n_participants < options.max_participants &&
+             rng.chance(options.participant_decay))
+        ++n_participants;
+
+      if (rng.chance(options.intra_country_fraction) || n_participants == 1) {
+        config.participants = {{home, n_participants}};
+      } else {
+        // International: split across 2 (sometimes 3) countries.
+        core::CountryId other = home;
+        while (other == home)
+          other = core::CountryId(static_cast<int>(rng.weighted_pick(volume_weights)));
+        const int first = std::max(1, n_participants / 2);
+        config.participants = {{home, first}, {other, n_participants - first}};
+        if (n_participants >= 3 && rng.chance(0.2)) {
+          core::CountryId third = home;
+          while (third == home || third == other)
+            third = core::CountryId(static_cast<int>(rng.weighted_pick(volume_weights)));
+          // Move one participant to the third country.
+          if (config.participants[1].second > 1) {
+            --config.participants[1].second;
+            config.participants.push_back({third, 1});
+          }
+        }
+        config.canonicalize();
+      }
+
+      // Media type: the config records the dominant media (§6: "we assign
+      // call config using the most resource-hungry media type").
+      const double u = rng.uniform();
+      config.media = u < options.audio_share ? media::MediaType::kAudio
+                     : u < options.audio_share + options.video_share
+                         ? media::MediaType::kVideo
+                         : media::MediaType::kScreenShare;
+
+      rec.config = trace.registry_.intern(config);
+      rec.first_joiner = home;
+      trace.by_slot_[static_cast<std::size_t>(slot)].push_back(trace.calls_.size());
+      trace.calls_.push_back(rec);
+    }
+  }
+  return trace;
+}
+
+const std::vector<std::size_t>& Trace::calls_starting_in(core::SlotIndex slot) const {
+  return by_slot_.at(static_cast<std::size_t>(slot));
+}
+
+std::vector<std::vector<double>> Trace::config_counts() const {
+  std::vector<std::vector<double>> counts(
+      registry_.size(), std::vector<double>(static_cast<std::size_t>(num_slots_), 0.0));
+  for (const auto& call : calls_)
+    counts[static_cast<std::size_t>(call.config.value())]
+          [static_cast<std::size_t>(call.start_slot)] += 1.0;
+  return counts;
+}
+
+std::vector<std::vector<double>> Trace::config_active_counts() const {
+  std::vector<std::vector<double>> counts(
+      registry_.size(), std::vector<double>(static_cast<std::size_t>(num_slots_), 0.0));
+  for (const auto& call : calls_) {
+    const int end = std::min(num_slots_, call.start_slot + call.duration_slots);
+    for (int s = call.start_slot; s < end; ++s)
+      counts[static_cast<std::size_t>(call.config.value())][static_cast<std::size_t>(s)] +=
+          1.0;
+  }
+  return counts;
+}
+
+std::vector<core::ConfigId> Trace::configs_by_volume() const {
+  std::vector<double> totals(registry_.size(), 0.0);
+  for (const auto& call : calls_) totals[static_cast<std::size_t>(call.config.value())] += 1.0;
+  std::vector<core::ConfigId> ids;
+  ids.reserve(registry_.size());
+  for (std::size_t i = 0; i < registry_.size(); ++i)
+    ids.push_back(core::ConfigId(static_cast<int>(i)));
+  std::sort(ids.begin(), ids.end(), [&](core::ConfigId a, core::ConfigId b) {
+    return totals[static_cast<std::size_t>(a.value())] >
+           totals[static_cast<std::size_t>(b.value())];
+  });
+  return ids;
+}
+
+Trace Trace::window(core::SlotIndex begin, core::SlotIndex end) const {
+  Trace out;
+  out.registry_ = registry_;
+  out.num_slots_ = end - begin;
+  out.by_slot_.resize(static_cast<std::size_t>(out.num_slots_));
+  for (const auto& call : calls_) {
+    if (call.start_slot < begin || call.start_slot >= end) continue;
+    CallRecord rec = call;
+    rec.start_slot -= begin;
+    out.by_slot_[static_cast<std::size_t>(rec.start_slot)].push_back(out.calls_.size());
+    out.calls_.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace titan::workload

@@ -1,0 +1,99 @@
+// Synthetic call-trace generation (§7.3, §8: 4 weeks training + 1 week
+// evaluation of Europe-contained calls).
+//
+// The generator reproduces the statistical structure Titan-Next depends on:
+// strong daily and weekly seasonality (weekday double-hump business hours,
+// quiet weekends), a heavy-tailed config popularity (most calls are small
+// intra-country calls; the top ~3,000 configs cover 90+% of volume), a
+// media mix, and mostly-intra-country participation. Each call records its
+// first joiner's country — the only information the online controller has
+// at assignment time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/rng.h"
+#include "core/timegrid.h"
+#include "geo/world.h"
+#include "workload/call_config.h"
+
+namespace titan::workload {
+
+struct CallRecord {
+  core::CallId id;
+  core::SlotIndex start_slot = 0;
+  int duration_slots = 1;
+  core::ConfigId config;
+  core::CountryId first_joiner;
+};
+
+struct TraceOptions {
+  std::uint64_t seed = 2024;
+  int weeks = 5;  // 4 training + 1 evaluation by convention
+  // Expected calls in the busiest weekday slot. The paper sees O(10M) calls
+  // per weekday; we scale down while keeping the shape.
+  double peak_slot_calls = 1200.0;
+  double weekend_factor = 0.25;
+  double intra_country_fraction = 0.82;
+  // Participant-count distribution: P(n) ~ geometric-ish over [1, max].
+  int max_participants = 10;
+  double participant_decay = 0.45;
+  // Media mix.
+  double audio_share = 0.45;
+  double video_share = 0.40;  // remainder is screen-share
+  // Restrict participants to this continent (the §7/§8 evaluation uses
+  // Europe-contained calls).
+  geo::Continent continent = geo::Continent::kEurope;
+};
+
+class Trace {
+ public:
+  [[nodiscard]] const std::vector<CallRecord>& calls() const { return calls_; }
+  [[nodiscard]] const ConfigRegistry& configs() const { return registry_; }
+  [[nodiscard]] ConfigRegistry& configs() { return registry_; }
+  [[nodiscard]] int num_slots() const { return num_slots_; }
+
+  // Calls starting in a slot.
+  [[nodiscard]] const std::vector<std::size_t>& calls_starting_in(core::SlotIndex slot) const;
+
+  // counts[config][slot] — calls *starting* in the slot; the series
+  // Holt-Winters trains on.
+  [[nodiscard]] std::vector<std::vector<double>> config_counts() const;
+
+  // counts[config][slot] — calls *active* in the slot (a call occupies
+  // [start, start + duration)). This is what the LP's per-slot capacity and
+  // peak constraints should see.
+  [[nodiscard]] std::vector<std::vector<double>> config_active_counts() const;
+
+  // Config ids ordered by descending total call count (the paper predicts
+  // the top 3,000 covering 90+% of calls).
+  [[nodiscard]] std::vector<core::ConfigId> configs_by_volume() const;
+
+  // Restricts to a window of slots [begin, end) re-based at slot 0.
+  [[nodiscard]] Trace window(core::SlotIndex begin, core::SlotIndex end) const;
+
+  friend class TraceGenerator;
+
+ private:
+  std::vector<CallRecord> calls_;
+  ConfigRegistry registry_;
+  std::vector<std::vector<std::size_t>> by_slot_;
+  int num_slots_ = 0;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const geo::World& world) : world_(&world) {}
+
+  [[nodiscard]] Trace generate(const TraceOptions& options) const;
+
+  // Diurnal intensity multiplier for a slot (exposed for tests).
+  [[nodiscard]] static double diurnal_factor(core::SlotIndex slot, double weekend_factor);
+
+ private:
+  const geo::World* world_;
+};
+
+}  // namespace titan::workload

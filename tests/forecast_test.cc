@@ -1,0 +1,129 @@
+// Tests for Holt-Winters forecasting (§6.1, Fig. 20).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/rng.h"
+#include "forecast/holt_winters.h"
+
+namespace titan::forecast {
+namespace {
+
+// Synthetic seasonal series: level + trend + sinusoidal season + noise.
+std::vector<double> seasonal_series(int n, int season, double level, double trend,
+                                    double amplitude, double noise, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const double s =
+        amplitude * std::sin(2.0 * std::numbers::pi * (t % season) / season);
+    out.push_back(std::max(0.0, level + trend * t + s + rng.normal(0.0, noise)));
+  }
+  return out;
+}
+
+TEST(HoltWintersTest, RejectsShortSeries) {
+  HoltWintersParams p;
+  p.season_length = 10;
+  EXPECT_THROW(HoltWinters::fit(std::vector<double>(15, 1.0), p), std::invalid_argument);
+  p.season_length = 1;
+  EXPECT_THROW(HoltWinters::fit(std::vector<double>(15, 1.0), p), std::invalid_argument);
+}
+
+TEST(HoltWintersTest, ForecastsPureSeasonalSeriesAccurately) {
+  const int season = 48;
+  const auto series = seasonal_series(season * 6, season, 100.0, 0.0, 30.0, 0.0, 1);
+  const auto fit = HoltWinters::fit_auto(series, season);
+  const auto fc = HoltWinters::forecast(fit, season);
+  // The next season should match the pattern closely.
+  const std::vector<double> actual = seasonal_series(season * 7, season, 100.0, 0.0, 30.0, 0.0, 1);
+  double max_err = 0.0;
+  for (int h = 0; h < season; ++h)
+    max_err = std::max(max_err,
+                       std::abs(fc[static_cast<std::size_t>(h)] -
+                                actual[static_cast<std::size_t>(season * 6 + h)]));
+  EXPECT_LT(max_err, 6.0);  // within a few percent of the 100-level
+}
+
+TEST(HoltWintersTest, CapturesTrend) {
+  const int season = 24;
+  const auto series = seasonal_series(season * 8, season, 50.0, 0.5, 10.0, 0.0, 2);
+  const auto fit = HoltWinters::fit_auto(series, season);
+  const auto fc = HoltWinters::forecast(fit, 2 * season);
+  // Mean of the forecast should continue the upward trend.
+  double mean_fc = 0.0;
+  for (const double v : fc) mean_fc += v;
+  mean_fc /= static_cast<double>(fc.size());
+  const double expected_level = 50.0 + 0.5 * (season * 8 + season);
+  EXPECT_NEAR(mean_fc, expected_level, expected_level * 0.15);
+}
+
+TEST(HoltWintersTest, NoisySeriesStillReasonable) {
+  const int season = 48;
+  const auto series = seasonal_series(season * 8, season, 200.0, 0.05, 80.0, 12.0, 3);
+  const auto fit = HoltWinters::fit_auto(series, season);
+  const auto fc = HoltWinters::forecast(fit, season);
+  const auto truth = seasonal_series(season * 9, season, 200.0, 0.05, 80.0, 0.0, 3);
+  std::vector<double> actual(truth.end() - season, truth.end());
+  const auto err = evaluate_forecast(actual, fc);
+  // Fig. 20: median normalized MAE ~5%, RMSE ~11%; allow slack for noise.
+  EXPECT_LT(err.mae_normalized, 0.15);
+  EXPECT_LT(err.rmse_normalized, 0.2);
+}
+
+TEST(HoltWintersTest, ForecastsAreNonNegative) {
+  const int season = 12;
+  // Series that decays toward zero: forecasts must clamp at 0.
+  std::vector<double> series;
+  for (int t = 0; t < season * 4; ++t)
+    series.push_back(std::max(0.0, 20.0 - 0.4 * t));
+  const auto fit = HoltWinters::fit_auto(series, season);
+  for (const double v : HoltWinters::forecast(fit, 3 * season)) EXPECT_GE(v, 0.0);
+}
+
+TEST(HoltWintersTest, SeasonalPhaseContinuesFromTrainingEnd) {
+  const int season = 10;
+  // Deterministic sawtooth with period 10; train on a length that is NOT a
+  // multiple of the season to exercise the phase bookkeeping.
+  std::vector<double> series;
+  for (int t = 0; t < season * 5 + 3; ++t) series.push_back(static_cast<double>(t % season));
+  HoltWintersParams p;
+  p.alpha = 0.2;
+  p.beta = 0.0;
+  p.gamma = 0.3;
+  p.season_length = season;
+  const auto fit = HoltWinters::fit(series, p);
+  const auto fc = HoltWinters::forecast(fit, 5);
+  // Next values continue 3, 4, 5, ... (mod 10) shape-wise: increasing.
+  for (std::size_t i = 1; i < fc.size(); ++i) EXPECT_GT(fc[i], fc[i - 1] - 1.0);
+}
+
+TEST(EvaluateForecastTest, NormalizesByPeak) {
+  const std::vector<double> actual = {0.0, 10.0, 20.0};
+  const std::vector<double> pred = {0.0, 10.0, 10.0};
+  const auto e = evaluate_forecast(actual, pred);
+  EXPECT_NEAR(e.mae_normalized, (10.0 / 3.0) / 20.0, 1e-12);
+  EXPECT_GT(e.rmse_normalized, e.mae_normalized);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(evaluate_forecast({}, {}).mae_normalized, 0.0);
+  EXPECT_DOUBLE_EQ(evaluate_forecast({0.0}, {0.0}).mae_normalized, 0.0);
+}
+
+TEST(HoltWintersTest, FitAutoBeatsArbitraryParams) {
+  const int season = 24;
+  const auto series = seasonal_series(season * 6, season, 80.0, 0.1, 25.0, 5.0, 4);
+  const auto best = HoltWinters::fit_auto(series, season);
+  HoltWintersParams bad;
+  bad.alpha = 0.95;
+  bad.beta = 0.9;
+  bad.gamma = 0.9;
+  bad.season_length = season;
+  const auto worse = HoltWinters::fit(series, bad);
+  EXPECT_LE(best.training_sse, worse.training_sse);
+}
+
+}  // namespace
+}  // namespace titan::forecast

@@ -1,0 +1,150 @@
+// Tests for the geographic substrate: haversine distances, the synthetic
+// world (countries, DCs, cities, ASNs), and the geolocation database.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/rng.h"
+#include "geo/geodb.h"
+#include "geo/location.h"
+#include "geo/world.h"
+
+namespace titan::geo {
+namespace {
+
+TEST(LocationTest, HaversineKnownDistances) {
+  const LatLon london{51.5, -0.13};
+  const LatLon paris{48.86, 2.35};
+  const LatLon sydney{-33.87, 151.21};
+  EXPECT_NEAR(haversine_km(london, paris), 344.0, 15.0);
+  EXPECT_NEAR(haversine_km(london, sydney), 16990.0, 200.0);
+  EXPECT_DOUBLE_EQ(haversine_km(london, london), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(haversine_km(london, paris), haversine_km(paris, london));
+}
+
+TEST(LocationTest, FiberDelayIsSpeedOfLightBound) {
+  const LatLon ny{40.7, -74.0};
+  const LatLon london{51.5, -0.13};
+  // ~5,570 km geodesic; light in fibre ~200 km/ms -> ~28 ms one way.
+  const double d = fiber_delay_ms(ny, london);
+  EXPECT_GT(d, 24.0);
+  EXPECT_LT(d, 32.0);
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  World world_ = World::make();
+};
+
+TEST_F(WorldTest, HasTwentyOneDcs) {
+  EXPECT_EQ(world_.dcs().size(), 21u);  // Fig. 2
+  EXPECT_EQ(world_.representative_dcs().size(), 6u);  // Fig. 4 destinations
+}
+
+TEST_F(WorldTest, CoversFiveContinentsOfClients) {
+  std::set<Continent> continents;
+  for (const auto& c : world_.countries()) continents.insert(c.continent);
+  EXPECT_GE(continents.size(), 5u);
+}
+
+TEST_F(WorldTest, EuropeHasDenseCoverage) {
+  // The Titan-Next evaluation needs many in-Europe (country, DC) pairs.
+  const auto eu_countries = world_.countries_in(Continent::kEurope);
+  const auto eu_dcs = world_.dcs_in(Continent::kEurope);
+  EXPECT_GE(eu_countries.size(), 20u);
+  EXPECT_EQ(eu_dcs.size(), 5u);  // uk, france, netherlands, switzerland, ireland
+  EXPECT_GE(eu_countries.size() * eu_dcs.size(), 100u);
+}
+
+TEST_F(WorldTest, LookupsAreConsistent) {
+  const auto fr = world_.find_country("france");
+  ASSERT_TRUE(fr.valid());
+  EXPECT_EQ(world_.country(fr).iso, "FR");
+  EXPECT_EQ(world_.find_country("FR"), fr);
+  EXPECT_FALSE(world_.find_country("atlantis").valid());
+
+  const auto nl_dc = world_.find_dc("netherlands");
+  ASSERT_TRUE(nl_dc.valid());
+  EXPECT_TRUE(world_.dc(nl_dc).representative);
+  EXPECT_FALSE(world_.find_dc("moonbase").valid());
+}
+
+TEST_F(WorldTest, EveryCountryHasCitiesAndAsns) {
+  for (const auto& c : world_.countries()) {
+    EXPECT_GE(world_.cities_of(c.id).size(), 3u) << c.name;
+    EXPECT_GE(world_.asns_of(c.id).size(), 3u) << c.name;
+    // ASN shares sum to ~1.
+    double share = 0.0;
+    for (const auto a : world_.asns_of(c.id)) share += world_.asn(a).share;
+    EXPECT_NEAR(share, 1.0, 1e-9) << c.name;
+  }
+}
+
+TEST_F(WorldTest, CitiesBelongToTheirCountryAndStayNearCentroid) {
+  for (const auto& city : world_.cities()) {
+    const auto& country = world_.country(city.country);
+    EXPECT_LT(haversine_km(city.position, country.centroid), 4000.0) << city.name;
+  }
+}
+
+TEST_F(WorldTest, DeterministicForSameSeed) {
+  const World again = World::make();
+  ASSERT_EQ(again.cities().size(), world_.cities().size());
+  for (std::size_t i = 0; i < world_.cities().size(); ++i) {
+    EXPECT_EQ(again.cities()[i].name, world_.cities()[i].name);
+    EXPECT_DOUBLE_EQ(again.cities()[i].position.lat_deg, world_.cities()[i].position.lat_deg);
+  }
+}
+
+TEST_F(WorldTest, SamplersRespectWeights) {
+  core::Rng rng(5);
+  const auto us = world_.find_country("us");
+  // City sampling: the largest city should be sampled most often.
+  std::map<int, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[world_.sample_city(us, rng).value()];
+  const auto& cities = world_.cities_of(us);
+  int first_count = counts[cities.front().value()];
+  for (const auto c : cities) EXPECT_LE(counts[c.value()], first_count + 500);
+
+  // Country sampling restricted to a continent stays on it.
+  const Continent eu = Continent::kEurope;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = world_.sample_country(rng, &eu);
+    EXPECT_EQ(world_.country(c).continent, eu);
+  }
+}
+
+TEST(GeoDbTest, LookupRoundTrips) {
+  const World world = World::make();
+  const GeoDb db = GeoDb::make(world);
+  EXPECT_GT(db.subnet_count(), 1000u);  // Table 1's "IP subnets" row
+  for (const auto& rec : db.records()) {
+    const auto found = db.lookup(rec.subnet);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->country, rec.country);
+    EXPECT_EQ(found->city, rec.city);
+    EXPECT_EQ(found->asn, rec.asn);
+    // City and ASN belong to the subnet's country.
+    EXPECT_EQ(world.city(rec.city).country, rec.country);
+    EXPECT_EQ(world.asn(rec.asn).country, rec.country);
+    if (rec.subnet > 500) break;  // spot-check a prefix of the corpus
+  }
+  EXPECT_FALSE(db.lookup(0).has_value());
+}
+
+TEST(GeoDbTest, SampleSubnetStaysInCountry) {
+  const World world = World::make();
+  const GeoDb db = GeoDb::make(world);
+  core::Rng rng(9);
+  const auto de = world.find_country("germany");
+  for (int i = 0; i < 200; ++i) {
+    const auto rec = db.lookup(db.sample_subnet(de, rng));
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->country, de);
+  }
+}
+
+}  // namespace
+}  // namespace titan::geo

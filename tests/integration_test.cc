@@ -1,0 +1,262 @@
+// End-to-end integration tests: the full loop of the paper's systems.
+//
+//  1. Measurement study -> fraction-F structure feeds Titan's candidate
+//     region choice (Europe).
+//  2. Titan ramps live traffic (relay-sim telemetry -> scorecards -> ramp)
+//     and exports per-pair capacities.
+//  3. Titan-Next plans jointly over those capacities and beats the
+//     baselines on sum-of-peak WAN bandwidth (Fig. 14/15 shape).
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "measure/aggregate.h"
+#include "measure/probe_platform.h"
+#include "media/relay_sim.h"
+#include "policies/locality_first.h"
+#include "policies/titan_next_policy.h"
+#include "policies/titan_policy.h"
+#include "policies/wrr.h"
+#include "titan/titan.h"
+#include "titannext/pipeline.h"
+
+namespace titan {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new geo::World(geo::World::make());
+    db_ = new net::NetworkDb(*world_);
+    ctx_ = new policies::PolicyContext(
+        policies::PolicyContext::make(*db_, geo::Continent::kEurope, 0.20));
+    workload::TraceOptions topts;
+    topts.weeks = 3;
+    topts.peak_slot_calls = 60.0;
+    auto full = workload::TraceGenerator(*world_).generate(topts);
+    history_ = new workload::Trace(full.window(0, 2 * core::kSlotsPerWeek));
+    // Monday-Wednesday of the eval week (keeps the LP-heavy runs fast).
+    eval_ = new workload::Trace(full.window(2 * core::kSlotsPerWeek,
+                                            2 * core::kSlotsPerWeek +
+                                                3 * core::kSlotsPerDay));
+  }
+  static void TearDownTestSuite() {
+    delete eval_;
+    delete history_;
+    delete ctx_;
+    delete db_;
+    delete world_;
+    world_ = nullptr;
+    db_ = nullptr;
+    ctx_ = nullptr;
+    history_ = nullptr;
+    eval_ = nullptr;
+  }
+
+  static titannext::PlanScope scope() {
+    titannext::PlanScope s;
+    s.timeslots = core::kSlotsPerDay;
+    s.max_reduced_configs = 25;
+    return s;
+  }
+
+  static geo::World* world_;
+  static net::NetworkDb* db_;
+  static policies::PolicyContext* ctx_;
+  static workload::Trace* history_;
+  static workload::Trace* eval_;
+};
+
+geo::World* IntegrationTest::world_ = nullptr;
+net::NetworkDb* IntegrationTest::db_ = nullptr;
+policies::PolicyContext* IntegrationTest::ctx_ = nullptr;
+workload::Trace* IntegrationTest::history_ = nullptr;
+workload::Trace* IntegrationTest::eval_ = nullptr;
+
+// Measurement -> region choice: Europe must look attractive in the F
+// heatmap computed from an actual probe corpus (the §3 -> §4 hand-off).
+TEST_F(IntegrationTest, MeasurementStudyMarksEuropeAsCandidate) {
+  const geo::GeoDb geodb = geo::GeoDb::make(*world_);
+  const measure::ProbePlatform platform(*world_, geodb, db_->latency());
+  measure::StudyOptions opts;
+  opts.days = 1;
+  opts.probes_per_hour = 20000;
+  const auto corpus = platform.run(opts);
+  const auto table = measure::hourly_medians(corpus, measure::Granularity::kCountry, 24);
+
+  double eu_sum = 0.0;
+  int eu_n = 0;
+  double hk_sum = 0.0;
+  int hk_n = 0;
+  const auto hk = world_->find_dc("hongkong");
+  for (const auto& cell : measure::fraction_heatmap(table)) {
+    const auto& country = world_->country(cell.country);
+    const auto& dc = world_->dc(cell.dc);
+    if (country.continent == geo::Continent::kEurope &&
+        dc.continent == geo::Continent::kEurope) {
+      eu_sum += cell.f;
+      ++eu_n;
+    }
+    if (country.continent == geo::Continent::kEurope && cell.dc == hk) {
+      hk_sum += cell.f;
+      ++hk_n;
+    }
+  }
+  ASSERT_GT(eu_n, 20);
+  ASSERT_GT(hk_n, 5);
+  EXPECT_GT(eu_sum / eu_n, hk_sum / hk_n);  // Europe is the safer candidate
+  EXPECT_GT(eu_sum / eu_n, 0.4);
+}
+
+// Titan closed loop: relay telemetry -> scorecards -> ramp; healthy pairs
+// reach the cap, unusable pairs brake to zero, and the exported capacities
+// feed Titan-Next.
+TEST_F(IntegrationTest, TitanClosedLoopRampsAndExportsCapacity) {
+  net::NetworkDb db(*world_);  // private instance: failovers mutate state
+  titan_sys::TitanSystem titan(db, geo::Continent::kEurope);
+  const media::MosModel mos;
+  const media::RelaySimulator relay(db, mos);
+  core::Rng rng(42);
+
+  const auto fr = world_->find_country("france");
+  const auto nl = world_->find_dc("netherlands");
+
+  for (int epoch = 0; epoch < 14; ++epoch) {
+    // A small batch of intra-country French calls against the NL DC, with
+    // routing assigned by Titan at its current fraction.
+    std::vector<media::Call> calls;
+    for (int i = 0; i < 60; ++i) {
+      media::Call call;
+      call.id = core::CallId(epoch * 1000 + i);
+      call.mp_dc = nl;
+      call.media = media::MediaType::kAudio;
+      for (int p = 0; p < 2; ++p)
+        call.participants.push_back({core::ParticipantId(i * 2 + p), fr,
+                                     titan.assign_path(fr, nl, rng)});
+      calls.push_back(std::move(call));
+    }
+    const auto telemetry =
+        relay.simulate_slot(calls, epoch * 24, nullptr, rng);
+    titan.control_step(telemetry);
+  }
+
+  // France ramped up (clean Internet paths in the ground truth).
+  EXPECT_GT(titan.internet_fraction(fr, nl), 0.05);
+  // Germany is flagged unusable and never ramps.
+  EXPECT_DOUBLE_EQ(titan.internet_fraction(world_->find_country("germany"), nl), 0.0);
+  // Exported capacity is usable by the Titan-Next planner.
+  std::map<std::pair<int, int>, double> fractions;
+  for (const auto& [c, d] : titan.pairs())
+    fractions[{c.value(), d.value()}] = titan.internet_fraction(c, d);
+  titannext::PlanInputs inputs(db, scope(), fractions);
+  inputs.set_demand(eval_->configs(), eval_->config_counts(), true);
+  double total_inet = 0.0;
+  for (const auto dc : inputs.dcs()) total_inet += inputs.internet_capacity(dc);
+  EXPECT_GT(total_inet, 0.0);
+}
+
+// The Fig. 14 / Fig. 15 shape: TN beats LF beats WRR on sum-of-peaks, and
+// TN's latency stays close to LF's (Table 3).
+TEST_F(IntegrationTest, PolicyOrderingMatchesPaper) {
+  policies::WrrPolicy wrr(*ctx_, /*oracle=*/true);
+  policies::LocalityFirstOptions lf_opts;
+  lf_opts.oracle = true;
+  lf_opts.scope = scope();
+  policies::LocalityFirstPolicy lf(*ctx_, lf_opts);
+  policies::TitanPolicy titan(*ctx_);
+  policies::TitanNextPolicyOptions tn_opts;
+  tn_opts.oracle = true;
+  tn_opts.pipeline.scope = scope();
+  tn_opts.pipeline.lp.e2e_bound_ms = 100.0;
+  policies::TitanNextPolicy tn(*ctx_, tn_opts);
+
+  const auto cmp =
+      eval::compare_policies({&wrr, &lf, &titan, &tn}, *eval_, *history_, *db_, 7);
+  // Fig. 14 reports the sum of per-link peaks computed within each day;
+  // aggregate across the eval days.
+  auto daily_total = [&](std::size_t p) {
+    double acc = 0.0;
+    for (const double v : cmp.results[p].wan.per_day_sum_of_peaks_mbps) acc += v;
+    return acc;
+  };
+  const double wrr_peaks = daily_total(0);
+  const double lf_peaks = daily_total(1);
+  const double titan_peaks = daily_total(2);
+  const double tn_peaks = daily_total(3);
+
+  // Ordering: TN cheapest, then LF, then WRR. Titan matches WRR's random
+  // placement but offloads, so it sits at or below WRR.
+  EXPECT_LT(tn_peaks, lf_peaks);
+  EXPECT_LT(lf_peaks, wrr_peaks);
+  EXPECT_LT(titan_peaks, wrr_peaks * 1.05);
+
+  // Magnitudes loosely in the paper's bands (TN -24..28% vs WRR oracle).
+  const double tn_vs_wrr = 1.0 - tn_peaks / wrr_peaks;
+  EXPECT_GT(tn_vs_wrr, 0.10);
+  EXPECT_LT(tn_vs_wrr, 0.75);
+
+  // Latency: LF <= TN <= WRR (Table 3's ordering), within slack.
+  const double lf_lat = cmp.results[1].latency_overall.mean;
+  const double tn_lat = cmp.results[3].latency_overall.mean;
+  const double wrr_lat = cmp.results[0].latency_overall.mean;
+  EXPECT_LE(lf_lat, tn_lat + 5.0);
+  EXPECT_LT(tn_lat, wrr_lat + 5.0);
+
+  // Rendering works on real data.
+  EXPECT_FALSE(cmp.render_peaks_table().empty());
+  EXPECT_FALSE(cmp.render_latency_table().empty());
+}
+
+// Prediction-based mode (§8): TN-online still beats the online baselines,
+// by a larger margin than in oracle mode.
+TEST_F(IntegrationTest, OnlineModeKeepsTheOrdering) {
+  // §8's dynamics need realistic (tight-ish) provisioning: first-joiner
+  // baselines fill the preferred DCs early and push later calls far away,
+  // while TN plans around the predicted peak.
+  titannext::PlanScope online_scope = scope();
+  online_scope.compute_headroom = 1.3;
+
+  policies::WrrPolicy wrr(*ctx_, /*oracle=*/false);
+  policies::LocalityFirstOptions lf_opts;
+  lf_opts.oracle = false;
+  lf_opts.scope = online_scope;
+  policies::LocalityFirstPolicy lf(*ctx_, lf_opts);
+  policies::TitanNextPolicyOptions tn_opts;
+  tn_opts.oracle = false;
+  tn_opts.pipeline.scope = online_scope;
+  tn_opts.pipeline.lp.e2e_bound_ms = 100.0;
+  tn_opts.pipeline.top_k_forecast = 25;
+  policies::TitanNextPolicy tn(*ctx_, tn_opts);
+
+  const auto cmp = eval::compare_policies({&wrr, &lf, &tn}, *eval_, *history_, *db_, 11);
+  auto daily_total = [&](std::size_t p) {
+    double acc = 0.0;
+    for (const double v : cmp.results[p].wan.per_day_sum_of_peaks_mbps) acc += v;
+    return acc;
+  };
+  const double wrr_peaks = daily_total(0);
+  const double lf_peaks = daily_total(1);
+  const double tn_peaks = daily_total(2);
+  EXPECT_LT(tn_peaks, lf_peaks);
+  EXPECT_LT(tn_peaks, wrr_peaks);
+  // §8.2: larger margins than the oracle case (55-61% vs WRR in the paper;
+  // assert a loose lower bound).
+  EXPECT_GT(1.0 - tn_peaks / wrr_peaks, 0.2);
+}
+
+// Fiber-cut fallback (§4.2 finding 7): severing a WAN link on the SA path
+// leaves the Internet option available as a fallback with sane latency.
+TEST_F(IntegrationTest, FiberCutFallbackToInternet) {
+  net::NetworkDb db(*world_);
+  const auto za = world_->find_country("southafrica");
+  const auto za_dc = world_->find_dc("southafrica");
+  db.cut_wan_link_on_path(za, za_dc, 0.0);
+  // Internet path unaffected by the WAN cut; latency still reasonable.
+  const double internet_rtt =
+      db.latency().base_rtt_ms(za, za_dc, net::PathType::kInternet);
+  const double wan_rtt = db.latency().base_rtt_ms(za, za_dc, net::PathType::kWan);
+  EXPECT_LT(internet_rtt, wan_rtt * 2.5);
+  EXPECT_LT(internet_rtt, 150.0);
+}
+
+}  // namespace
+}  // namespace titan

@@ -1,0 +1,143 @@
+// Tests for the measurement platform (§3): probe fleet, logging, hourly
+// median aggregation, difference buckets, fraction-F heatmaps, granularity
+// clustering, and weekly medians.
+#include <gtest/gtest.h>
+
+#include "measure/aggregate.h"
+#include "measure/probe_platform.h"
+#include "net/network_db.h"
+
+namespace titan::measure {
+namespace {
+
+class MeasureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new geo::World(geo::World::make());
+    geodb_ = new geo::GeoDb(geo::GeoDb::make(*world_));
+    db_ = new net::NetworkDb(*world_);
+    platform_ = new ProbePlatform(*world_, *geodb_, db_->latency());
+    StudyOptions opts;
+    opts.days = 2;
+    opts.probes_per_hour = 12000;
+    corpus_ = new MeasurementCorpus(platform_->run(opts));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete platform_;
+    delete db_;
+    delete geodb_;
+    delete world_;
+    corpus_ = nullptr;
+    platform_ = nullptr;
+    db_ = nullptr;
+    geodb_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static geo::World* world_;
+  static geo::GeoDb* geodb_;
+  static net::NetworkDb* db_;
+  static ProbePlatform* platform_;
+  static MeasurementCorpus* corpus_;
+};
+
+geo::World* MeasureTest::world_ = nullptr;
+geo::GeoDb* MeasureTest::geodb_ = nullptr;
+net::NetworkDb* MeasureTest::db_ = nullptr;
+ProbePlatform* MeasureTest::platform_ = nullptr;
+MeasurementCorpus* MeasureTest::corpus_ = nullptr;
+
+TEST_F(MeasureTest, FleetHasTwoVmsPerDc) {
+  EXPECT_EQ(platform_->vms().size(), 2 * world_->dcs().size());
+  int internet = 0;
+  for (const auto& vm : platform_->vms()) internet += vm.path == net::PathType::kInternet;
+  EXPECT_EQ(internet, static_cast<int>(world_->dcs().size()));
+}
+
+TEST_F(MeasureTest, RoundRobinSpreadsProbesEvenly) {
+  std::map<std::pair<int, int>, int> per_vm;
+  for (const auto& r : corpus_->records())
+    ++per_vm[{r.dc.value(), static_cast<int>(r.path)}];
+  ASSERT_EQ(per_vm.size(), platform_->vms().size());
+  int min = INT32_MAX, max = 0;
+  for (const auto& [vm, n] : per_vm) {
+    min = std::min(min, n);
+    max = std::max(max, n);
+  }
+  EXPECT_LE(max - min, 1);  // strict round robin
+}
+
+TEST_F(MeasureTest, ScaleStatsMatchTableOneShape) {
+  const auto stats = corpus_->scale_stats(2);
+  EXPECT_NEAR(stats.avg_measurements_per_day, 12000.0 * 24, 1.0);
+  EXPECT_EQ(stats.destination_dcs, 21u);
+  EXPECT_GT(stats.source_countries, 30u);
+  EXPECT_GT(stats.source_cities, 200u);
+  EXPECT_GT(stats.source_asns, 100u);
+  EXPECT_GT(stats.ip_subnets, stats.source_cities);
+}
+
+TEST_F(MeasureTest, HourlyMediansCoverPairsWithBothArms) {
+  const auto table = hourly_medians(*corpus_, Granularity::kCountry, 48);
+  EXPECT_GT(table.size(), 100u);
+  std::size_t with_diffs = 0;
+  for (const auto& [key, series] : table) with_diffs += !pair_differences(series).empty();
+  EXPECT_GT(with_diffs, table.size() / 2);
+}
+
+TEST_F(MeasureTest, BucketsSumToHundredAndMatchPaperShape) {
+  const auto table = hourly_medians(*corpus_, Granularity::kCountry, 48);
+  std::vector<double> all;
+  for (const auto& [key, series] : table) {
+    const auto d = pair_differences(series);
+    all.insert(all.end(), d.begin(), d.end());
+  }
+  const auto b = bucket_differences(all);
+  EXPECT_NEAR(b.strictly_better + b.within_10ms + b.within_25ms + b.beyond_25ms, 100.0, 1e-6);
+  // Paper: 33.73 / 23.98 / 19.61 / 22.68 — assert loose bands on the shape.
+  EXPECT_GT(b.strictly_better, 15.0);
+  EXPECT_GT(b.strictly_better + b.within_10ms, 40.0);
+  EXPECT_GT(b.beyond_25ms, 5.0);
+  EXPECT_LT(b.beyond_25ms, 45.0);
+}
+
+TEST_F(MeasureTest, FractionFArithmetic) {
+  EXPECT_DOUBLE_EQ(fraction_f({-5.0, 5.0, 20.0}, 10.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_f({}, 10.0), 0.0);
+}
+
+TEST_F(MeasureTest, HeatmapHasStructure) {
+  const auto table = hourly_medians(*corpus_, Granularity::kCountry, 48);
+  const auto cells = fraction_heatmap(table);
+  EXPECT_GT(cells.size(), 100u);
+  for (const auto& c : cells) {
+    EXPECT_GE(c.f, 0.0);
+    EXPECT_LE(c.f, 1.0);
+  }
+}
+
+TEST_F(MeasureTest, GranularityDifferenceSmall) {
+  // Fig. 5: clustering by ASN / city changes F by at most ~10-20% relative.
+  const auto d = granularity_difference(*corpus_, Granularity::kAsn, 48);
+  EXPECT_FALSE(d.all.empty());
+  EXPECT_LT(d.p50, 0.25);
+  EXPECT_GE(d.p90, d.p50);
+}
+
+TEST_F(MeasureTest, WeeklyMediansProduceBothArms) {
+  const auto medians = weekly_medians(*corpus_, 48);
+  EXPECT_GT(medians.size(), 100u);
+  for (const auto& m : medians) {
+    EXPECT_GT(m.wan_ms, 0.0);
+    EXPECT_GT(m.internet_ms, 0.0);
+  }
+}
+
+TEST(GranularityNameTest, Names) {
+  EXPECT_EQ(granularity_name(Granularity::kCountry), "country");
+  EXPECT_EQ(granularity_name(Granularity::kCityAsn), "city+ASN");
+}
+
+}  // namespace
+}  // namespace titan::measure

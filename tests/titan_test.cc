@@ -1,0 +1,260 @@
+// Tests for the Titan production system (§4): scorecards, the ramp state
+// machine, reactions (decrement, emergency brake, per-user and transit
+// failover), and capacity export.
+#include <gtest/gtest.h>
+
+#include "titan/ramp.h"
+#include "titan/scorecard.h"
+#include "titan/titan.h"
+
+namespace titan::titan_sys {
+namespace {
+
+// --- Scorecards ---------------------------------------------------------------
+
+media::CallTelemetry make_call(core::CountryId country, core::DcId dc, net::PathType path,
+                               double loss, double rtt, double jitter) {
+  media::CallTelemetry call;
+  call.call = core::CallId(1);
+  call.dc = dc;
+  media::ParticipantTelemetry p;
+  p.country = country;
+  p.dc = dc;
+  p.path = path;
+  p.rtp_loss = loss;
+  p.rtt_ms = rtt;
+  p.jitter_ms = jitter;
+  call.participants.push_back(p);
+  return call;
+}
+
+TEST(ScorecardTest, SeparatesArmsAndComputesMedians) {
+  const core::CountryId fr(1);
+  const core::DcId nl(2);
+  std::vector<media::CallTelemetry> telemetry;
+  for (int i = 0; i < 30; ++i) {
+    telemetry.push_back(
+        make_call(fr, nl, net::PathType::kWan, 0.0001, 20.0 + i * 0.1, 3.4));
+    telemetry.push_back(
+        make_call(fr, nl, net::PathType::kInternet, 0.002, 22.0 + i * 0.1, 3.6));
+  }
+  const auto cards = build_scorecards(telemetry);
+  ASSERT_EQ(cards.size(), 1u);
+  const Scorecard& sc = cards.front();
+  EXPECT_TRUE(sc.has_signal());
+  EXPECT_EQ(sc.wan.samples, 30u);
+  EXPECT_EQ(sc.internet.samples, 30u);
+  EXPECT_NEAR(sc.internet.p50_loss, 0.002, 1e-9);
+  EXPECT_NEAR(sc.latency_inflation(), 2.0 / 21.45, 0.02);
+}
+
+TEST(ScorecardTest, GroupsByPair) {
+  std::vector<media::CallTelemetry> telemetry;
+  telemetry.push_back(make_call(core::CountryId(1), core::DcId(1), net::PathType::kWan,
+                                0.0, 10, 3));
+  telemetry.push_back(make_call(core::CountryId(1), core::DcId(2), net::PathType::kWan,
+                                0.0, 10, 3));
+  telemetry.push_back(make_call(core::CountryId(2), core::DcId(1), net::PathType::kWan,
+                                0.0, 10, 3));
+  EXPECT_EQ(build_scorecards(telemetry).size(), 3u);
+}
+
+TEST(ScorecardTest, ThinDataHasNoSignal) {
+  std::vector<media::CallTelemetry> telemetry = {
+      make_call(core::CountryId(1), core::DcId(1), net::PathType::kInternet, 0.0, 10, 3)};
+  EXPECT_FALSE(build_scorecards(telemetry).front().has_signal());
+}
+
+// --- Ramp controller ------------------------------------------------------------
+
+Scorecard healthy_card() {
+  Scorecard sc;
+  sc.internet.samples = sc.wan.samples = 100;
+  sc.internet.p50_loss = 0.00005;
+  sc.wan.p50_loss = 0.00002;
+  sc.internet.p50_rtt_ms = 21.0;
+  sc.wan.p50_rtt_ms = 20.0;
+  return sc;
+}
+
+TEST(RampTest, RampsInSmallIncrementsAndStopsAtCap) {
+  core::Rng rng(1);
+  RampController ramp;
+  double prev = 0.0;
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    ramp.step(healthy_card(), rng);
+    const double f = ramp.fraction();
+    EXPECT_GE(f, prev);                 // healthy: monotone ramp
+    EXPECT_LE(f - prev, 0.03 + 1e-12);  // "1-3% at a time"
+    prev = f;
+  }
+  // Safety over optimality: stops at 20% even with perfect metrics.
+  EXPECT_DOUBLE_EQ(ramp.fraction(), 0.20);
+  EXPECT_EQ(ramp.state(), RampState::kHolding);
+  EXPECT_EQ(ramp.emergency_brakes(), 0);
+}
+
+TEST(RampTest, ModerateDegradationDecrements) {
+  core::Rng rng(2);
+  RampController ramp;
+  for (int epoch = 0; epoch < 10; ++epoch) ramp.step(healthy_card(), rng);
+  const double before = ramp.fraction();
+  ASSERT_GT(before, 0.05);
+
+  Scorecard moderate = healthy_card();
+  moderate.internet.p50_loss = 0.005;  // elevated but < 1%
+  ramp.step(moderate, rng);
+  EXPECT_LT(ramp.fraction(), before);
+  EXPECT_EQ(ramp.emergency_brakes(), 0);
+  EXPECT_EQ(ramp.decrements(), 1);
+}
+
+TEST(RampTest, LatencyInflationAloneDecrements) {
+  core::Rng rng(3);
+  RampController ramp;
+  for (int epoch = 0; epoch < 10; ++epoch) ramp.step(healthy_card(), rng);
+  const double before = ramp.fraction();
+  Scorecard slow = healthy_card();
+  slow.internet.p50_rtt_ms = slow.wan.p50_rtt_ms * 1.2;  // +20% > 10% threshold
+  ramp.step(slow, rng);
+  EXPECT_LT(ramp.fraction(), before);
+}
+
+TEST(RampTest, EmergencyBrakeZerosTrafficAndCoolsDown) {
+  core::Rng rng(4);
+  RampController ramp;
+  for (int epoch = 0; epoch < 10; ++epoch) ramp.step(healthy_card(), rng);
+  ASSERT_GT(ramp.fraction(), 0.0);
+
+  Scorecard severe = healthy_card();
+  severe.internet.p50_loss = 0.02;  // >= 1%
+  ramp.step(severe, rng);
+  EXPECT_DOUBLE_EQ(ramp.fraction(), 0.0);
+  EXPECT_EQ(ramp.state(), RampState::kBackoff);
+  EXPECT_EQ(ramp.emergency_brakes(), 1);
+
+  // Stays parked through the cooldown even with healthy cards.
+  ramp.step(healthy_card(), rng);
+  EXPECT_DOUBLE_EQ(ramp.fraction(), 0.0);
+  // Eventually resumes ramping from zero.
+  for (int epoch = 0; epoch < 6; ++epoch) ramp.step(healthy_card(), rng);
+  EXPECT_EQ(ramp.state(), RampState::kRamping);
+  EXPECT_GT(ramp.fraction(), 0.0);
+  EXPECT_LT(ramp.fraction(), 0.15);
+}
+
+TEST(RampTest, DisabledPairNeverMoves) {
+  core::Rng rng(5);
+  RampController ramp({}, /*internet_allowed=*/false);
+  for (int epoch = 0; epoch < 20; ++epoch) ramp.step(healthy_card(), rng);
+  EXPECT_DOUBLE_EQ(ramp.fraction(), 0.0);
+  EXPECT_EQ(ramp.state(), RampState::kDisabled);
+}
+
+// --- TitanSystem ------------------------------------------------------------------
+
+class TitanSystemTest : public ::testing::Test {
+ protected:
+  geo::World world_ = geo::World::make();
+  net::NetworkDb db_{world_};
+  TitanSystem titan_{db_, geo::Continent::kEurope};
+};
+
+TEST_F(TitanSystemTest, ManagesAllEuropeanPairs) {
+  const auto countries = world_.countries_in(geo::Continent::kEurope);
+  const auto dcs = world_.dcs_in(geo::Continent::kEurope);
+  EXPECT_EQ(titan_.pairs().size(), countries.size() * dcs.size());
+}
+
+TEST_F(TitanSystemTest, UnusableCountriesStayOnWan) {
+  const auto de = world_.find_country("germany");
+  const auto nl = world_.find_dc("netherlands");
+  core::Rng rng(6);
+  // Ramp a few epochs with empty telemetry.
+  for (int epoch = 0; epoch < 8; ++epoch) titan_.control_step({});
+  EXPECT_EQ(titan_.pair_state(de, nl), RampState::kDisabled);
+  EXPECT_DOUBLE_EQ(titan_.internet_fraction(de, nl), 0.0);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(titan_.assign_path(de, nl, rng), net::PathType::kWan);
+}
+
+TEST_F(TitanSystemTest, AssignPathMatchesFraction) {
+  const auto fr = world_.find_country("france");
+  const auto nl = world_.find_dc("netherlands");
+  for (int epoch = 0; epoch < 12; ++epoch) titan_.control_step({});
+  const double f = titan_.internet_fraction(fr, nl);
+  ASSERT_GT(f, 0.05);
+  core::Rng rng(7);
+  int internet = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    internet += titan_.assign_path(fr, nl, rng) == net::PathType::kInternet;
+  EXPECT_NEAR(static_cast<double>(internet) / n, f, 0.02);
+}
+
+TEST_F(TitanSystemTest, CapacityExportScalesWithFractionAndHeadroom) {
+  const auto fr = world_.find_country("france");
+  const auto nl = world_.find_dc("netherlands");
+  for (int epoch = 0; epoch < 12; ++epoch) titan_.control_step({});
+  const double cap = titan_.internet_capacity_mbps(fr, nl);
+  EXPECT_NEAR(cap, titan_.internet_fraction(fr, nl) * db_.pair_peak_demand(fr, nl), 1e-9);
+  EXPECT_NEAR(titan_.internet_capacity_mbps(fr, nl, 2.0), 2.0 * cap, 1e-9);
+}
+
+TEST_F(TitanSystemTest, PerUserFailoverRules) {
+  const auto fr = world_.find_country("france");
+  const auto nl = world_.find_dc("netherlands");
+  media::ParticipantTelemetry t;
+  t.country = fr;
+  t.dc = nl;
+  t.path = net::PathType::kInternet;
+  t.rtp_loss = 0.02;  // >= 1%
+  t.rtt_ms = 20.0;
+  EXPECT_TRUE(titan_.should_failover_user(t));
+  t.rtp_loss = 0.0;
+  t.rtt_ms = 10.0 * db_.latency().base_rtt_ms(fr, nl, net::PathType::kWan);
+  EXPECT_TRUE(titan_.should_failover_user(t));
+  t.rtt_ms = 20.0;
+  EXPECT_FALSE(titan_.should_failover_user(t));
+  t.path = net::PathType::kWan;
+  t.rtp_loss = 0.5;  // WAN users are never failed over (they're already there)
+  EXPECT_FALSE(titan_.should_failover_user(t));
+}
+
+TEST_F(TitanSystemTest, SevereTelemetryTriggersEmergencyBrake) {
+  const auto fr = world_.find_country("france");
+  const auto nl = world_.find_dc("netherlands");
+  for (int epoch = 0; epoch < 10; ++epoch) titan_.control_step({});
+  ASSERT_GT(titan_.internet_fraction(fr, nl), 0.0);
+
+  // Feed a window of severe Internet loss for the pair.
+  std::vector<media::CallTelemetry> bad;
+  for (int i = 0; i < 40; ++i) {
+    bad.push_back(make_call(fr, nl, net::PathType::kInternet, 0.05, 25.0, 4.0));
+    bad.push_back(make_call(fr, nl, net::PathType::kWan, 0.0001, 24.0, 3.4));
+  }
+  titan_.control_step(bad);
+  EXPECT_DOUBLE_EQ(titan_.internet_fraction(fr, nl), 0.0);
+  EXPECT_EQ(titan_.pair_state(fr, nl), RampState::kBackoff);
+}
+
+TEST_F(TitanSystemTest, WidespreadDegradationFiresTransitFailover) {
+  const auto nl = world_.find_dc("netherlands");
+  const auto eu = world_.countries_in(geo::Continent::kEurope);
+  for (int epoch = 0; epoch < 10; ++epoch) titan_.control_step({});
+
+  std::vector<media::CallTelemetry> bad;
+  for (const auto c : eu) {
+    if (db_.loss().internet_unusable(c)) continue;
+    for (int i = 0; i < 30; ++i) {
+      bad.push_back(make_call(c, nl, net::PathType::kInternet, 0.006, 25.0, 4.0));
+      bad.push_back(make_call(c, nl, net::PathType::kWan, 0.0001, 24.0, 3.4));
+    }
+  }
+  const int before = titan_.transit_failovers();
+  titan_.control_step(bad);
+  EXPECT_GT(titan_.transit_failovers(), before);
+}
+
+}  // namespace
+}  // namespace titan::titan_sys

@@ -1,0 +1,381 @@
+// Tests for Titan-Next: plan inputs (reduction/grouping, capacities,
+// latency helpers), the Fig. 13 LP (constraint satisfaction, offload
+// behaviour, ablations), the offline plan, the online controller, and the
+// forecasting pipeline.
+#include <gtest/gtest.h>
+
+#include "titannext/controller.h"
+#include "titannext/pipeline.h"
+
+namespace titan::titannext {
+namespace {
+
+class TitanNextTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new geo::World(geo::World::make());
+    db_ = new net::NetworkDb(*world_);
+    workload::TraceOptions topts;
+    topts.weeks = 3;  // 2 training + 1 eval
+    topts.peak_slot_calls = 80.0;
+    trace_ = new workload::Trace(workload::TraceGenerator(*world_).generate(topts));
+
+    fractions_ = new std::map<std::pair<int, int>, double>();
+    for (const auto c : world_->countries_in(geo::Continent::kEurope)) {
+      const double f = db_->loss().internet_unusable(c) ? 0.0 : 0.20;
+      for (const auto d : world_->dcs_in(geo::Continent::kEurope))
+        (*fractions_)[{c.value(), d.value()}] = f;
+    }
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete fractions_;
+    delete db_;
+    delete world_;
+    world_ = nullptr;
+    db_ = nullptr;
+    trace_ = nullptr;
+    fractions_ = nullptr;
+  }
+
+  static PlanScope small_scope() {
+    PlanScope scope;
+    scope.timeslots = 12;
+    scope.max_reduced_configs = 25;
+    return scope;
+  }
+
+  static geo::World* world_;
+  static net::NetworkDb* db_;
+  static workload::Trace* trace_;
+  static std::map<std::pair<int, int>, double>* fractions_;
+};
+
+geo::World* TitanNextTest::world_ = nullptr;
+net::NetworkDb* TitanNextTest::db_ = nullptr;
+workload::Trace* TitanNextTest::trace_ = nullptr;
+std::map<std::pair<int, int>, double>* TitanNextTest::fractions_ = nullptr;
+
+// --- PlanInputs -----------------------------------------------------------------
+
+TEST_F(TitanNextTest, DemandGroupingPreservesResources) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  const auto counts = trace_->config_counts();
+  inputs.set_demand(trace_->configs(), counts, /*use_reduction=*/true);
+
+  ASSERT_FALSE(inputs.demands().empty());
+  ASSERT_LE(static_cast<int>(inputs.demands().size()), small_scope().max_reduced_configs);
+
+  // Compare total bandwidth demand in slot 9 (a busy morning slot) between
+  // grouped demands and raw configs restricted to the kept shapes.
+  double grouped_bw = 0.0;
+  for (const auto& d : inputs.demands())
+    grouped_bw += d.units_per_slot[9] * d.config.network_mbps();
+  double raw_bw = 0.0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const auto& config = trace_->configs().get(core::ConfigId(static_cast<int>(c)));
+    const auto reduced = workload::reduce(config);
+    if (inputs.demand_index(reduced.config) < 0) continue;
+    raw_bw += counts[c][9] * config.network_mbps();
+  }
+  EXPECT_NEAR(grouped_bw, raw_bw, 1e-6);
+}
+
+TEST_F(TitanNextTest, ReductionShrinksConfigSpace) {
+  PlanScope scope = small_scope();
+  scope.max_reduced_configs = 100000;  // no truncation
+  PlanInputs with(*db_, scope, *fractions_);
+  with.set_demand(trace_->configs(), trace_->config_counts(), true);
+  PlanInputs without(*db_, scope, *fractions_);
+  without.set_demand(trace_->configs(), trace_->config_counts(), false);
+  EXPECT_LT(with.demands().size(), without.demands().size());
+}
+
+TEST_F(TitanNextTest, CapacitiesArePositiveAndScale) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  double total_cap = 0.0, total_inet = 0.0;
+  for (const auto dc : inputs.dcs()) {
+    EXPECT_GT(inputs.dc_capacity(dc), 0.0);
+    total_cap += inputs.dc_capacity(dc);
+    total_inet += inputs.internet_capacity(dc);
+  }
+  EXPECT_GT(total_inet, 0.0);
+
+  // internet_capacity_scale = 0 disables offload capacity entirely.
+  PlanScope no_inet = small_scope();
+  no_inet.internet_capacity_scale = 0.0;
+  PlanInputs inputs0(*db_, no_inet, *fractions_);
+  inputs0.set_demand(trace_->configs(), trace_->config_counts(), true);
+  for (const auto dc : inputs0.dcs()) EXPECT_DOUBLE_EQ(inputs0.internet_capacity(dc), 0.0);
+}
+
+TEST_F(TitanNextTest, MaxE2eLatencyHelper) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  const auto fr = world_->find_country("france");
+  const auto se = world_->find_country("sweden");
+  const auto nl = world_->find_dc("netherlands");
+
+  workload::CallConfig solo{{{fr, 1}}, media::MediaType::kAudio};
+  workload::CallConfig pair{{{fr, 2}}, media::MediaType::kAudio};
+  workload::CallConfig intl{{{fr, 1}, {se, 1}}, media::MediaType::kAudio};
+  intl.canonicalize();
+
+  const double one_way_fr = db_->latency().base_rtt_ms(fr, nl, net::PathType::kWan) / 2.0;
+  const double one_way_se = db_->latency().base_rtt_ms(se, nl, net::PathType::kWan) / 2.0;
+  EXPECT_NEAR(inputs.max_e2e_ms(solo, nl, net::PathType::kWan), 2 * one_way_fr, 1e-9);
+  EXPECT_NEAR(inputs.max_e2e_ms(pair, nl, net::PathType::kWan), 2 * one_way_fr, 1e-9);
+  EXPECT_NEAR(inputs.max_e2e_ms(intl, nl, net::PathType::kWan), one_way_fr + one_way_se,
+              1e-9);
+  EXPECT_NEAR(inputs.total_latency_ms(intl, nl, net::PathType::kWan),
+              2 * one_way_fr + 2 * one_way_se, 1e-9);
+}
+
+// --- LP plan ---------------------------------------------------------------------
+
+class PlanTest : public TitanNextTest {
+ protected:
+  static LpBuildOptions lp_options() {
+    LpBuildOptions o;
+    o.e2e_bound_ms = 120.0;
+    return o;
+  }
+};
+
+TEST_F(PlanTest, SolvesAndSatisfiesConstraints) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  const LpPlanResult result = solve_plan(inputs, lp_options());
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_GT(result.sum_of_wan_peaks_mbps, 0.0);
+
+  // C1: every demand fully assigned in every slot.
+  for (int t = 0; t < small_scope().timeslots; ++t) {
+    for (std::size_t c = 0; c < inputs.demands().size(); ++c) {
+      double assigned = 0.0;
+      for (const auto& e : result.weights[static_cast<std::size_t>(t)][c].entries)
+        assigned += e.units;
+      EXPECT_NEAR(assigned, inputs.demands()[c].units_per_slot[static_cast<std::size_t>(t)],
+                  1e-5);
+    }
+    // C2/C3: per-DC compute and Internet capacity.
+    for (const auto dc : inputs.dcs()) {
+      double cores = 0.0, inet = 0.0;
+      for (std::size_t c = 0; c < inputs.demands().size(); ++c)
+        for (const auto& e : result.weights[static_cast<std::size_t>(t)][c].entries) {
+          if (e.dc != dc) continue;
+          cores += e.units * inputs.demands()[c].config.compute_cores();
+          if (e.path == net::PathType::kInternet)
+            inet += e.units * inputs.demands()[c].config.network_mbps();
+        }
+      EXPECT_LE(cores, inputs.dc_capacity(dc) + 1e-4);
+      EXPECT_LE(inet, inputs.internet_capacity(dc) + 1e-4);
+    }
+  }
+}
+
+TEST_F(PlanTest, OffloadReducesWanPeaks) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  const LpPlanResult with_offload = solve_plan(inputs, lp_options());
+
+  PlanScope no_inet = small_scope();
+  no_inet.internet_capacity_scale = 0.0;
+  PlanInputs inputs0(*db_, no_inet, *fractions_);
+  inputs0.set_demand(trace_->configs(), trace_->config_counts(), true);
+  const LpPlanResult without = solve_plan(inputs0, lp_options());
+
+  ASSERT_EQ(with_offload.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(without.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(with_offload.sum_of_wan_peaks_mbps, without.sum_of_wan_peaks_mbps);
+
+  // Doubling the Internet envelope can only help (§7.4's 2x ablation).
+  PlanScope doubled = small_scope();
+  doubled.internet_capacity_scale = 2.0;
+  PlanInputs inputs2(*db_, doubled, *fractions_);
+  inputs2.set_demand(trace_->configs(), trace_->config_counts(), true);
+  const LpPlanResult more = solve_plan(inputs2, lp_options());
+  ASSERT_EQ(more.status, lp::SolveStatus::kOptimal);
+  EXPECT_LE(more.sum_of_wan_peaks_mbps, with_offload.sum_of_wan_peaks_mbps + 1e-6);
+}
+
+TEST_F(PlanTest, TighterE2eBoundCostsPeaks) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+
+  LpBuildOptions loose = lp_options();
+  loose.e2e_bound_ms = 200.0;
+  LpBuildOptions tight = lp_options();
+  tight.e2e_bound_ms = 40.0;
+  const auto l = solve_plan(inputs, loose);
+  const auto t = solve_plan(inputs, tight);
+  ASSERT_EQ(l.status, lp::SolveStatus::kOptimal);
+  // Tight bound is either infeasible or at least as expensive.
+  if (t.status == lp::SolveStatus::kOptimal)
+    EXPECT_GE(t.sum_of_wan_peaks_mbps, l.sum_of_wan_peaks_mbps - 1e-6);
+  // Unreasonably tight bound must be infeasible.
+  LpBuildOptions impossible = lp_options();
+  impossible.e2e_bound_ms = 1.0;
+  EXPECT_EQ(solve_plan(inputs, impossible).status, lp::SolveStatus::kInfeasible);
+}
+
+TEST_F(PlanTest, LocalityObjectiveGetsLowerLatencyThanPeaksObjective) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+
+  LpBuildOptions lf;
+  lf.objective = Objective::kMinimizeTotalLatency;
+  lf.e2e_bound_ms = 0.0;
+  const auto lf_result = solve_plan(inputs, lf);
+  const auto tn_result = solve_plan(inputs, lp_options());
+  ASSERT_EQ(lf_result.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(tn_result.status, lp::SolveStatus::kOptimal);
+
+  auto avg_latency = [&](const LpPlanResult& r) {
+    double lat = 0.0, units = 0.0;
+    for (int t = 0; t < small_scope().timeslots; ++t)
+      for (std::size_t c = 0; c < inputs.demands().size(); ++c)
+        for (const auto& e : r.weights[static_cast<std::size_t>(t)][c].entries) {
+          lat += e.units *
+                 inputs.total_latency_ms(inputs.demands()[c].config, e.dc, e.path);
+          units += e.units;
+        }
+    return lat / units;
+  };
+  EXPECT_LE(avg_latency(lf_result), avg_latency(tn_result) + 1e-6);
+  // And TN's WAN peaks are no worse than LF's.
+  EXPECT_LE(tn_result.sum_of_wan_peaks_mbps, lf_result.sum_of_wan_peaks_mbps + 1e-6);
+}
+
+// --- Offline plan + controller ------------------------------------------------------
+
+TEST_F(PlanTest, OfflinePlanPickFollowsWeights) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  OfflinePlan plan(&inputs, solve_plan(inputs, lp_options()));
+  ASSERT_TRUE(plan.valid());
+
+  // Find a demand with traffic in slot 9.
+  const auto& demands = inputs.demands();
+  int c = -1;
+  for (std::size_t i = 0; i < demands.size(); ++i)
+    if (demands[i].units_per_slot[9] > 0.5) {
+      c = static_cast<int>(i);
+      break;
+    }
+  ASSERT_GE(c, 0);
+  core::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = plan.pick(demands[static_cast<std::size_t>(c)].config, 9, rng);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(plan.supports(demands[static_cast<std::size_t>(c)].config, 9, a->dc));
+  }
+  // Unknown shape -> no pick.
+  workload::CallConfig unknown{{{world_->find_country("japan"), 1}},
+                               media::MediaType::kAudio};
+  EXPECT_FALSE(plan.pick(unknown, 9, rng).has_value());
+}
+
+TEST_F(PlanTest, ControllerAssignsAndConverges) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  OfflinePlan plan(&inputs, solve_plan(inputs, lp_options()));
+  ASSERT_TRUE(plan.valid());
+  OnlineController controller(inputs, plan);
+  core::Rng rng(6);
+
+  const auto fr = world_->find_country("france");
+  const auto initial = controller.assign_initial(fr, media::MediaType::kAudio, 9, rng);
+  EXPECT_TRUE(initial.assignment.dc.valid());
+
+  // Converging on the guessed intra-country config itself never migrates.
+  workload::CallConfig intra{{{fr, 3}}, media::MediaType::kAudio};
+  const auto same = controller.converge(initial, intra, 9, rng);
+  EXPECT_FALSE(same.dc_migration);
+
+  // Converging on an out-of-plan config keeps the call in place.
+  workload::CallConfig unknown{{{world_->find_country("japan"), 1}},
+                               media::MediaType::kAudio};
+  const auto odd = controller.converge(initial, unknown, 9, rng);
+  EXPECT_TRUE(odd.out_of_plan);
+  EXPECT_FALSE(odd.dc_migration);
+  EXPECT_EQ(odd.final_assignment.dc, initial.assignment.dc);
+}
+
+TEST_F(PlanTest, ControllerRouteFailoverThresholds) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  OfflinePlan plan(&inputs, solve_plan(inputs, lp_options()));
+  OnlineController controller(inputs, plan);
+  const auto fr = world_->find_country("france");
+  const auto nl = world_->find_dc("netherlands");
+  const double wan_rtt = db_->latency().base_rtt_ms(fr, nl, net::PathType::kWan);
+  EXPECT_TRUE(controller.should_route_failover(fr, nl, 0.02, wan_rtt));
+  EXPECT_TRUE(controller.should_route_failover(fr, nl, 0.0, wan_rtt * 2.0));
+  EXPECT_FALSE(controller.should_route_failover(fr, nl, 0.001, wan_rtt * 1.1));
+}
+
+TEST_F(PlanTest, FallbackIsNearestDc) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  OfflinePlan plan(&inputs, solve_plan(inputs, lp_options()));
+  OnlineController controller(inputs, plan);
+  const auto ie = world_->find_country("ireland");
+  const auto fb = controller.fallback(ie);
+  EXPECT_EQ(fb.dc, world_->find_dc("ireland"));
+  EXPECT_EQ(fb.path, net::PathType::kWan);
+}
+
+// --- Pipeline / forecasting -----------------------------------------------------
+
+TEST_F(TitanNextTest, ForecastCountsShapes) {
+  const auto history = trace_->config_counts();
+  const int train_slots = 2 * core::kSlotsPerWeek;
+  const auto fc = forecast_counts(history, train_slots, core::kSlotsPerDay, 20);
+  ASSERT_EQ(fc.counts.size(), history.size());
+  EXPECT_EQ(fc.hw_configs, 20);
+  for (const auto& series : fc.counts) {
+    ASSERT_EQ(series.size(), static_cast<std::size_t>(core::kSlotsPerDay));
+    for (const double v : series) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST_F(TitanNextTest, ForecastAccuracyOnTopConfigs) {
+  // Fig. 20's headline: small normalized errors for high-volume configs.
+  const auto history = trace_->config_counts();
+  const int train_slots = 2 * core::kSlotsPerWeek;
+  const auto fc = forecast_counts(history, train_slots, core::kSlotsPerDay, 15);
+
+  const auto by_volume = trace_->configs_by_volume();
+  std::vector<double> maes;
+  for (int rank = 0; rank < 10; ++rank) {
+    const auto cfg = static_cast<std::size_t>(by_volume[static_cast<std::size_t>(rank)].value());
+    std::vector<double> actual(history[cfg].begin() + train_slots,
+                               history[cfg].begin() + train_slots + core::kSlotsPerDay);
+    const auto err = forecast::evaluate_forecast(actual, fc.counts[cfg]);
+    maes.push_back(err.mae_normalized);
+  }
+  // Median normalized MAE across the top configs should be small (paper:
+  // 4.9% with 4 training weeks; this test trains on only 2).
+  std::sort(maes.begin(), maes.end());
+  EXPECT_LT(maes[maes.size() / 2], 0.2);
+}
+
+TEST_F(TitanNextTest, PipelinePlansOracleAndForecast) {
+  PipelineOptions popts;
+  popts.scope = small_scope();
+  popts.lp.e2e_bound_ms = 120.0;
+  popts.top_k_forecast = 15;
+  const TitanNextPipeline pipeline(*db_, *fractions_, popts);
+
+  const auto oracle = pipeline.plan_day_oracle(*trace_, 2 * core::kSlotsPerWeek);
+  ASSERT_TRUE(oracle.valid());
+  EXPECT_GT(oracle.plan.result().sum_of_wan_peaks_mbps, 0.0);
+
+  const auto practical = pipeline.plan_day_forecast(*trace_, 2 * core::kSlotsPerWeek);
+  ASSERT_TRUE(practical.valid());
+  EXPECT_GT(practical.forecast_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace titan::titannext

@@ -1,0 +1,212 @@
+// Tests for call configs, the §6.2 reduction, and the trace generator.
+#include <gtest/gtest.h>
+
+#include "workload/call_config.h"
+#include "workload/callgen.h"
+
+namespace titan::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  geo::World world_ = geo::World::make();
+};
+
+TEST_F(WorkloadTest, CallConfigCanonicalization) {
+  const auto fr = world_.find_country("france");
+  const auto uk = world_.find_country("uk");
+  CallConfig c;
+  c.participants = {{uk, 1}, {fr, 1}, {uk, 2}};
+  c.canonicalize();
+  ASSERT_EQ(c.participants.size(), 2u);
+  // Sorted by country id (uk precedes france in the registry) with the uk
+  // entries merged.
+  EXPECT_EQ(c.participants[0].first, uk);
+  EXPECT_EQ(c.participants[0].second, 3);
+  EXPECT_EQ(c.participants[1].first, fr);
+  EXPECT_EQ(c.total_participants(), 4);
+  EXPECT_FALSE(c.intra_country());
+}
+
+TEST_F(WorkloadTest, ConfigKeyAndResources) {
+  const auto fr = world_.find_country("france");
+  const auto uk = world_.find_country("uk");
+  CallConfig c;
+  c.participants = {{fr, 2}, {uk, 1}};
+  c.media = media::MediaType::kVideo;
+  c.canonicalize();
+  // Key mirrors the paper's ((France-2, UK-1), media) notation.
+  EXPECT_NE(c.key(world_).find("FR:2"), std::string::npos);
+  EXPECT_NE(c.key(world_).find("GB:1"), std::string::npos);
+  EXPECT_NE(c.key(world_).find("video"), std::string::npos);
+  EXPECT_DOUBLE_EQ(c.network_mbps(),
+                   3 * media::bandwidth_per_participant(media::MediaType::kVideo));
+  EXPECT_DOUBLE_EQ(c.network_mbps_from(fr),
+                   2 * media::bandwidth_per_participant(media::MediaType::kVideo));
+  EXPECT_DOUBLE_EQ(c.network_mbps_from(world_.find_country("spain")), 0.0);
+  EXPECT_DOUBLE_EQ(c.compute_cores(),
+                   3 * media::compute_per_participant(media::MediaType::kVideo));
+}
+
+TEST_F(WorkloadTest, IntraCountryReductionCollapsesToOne) {
+  // (Germany-2, Audio) -> (Germany-1, Audio) x2 ; (Germany-3, Audio) ->
+  // (Germany-1, Audio) x3 — the paper's §6.2 example.
+  const auto de = world_.find_country("germany");
+  CallConfig c2{{{de, 2}}, media::MediaType::kAudio};
+  CallConfig c3{{{de, 3}}, media::MediaType::kAudio};
+  const auto r2 = reduce(c2);
+  const auto r3 = reduce(c3);
+  EXPECT_EQ(r2.config, r3.config);
+  EXPECT_EQ(r2.config.participants.front().second, 1);
+  EXPECT_EQ(r2.multiplier, 2);
+  EXPECT_EQ(r3.multiplier, 3);
+  // Resources preserved: multiplier x reduced == original.
+  EXPECT_DOUBLE_EQ(r3.multiplier * r3.config.network_mbps(), c3.network_mbps());
+}
+
+TEST_F(WorkloadTest, InternationalReductionUsesGcd) {
+  const auto fr = world_.find_country("france");
+  const auto uk = world_.find_country("uk");
+  CallConfig c{{{fr, 4}, {uk, 2}}, media::MediaType::kVideo};
+  const auto r = reduce(c);
+  EXPECT_EQ(r.multiplier, 2);
+  EXPECT_EQ(r.config.participants[0].second, 2);
+  EXPECT_EQ(r.config.participants[1].second, 1);
+  // Co-prime counts do not reduce.
+  CallConfig odd{{{fr, 3}, {uk, 2}}, media::MediaType::kAudio};
+  EXPECT_EQ(reduce(odd).multiplier, 1);
+  EXPECT_EQ(reduce(odd).config, odd);
+}
+
+TEST_F(WorkloadTest, MediaTypesNeverGroupTogether) {
+  const auto de = world_.find_country("germany");
+  CallConfig audio{{{de, 2}}, media::MediaType::kAudio};
+  CallConfig video{{{de, 2}}, media::MediaType::kVideo};
+  EXPECT_NE(reduce(audio).config, reduce(video).config);
+}
+
+TEST_F(WorkloadTest, RegistryInternsStably) {
+  ConfigRegistry reg;
+  const auto fr = world_.find_country("france");
+  CallConfig a{{{fr, 2}}, media::MediaType::kAudio};
+  CallConfig b{{{fr, 2}}, media::MediaType::kAudio};
+  CallConfig c{{{fr, 2}}, media::MediaType::kVideo};
+  EXPECT_EQ(reg.intern(a), reg.intern(b));
+  EXPECT_NE(reg.intern(a), reg.intern(c));
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.get(reg.intern(a)), a);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  geo::World world_ = geo::World::make();
+  TraceOptions opts_ = [] {
+    TraceOptions o;
+    o.weeks = 2;
+    o.peak_slot_calls = 120.0;
+    return o;
+  }();
+  Trace trace_ = TraceGenerator(world_).generate(opts_);
+};
+
+TEST_F(TraceTest, DiurnalShape) {
+  // Business hours dominate night; weekends are quieter.
+  const double noon = TraceGenerator::diurnal_factor(core::slot_at(2, 11, 0), 0.25);
+  const double night = TraceGenerator::diurnal_factor(core::slot_at(2, 3, 0), 0.25);
+  const double weekend_noon = TraceGenerator::diurnal_factor(core::slot_at(5, 11, 0), 0.25);
+  EXPECT_GT(noon, 6.0 * night);
+  EXPECT_NEAR(weekend_noon / noon, 0.25, 0.01);
+}
+
+TEST_F(TraceTest, CallsAreEuropeanAndWellFormed) {
+  ASSERT_GT(trace_.calls().size(), 1000u);
+  for (const auto& call : trace_.calls()) {
+    const auto& config = trace_.configs().get(call.config);
+    EXPECT_GE(config.total_participants(), 1);
+    EXPECT_LE(config.total_participants(), 10);
+    for (const auto& [country, count] : config.participants) {
+      EXPECT_EQ(world_.country(country).continent, geo::Continent::kEurope);
+      EXPECT_GT(count, 0);
+    }
+    EXPECT_GE(call.start_slot, 0);
+    EXPECT_LT(call.start_slot, trace_.num_slots());
+    // First joiner is one of the participating countries.
+    bool found = false;
+    for (const auto& [country, count] : config.participants)
+      found |= country == call.first_joiner;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(TraceTest, MostCallsAreIntraCountry) {
+  int intra = 0;
+  for (const auto& call : trace_.calls())
+    intra += trace_.configs().get(call.config).intra_country();
+  const double share = static_cast<double>(intra) / trace_.calls().size();
+  EXPECT_GT(share, 0.7);  // §6.3: "majority of the calls today are intra-country"
+}
+
+TEST_F(TraceTest, ConfigCountsMatchCalls) {
+  const auto counts = trace_.config_counts();
+  double total = 0.0;
+  for (const auto& series : counts)
+    for (const double v : series) total += v;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(trace_.calls().size()));
+  // Slot index agrees.
+  for (const auto idx : trace_.calls_starting_in(100))
+    EXPECT_EQ(trace_.calls()[idx].start_slot, 100);
+}
+
+TEST_F(TraceTest, TopConfigsCoverMostCalls) {
+  const auto by_volume = trace_.configs_by_volume();
+  const auto counts = trace_.config_counts();
+  double total = 0.0, top = 0.0;
+  std::vector<double> per_config(counts.size(), 0.0);
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    for (const double v : counts[c]) per_config[c] += v;
+  for (const double v : per_config) total += v;
+  // Heavy-tailed popularity (paper: top 3,000 of all configs cover 90+%).
+  const std::size_t k = std::min<std::size_t>(100, by_volume.size());
+  for (std::size_t i = 0; i < k; ++i)
+    top += per_config[static_cast<std::size_t>(by_volume[i].value())];
+  EXPECT_GT(top / total, 0.6);
+  double top_quarter = 0.0;
+  const std::size_t q = by_volume.size() / 4;
+  for (std::size_t i = 0; i < q; ++i)
+    top_quarter += per_config[static_cast<std::size_t>(by_volume[i].value())];
+  EXPECT_GT(top_quarter / total, 0.9);
+}
+
+TEST_F(TraceTest, WeekdayBusierThanWeekend) {
+  std::vector<double> per_day(static_cast<std::size_t>(opts_.weeks * 7), 0.0);
+  for (const auto& call : trace_.calls())
+    per_day[static_cast<std::size_t>(core::day_of(call.start_slot))] += 1.0;
+  EXPECT_GT(per_day[2], 2.0 * per_day[5]);  // Wed >> Sat
+}
+
+TEST_F(TraceTest, WindowRebasesSlots) {
+  const Trace week2 = trace_.window(core::kSlotsPerWeek, 2 * core::kSlotsPerWeek);
+  EXPECT_EQ(week2.num_slots(), core::kSlotsPerWeek);
+  std::size_t expected = 0;
+  for (const auto& call : trace_.calls())
+    expected += call.start_slot >= core::kSlotsPerWeek;
+  EXPECT_EQ(week2.calls().size(), expected);
+  for (const auto& call : week2.calls()) {
+    EXPECT_GE(call.start_slot, 0);
+    EXPECT_LT(call.start_slot, core::kSlotsPerWeek);
+  }
+  // Registry shared: config ids still resolve.
+  EXPECT_EQ(week2.configs().size(), trace_.configs().size());
+}
+
+TEST_F(TraceTest, DeterministicForSeed) {
+  const Trace again = TraceGenerator(world_).generate(opts_);
+  ASSERT_EQ(again.calls().size(), trace_.calls().size());
+  for (std::size_t i = 0; i < 100 && i < trace_.calls().size(); ++i) {
+    EXPECT_EQ(again.calls()[i].start_slot, trace_.calls()[i].start_slot);
+    EXPECT_EQ(again.calls()[i].config, trace_.calls()[i].config);
+  }
+}
+
+}  // namespace
+}  // namespace titan::workload
