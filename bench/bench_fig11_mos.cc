@@ -9,9 +9,10 @@
 #include "core/stats.h"
 #include "media/relay_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Average MOS vs max end-to-end latency", "Fig. 11");
 
   media::MosModelParams mos_params;

@@ -10,12 +10,13 @@
 #include "policies/titan_policy.h"
 #include "policies/wrr.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Oracle: sum of per-day peak WAN bandwidth", "Fig. 14 + ablations");
 
-  const auto split = bench::make_workload(env.world, /*peak_slot_calls=*/600.0);
+  const auto split = env.workload(600.0);
   const auto ctx = policies::PolicyContext::make(env.db, geo::Continent::kEurope, 0.20);
 
   titannext::PlanScope scope;

@@ -7,9 +7,10 @@
 #include "bench/common.h"
 #include "core/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Share of 30-min slots with sustained loss, EU pairs", "Fig. 16");
 
   const auto eu_countries = env.world.countries_in(geo::Continent::kEurope);

@@ -7,9 +7,10 @@
 #include "bench/common.h"
 #include "core/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Elasticity CDFs across EU pairs (1% -> 20% offload)", "Fig. 17");
 
   const auto eu_countries = env.world.countries_in(geo::Continent::kEurope);

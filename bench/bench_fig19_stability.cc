@@ -7,9 +7,10 @@
 #include "measure/aggregate.h"
 #include "measure/probe_platform.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Fraction F heatmap, 6 months earlier + corridor drift", "Fig. 19");
 
   const geo::GeoDb geodb = geo::GeoDb::make(env.world);

@@ -9,14 +9,15 @@
 #include "forecast/holt_winters.h"
 #include "titannext/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Holt-Winters prediction error across call configs", "Fig. 20");
 
   // 4 weeks of training + 1 day evaluated, per the paper's cadence. The
   // paper predicts call counts per *call config* (not reduced).
-  const auto split = bench::make_workload(env.world, /*peak_slot_calls=*/700.0);
+  const auto split = env.workload(700.0);
   const auto history = split.history.config_counts();
   const auto eval_counts = split.eval.config_counts();
   const int horizon = core::kSlotsPerDay;

@@ -17,9 +17,10 @@ constexpr const char* kClientCountries[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Fraction F heatmap: 22 client countries x 6 DCs", "Fig. 4");
 
   const geo::GeoDb geodb = geo::GeoDb::make(env.world);

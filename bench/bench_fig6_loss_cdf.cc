@@ -8,9 +8,10 @@
 #include "core/stats.h"
 #include "media/relay_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("RTP loss CDFs, Internet vs WAN, 3 EU DCs", "Fig. 6");
 
   const media::MosModel mos;

@@ -5,9 +5,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Loss time series, France -> Netherlands DC", "Fig. 7");
 
   const auto fr = env.world.find_country("france");

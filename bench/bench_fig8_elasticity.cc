@@ -5,9 +5,10 @@
 #include "bench/common.h"
 #include "core/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Elasticity: loss & RTT vs % of calls on the Internet",
                       "Fig. 8 (UK -> Netherlands DC)");
 

@@ -9,12 +9,13 @@
 #include "policies/wrr.h"
 #include "titannext/lp_builder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace titan;
-  bench::Env env;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  bench::Env env{cli};
   bench::print_header("Daily max-E2E latency per policy", "Table 3 + E sweep");
 
-  const auto split = bench::make_workload(env.world, /*peak_slot_calls=*/600.0);
+  const auto split = env.workload(600.0);
   const auto ctx = policies::PolicyContext::make(env.db, geo::Continent::kEurope, 0.20);
 
   titannext::PlanScope scope;

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
@@ -16,7 +18,67 @@
 
 namespace titan::bench {
 
+// Shared command-line interface of every bench binary:
+//   --seed N      workload seed               (default 2024)
+//   --weeks N     total workload weeks, last one evaluated (default 5)
+//   --threads N   sim worker threads          (default 1)
+//   --peak X      busiest-slot call volume    (default: per bench)
+//   --scenario S  named scenario              (sim bench only)
+// The workload knobs apply to the benches that generate call traces
+// (fig14/15/20, table3/4, sim); pure measurement-study benches accept but
+// do not consume them.
+struct Cli {
+  std::uint64_t seed = 2024;
+  int weeks = 5;
+  int threads = 1;
+  double peak_slot_calls = -1.0;  // < 0: keep the bench's default
+  std::string scenario;
+
+  [[nodiscard]] double peak_or(double fallback) const {
+    return peak_slot_calls > 0.0 ? peak_slot_calls : fallback;
+  }
+  [[nodiscard]] int training_weeks() const { return weeks > 1 ? weeks - 1 : 1; }
+};
+
+inline Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (is("--seed")) {
+      cli.seed = std::strtoull(value(), nullptr, 10);
+    } else if (is("--weeks")) {
+      cli.weeks = std::atoi(value());
+      if (cli.weeks < 2) {
+        std::fprintf(stderr, "--weeks must be >= 2 (training weeks + 1 evaluation week)\n");
+        std::exit(2);
+      }
+    } else if (is("--threads")) {
+      cli.threads = std::atoi(value());
+    } else if (is("--peak")) {
+      cli.peak_slot_calls = std::atof(value());
+    } else if (is("--scenario")) {
+      cli.scenario = value();
+    } else if (is("--help") || is("-h")) {
+      std::printf("usage: %s [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
 struct Env {
+  Cli cli;  // seed/weeks/threads/peak overrides (workload-level knobs)
   geo::World world = geo::World::make();
   net::NetworkDb db{world};
 
@@ -32,6 +94,10 @@ struct Env {
     }
     return fractions;
   }
+
+  // The standard split with the CLI's seed/weeks/peak applied on top of the
+  // bench's default peak. (Declared after WorkloadSplit below.)
+  [[nodiscard]] struct WorkloadSplit workload(double default_peak) const;
 };
 
 struct WorkloadSplit {
@@ -40,14 +106,25 @@ struct WorkloadSplit {
 };
 
 inline WorkloadSplit make_workload(const geo::World& world, double peak_slot_calls = 150.0,
-                                   std::uint64_t seed = 2024) {
+                                   std::uint64_t seed = 2024, int weeks = 5) {
   workload::TraceOptions opts;
-  opts.weeks = 5;
+  opts.weeks = weeks;
   opts.peak_slot_calls = peak_slot_calls;
   opts.seed = seed;
   auto full = workload::TraceGenerator(world).generate(opts);
-  return {full.window(0, 4 * core::kSlotsPerWeek),
-          full.window(4 * core::kSlotsPerWeek, 5 * core::kSlotsPerWeek)};
+  const int split = (weeks - 1) * core::kSlotsPerWeek;
+  return {full.window(0, split), full.window(split, weeks * core::kSlotsPerWeek)};
+}
+
+// Workload from the shared CLI: seed/weeks/peak overrides applied on top of
+// the bench's own default peak.
+inline WorkloadSplit make_workload(const geo::World& world, const Cli& cli,
+                                   double default_peak) {
+  return make_workload(world, cli.peak_or(default_peak), cli.seed, cli.weeks);
+}
+
+inline WorkloadSplit Env::workload(double default_peak) const {
+  return make_workload(world, cli, default_peak);
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

@@ -1,0 +1,88 @@
+// Per-slot metric streams for the closed-loop simulator (src/sim/).
+//
+// The static evaluators in eval/metrics.h summarize a finished trace; the
+// simulator instead emits metrics *as slots elapse*: per-slot per-link WAN
+// bandwidth, Internet offload bandwidth, arrivals, migrations, out-of-plan
+// convergences, the Internet participant share, and a MOS proxy. Sinks are
+// accumulated per shard during a simulation and merged in shard order, so
+// the totals are bit-identical regardless of worker-thread count, then
+// finalized into the same WanUsage shape the §7/§8 benches report.
+#pragma once
+
+#include <vector>
+
+#include "core/ids.h"
+#include "core/timegrid.h"
+#include "eval/metrics.h"
+
+namespace titan::eval {
+
+class SlotMetricsSink {
+ public:
+  SlotMetricsSink() = default;
+  SlotMetricsSink(int num_slots, int num_links);
+
+  [[nodiscard]] int num_slots() const { return num_slots_; }
+
+  void add_wan_mbps(core::SlotIndex s, core::LinkId link, double mbps);
+  void add_internet_mbps(core::SlotIndex s, double mbps);
+  void add_arrival(core::SlotIndex s);
+  void add_dc_migration(core::SlotIndex s);
+  void add_route_change(core::SlotIndex s);
+  void add_forced_migration(core::SlotIndex s);  // network-event evictions
+  void add_out_of_plan(core::SlotIndex s);
+  void add_participants(core::SlotIndex s, int internet, int total);
+  void add_mos(core::SlotIndex s, double mos);
+
+  // Element-wise accumulation of another sink with identical dimensions.
+  void merge(const SlotMetricsSink& other);
+
+  // --- finalized views --------------------------------------------------
+  // Day-peak summary in the shape of the §7 cost metric.
+  [[nodiscard]] WanUsage wan_usage() const;
+  // Sum across links of the slot's WAN bandwidth.
+  [[nodiscard]] std::vector<double> wan_total_mbps_per_slot() const;
+  [[nodiscard]] double link_peak_mbps(core::LinkId link) const;
+  [[nodiscard]] double link_mbps_at(core::SlotIndex s, core::LinkId link) const {
+    return link_mbps_[cell(s, link)];
+  }
+  // Out-of-plan convergences / arrivals, per slot (0 where no arrivals).
+  [[nodiscard]] std::vector<double> out_of_plan_rate_per_slot() const;
+  // Internet participants / all participants, per slot.
+  [[nodiscard]] std::vector<double> internet_share_per_slot() const;
+  [[nodiscard]] double internet_share_overall() const;
+  // Mean MOS proxy of calls arriving in the slot (0 where none sampled).
+  [[nodiscard]] std::vector<double> mean_mos_per_slot() const;
+  [[nodiscard]] double mean_mos_overall() const;
+
+  [[nodiscard]] const std::vector<double>& arrivals() const { return arrivals_; }
+  [[nodiscard]] const std::vector<double>& internet_mbps() const { return internet_mbps_; }
+  [[nodiscard]] const std::vector<double>& dc_migrations() const { return dc_migrations_; }
+  [[nodiscard]] const std::vector<double>& route_changes() const { return route_changes_; }
+  [[nodiscard]] const std::vector<double>& forced_migrations() const {
+    return forced_migrations_;
+  }
+  [[nodiscard]] const std::vector<double>& out_of_plan() const { return out_of_plan_; }
+
+ private:
+  [[nodiscard]] std::size_t cell(core::SlotIndex s, core::LinkId link) const {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(num_links_) +
+           static_cast<std::size_t>(link.value());
+  }
+
+  int num_slots_ = 0;
+  int num_links_ = 0;
+  std::vector<double> link_mbps_;  // [slot * num_links + link]
+  std::vector<double> internet_mbps_;
+  std::vector<double> arrivals_;
+  std::vector<double> dc_migrations_;
+  std::vector<double> route_changes_;
+  std::vector<double> forced_migrations_;
+  std::vector<double> out_of_plan_;
+  std::vector<double> internet_participants_;
+  std::vector<double> participants_;
+  std::vector<double> mos_sum_;
+  std::vector<double> mos_count_;
+};
+
+}  // namespace titan::eval

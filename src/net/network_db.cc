@@ -24,6 +24,20 @@ NetworkDb::NetworkDb(const geo::World& world, const NetworkDbOptions& options)
   priority_share_.resize(world.countries().size());
   for (const auto& c : world.countries())
     priority_share_[static_cast<std::size_t>(c.id.value())] = c.call_volume / total;
+  dc_compute_scale_.assign(world.dcs().size(), 1.0);
+}
+
+void NetworkDb::scale_wan_links_on_path(core::CountryId client, core::DcId dc, double scale) {
+  for (const auto lid : topology_->path(client, dc).links)
+    topology_->set_link_capacity_scale(lid, scale);
+}
+
+void NetworkDb::set_dc_compute_scale(core::DcId dc, double scale) {
+  dc_compute_scale_.at(static_cast<std::size_t>(dc.value())) = scale;
+}
+
+double NetworkDb::dc_compute_scale(core::DcId dc) const {
+  return dc_compute_scale_.at(static_cast<std::size_t>(dc.value()));
 }
 
 core::Mbps NetworkDb::pair_peak_demand(core::CountryId client, core::DcId dc) const {

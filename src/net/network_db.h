@@ -81,6 +81,16 @@ class NetworkDb {
   core::LinkId cut_wan_link_on_path(core::CountryId client, core::DcId dc,
                                     double remaining_scale = 0.0);
 
+  // Scenario events (src/sim/): scale every WAN link on the pair's path
+  // (partial regrade/brownout; 0 severs the whole segment).
+  void scale_wan_links_on_path(core::CountryId client, core::DcId dc, double scale);
+
+  // Maintenance drain: scale of a DC's usable MP compute (1 healthy, 0 fully
+  // drained). Planning applies it to the DC's capacity; the online
+  // controller's fallback skips fully drained DCs.
+  void set_dc_compute_scale(core::DcId dc, double scale);
+  [[nodiscard]] double dc_compute_scale(core::DcId dc) const;
+
  private:
   const geo::World* world_;
   NetworkDbOptions options_;
@@ -88,6 +98,7 @@ class NetworkDb {
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<LossModel> loss_;
   std::vector<double> priority_share_;  // per country, sums to 1
+  std::vector<double> dc_compute_scale_;  // per DC, 1.0 healthy
 };
 
 }  // namespace titan::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <set>
@@ -140,7 +141,16 @@ WanTopology WanTopology::make(const geo::World& world, const WanTopologyOptions&
   return t;
 }
 
-void WanTopology::compute_paths(const geo::World& world) {
+void WanTopology::reroute_around_dead_links(const geo::World& world) {
+  const auto previous = paths_;
+  compute_paths(world, /*skip_dead_links=*/true);
+  // Keep the old (dead) path where no live route exists.
+  for (std::size_t c = 0; c < paths_.size(); ++c)
+    for (std::size_t d = 0; d < paths_[c].size(); ++d)
+      if (std::isinf(paths_[c][d].one_way_ms)) paths_[c][d] = previous[c][d];
+}
+
+void WanTopology::compute_paths(const geo::World& world, bool skip_dead_links) {
   const std::size_t n = nodes_.size();
   paths_.assign(world.countries().size(), std::vector<WanPath>(world.dcs().size()));
 
@@ -159,6 +169,8 @@ void WanTopology::compute_paths(const geo::World& world) {
       q.pop();
       if (d > dist[static_cast<std::size_t>(u)]) continue;
       for (const auto& [v, lid] : adjacency_[static_cast<std::size_t>(u)]) {
+        if (skip_dead_links && links_[static_cast<std::size_t>(lid.value())].capacity_scale <= 0.0)
+          continue;
         const double nd = d + links_[static_cast<std::size_t>(lid.value())].latency_ms;
         if (nd < dist[static_cast<std::size_t>(v.value())]) {
           dist[static_cast<std::size_t>(v.value())] = nd;

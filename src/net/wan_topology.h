@@ -66,11 +66,17 @@ class WanTopology {
   // headroom loss in the evaluation layer.
   void set_link_capacity_scale(core::LinkId id, double scale);
 
+  // Traffic engineering after a cut (closed-loop scenarios): recompute
+  // latency-shortest routing over the *live* links only (capacity_scale >
+  // 0). A pair left without a live route keeps its previous path — that
+  // traffic blackholes on the dead segment until repair.
+  void reroute_around_dead_links(const geo::World& world);
+
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
 
  private:
-  void compute_paths(const geo::World& world);
+  void compute_paths(const geo::World& world, bool skip_dead_links = false);
 
   std::vector<WanNode> nodes_;
   std::vector<WanLink> links_;

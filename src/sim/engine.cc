@@ -1,0 +1,458 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/hash.h"
+#include "media/mos.h"
+#include "sim/executor.h"
+#include "titannext/controller.h"
+#include "workload/event_stream.h"
+
+namespace titan::sim {
+
+namespace {
+
+// Fingerprint of one assignment decision; order-sensitive within a shard.
+std::uint64_t mix_decision(std::uint64_t h, std::uint32_t call_index, core::DcId dc,
+                           net::PathType path, std::uint32_t flags) {
+  h = core::hash_mix(h, call_index);
+  h = core::hash_mix(h, static_cast<std::uint64_t>(dc.value()));
+  h = core::hash_mix(h, static_cast<std::uint64_t>(path));
+  return core::hash_mix(h, flags);
+}
+
+}  // namespace
+
+struct SimEngine::Shard {
+  struct ActiveCall {
+    core::DcId dc;
+    net::PathType path = net::PathType::kWan;
+  };
+
+  core::Rng rng{0};
+  titannext::OfflinePlan plan;  // per-shard copy: credit state stays private
+  std::unique_ptr<titannext::OnlineController> controller;
+  EventQueue queue;
+  // Ordered containers keep float accumulation order fixed per shard.
+  std::map<std::uint32_t, ActiveCall> active;
+  std::map<std::uint32_t, titannext::InitialAssignment> pending;
+  std::vector<std::uint32_t> converged_this_slot;
+  std::map<std::pair<int, int>, double> internet_load;  // (country, dc) -> Mbps, this slot
+  eval::SlotMetricsSink sink;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::int64_t calls = 0;
+  std::int64_t dc_migrations = 0;
+  std::int64_t route_changes = 0;
+  std::int64_t forced_migrations = 0;
+  std::int64_t out_of_plan = 0;
+  std::int64_t fallbacks = 0;
+};
+
+SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
+  scenario_.shards = std::max(1, scenario_.shards);
+  scenario_.replan_interval_slots = std::max(1, scenario_.replan_interval_slots);
+  // The plan must cover at least one full replan interval.
+  scenario_.pipeline.scope.timeslots =
+      std::max(scenario_.pipeline.scope.timeslots, scenario_.replan_interval_slots);
+
+  world_ = std::make_unique<geo::World>(geo::World::make());
+  workload_ = build_workload(scenario_, *world_);
+  history_slots_ = scenario_.history_slots();
+
+  // Resolve disturbance names into the event schedule.
+  for (const auto& d : scenario_.disturbances) {
+    NetworkEvent e;
+    e.kind = d.kind;
+    e.slot = d.day * core::kSlotsPerDay + d.slot_in_day;
+    e.end_slot = d.duration_slots > 0 ? e.slot + d.duration_slots : -1;
+    e.magnitude = d.magnitude;
+    if (!d.country.empty()) {
+      e.country = world_->find_country(d.country);
+      if (!e.country.valid()) throw std::invalid_argument("disturbance country: " + d.country);
+    }
+    if (!d.dc.empty()) {
+      e.dc = world_->find_dc(d.dc);
+      if (!e.dc.valid()) throw std::invalid_argument("disturbance dc: " + d.dc);
+    }
+    if (e.kind == NetworkEventKind::kForecastBias) {
+      forecast_biases_.push_back(e);  // a modeling regime, not a fired event
+    } else if (e.kind == NetworkEventKind::kDcDrain) {
+      events_.push_back(e);
+      // A drain window restores the DC when it closes (maintenance done).
+      if (e.end_slot >= 0) {
+        NetworkEvent restore = e;
+        restore.slot = e.end_slot;
+        restore.end_slot = -1;
+        restore.magnitude = 1.0;
+        events_.push_back(restore);
+      }
+    } else {
+      // Fiber repairs take months (§4.2 finding 7) — far beyond any sim
+      // horizon — so link events have no restoration path; reject windows
+      // rather than silently ignoring them.
+      if (d.duration_slots > 0)
+        throw std::invalid_argument("link disturbances do not support duration_slots");
+      events_.push_back(e);
+    }
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const NetworkEvent& a, const NetworkEvent& b) { return a.slot < b.slot; });
+
+  // Forecast inputs: training history followed by the realized eval counts
+  // (replans only ever read columns before "now").
+  auto hist = workload_.history.config_active_counts();
+  const auto eval = workload_.eval.config_active_counts();
+  combined_counts_.resize(eval.size());
+  for (std::size_t c = 0; c < eval.size(); ++c) {
+    auto& series = combined_counts_[c];
+    series = c < hist.size() ? std::move(hist[c])
+                             : std::vector<double>(static_cast<std::size_t>(history_slots_), 0.0);
+    series.insert(series.end(), eval[c].begin(), eval[c].end());
+  }
+
+  reset_network();
+}
+
+SimEngine::~SimEngine() = default;
+
+void SimEngine::reset_network() {
+  // Rebuilding the NetworkDb from the world resets every disturbance effect
+  // (link scales, drains), so consecutive runs are identical.
+  db_ = std::make_unique<net::NetworkDb>(*world_);
+  dead_links_.assign(db_->topology().link_count(), false);
+  drained_dcs_.assign(world_->dcs().size(), false);
+  evacuation_pending_ = false;
+  severed_links_.clear();
+
+  fractions_.clear();
+  const auto continent = scenario_.pipeline.scope.continent;
+  for (const auto c : world_->countries_in(continent)) {
+    const double f = db_->loss().internet_unusable(c) ? 0.0 : scenario_.titan_fraction_cap;
+    for (const auto d : world_->dcs_in(continent)) fractions_[{c.value(), d.value()}] = f;
+  }
+
+  current_plan_ = titannext::DayPlan{};
+  plan_begin_ = 0;
+}
+
+void SimEngine::apply_network_event(const NetworkEvent& event) {
+  switch (event.kind) {
+    case NetworkEventKind::kFiberCut: {
+      const auto link = db_->cut_wan_link_on_path(event.country, event.dc, event.magnitude);
+      // Titan's emergency response (§4.2 finding 7): pairs whose WAN path
+      // crossed the severed link get a surged Internet fraction, so the
+      // next replan moves their traffic off the crippled segment. Affected
+      // pairs must be collected from the *pre-reroute* paths.
+      const auto continent = scenario_.pipeline.scope.continent;
+      for (const auto c : world_->countries_in(continent)) {
+        if (db_->loss().internet_unusable(c)) continue;
+        for (const auto d : world_->dcs_in(continent)) {
+          const auto& path = db_->topology().path(c, d).links;
+          if (std::find(path.begin(), path.end(), link) == path.end()) continue;
+          auto& f = fractions_[{c.value(), d.value()}];
+          f = std::max(f, scenario_.fiber_cut_surge_fraction);
+        }
+      }
+      if (event.magnitude <= 0.0) {
+        dead_links_[static_cast<std::size_t>(link.value())] = true;
+        severed_links_.emplace_back(event.slot, link);
+        evacuation_pending_ = true;
+        // Traffic engineering reroutes future WAN paths off the dead fiber.
+        db_->topology().reroute_around_dead_links(*world_);
+      }
+      break;
+    }
+    case NetworkEventKind::kLinkScale: {
+      db_->scale_wan_links_on_path(event.country, event.dc, event.magnitude);
+      if (event.magnitude <= 0.0) {
+        for (const auto lid : db_->topology().path(event.country, event.dc).links) {
+          dead_links_[static_cast<std::size_t>(lid.value())] = true;
+          severed_links_.emplace_back(event.slot, lid);
+        }
+        evacuation_pending_ = true;
+        db_->topology().reroute_around_dead_links(*world_);
+      }
+      break;
+    }
+    case NetworkEventKind::kDcDrain: {
+      db_->set_dc_compute_scale(event.dc, event.magnitude);
+      drained_dcs_[static_cast<std::size_t>(event.dc.value())] = event.magnitude <= 0.0;
+      if (event.magnitude <= 0.0) evacuation_pending_ = true;
+      break;
+    }
+    case NetworkEventKind::kForecastBias:
+      break;  // handled as a schedule in replan(), not as a fired event
+  }
+}
+
+void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
+  const int horizon = scenario_.pipeline.scope.timeslots;
+  const int now = history_slots_ + slot;
+
+  std::vector<std::vector<double>> counts;
+  double forecast_seconds = 0.0;
+  if (scenario_.oracle_counts) {
+    counts.assign(combined_counts_.size(),
+                  std::vector<double>(static_cast<std::size_t>(horizon), 0.0));
+    for (std::size_t c = 0; c < combined_counts_.size(); ++c)
+      for (int h = 0; h < horizon; ++h)
+        if (now + h < static_cast<int>(combined_counts_[c].size()))
+          counts[c][static_cast<std::size_t>(h)] =
+              combined_counts_[c][static_cast<std::size_t>(now + h)];
+  } else {
+    auto fc = titannext::forecast_counts(combined_counts_, now, horizon,
+                                         scenario_.pipeline.top_k_forecast);
+    counts = std::move(fc.counts);
+    forecast_seconds = fc.seconds;
+  }
+
+  // Forecast-miss regimes: every forecast column whose slot falls inside a
+  // bias window is scaled, whichever replan produced it.
+  for (const auto& bias : forecast_biases_) {
+    for (int h = 0; h < horizon; ++h) {
+      const core::SlotIndex covered = slot + h;
+      if (covered < bias.slot || (bias.end_slot >= 0 && covered >= bias.end_slot)) continue;
+      for (auto& series : counts) series[static_cast<std::size_t>(h)] *= bias.magnitude;
+    }
+  }
+
+  // A fresh pipeline per replan picks up fraction surges and drains.
+  const titannext::TitanNextPipeline pipeline(*db_, fractions_, scenario_.pipeline);
+  titannext::DayPlan day = pipeline.plan_from_counts(workload_.eval, counts, forecast_seconds);
+
+  titannext::ControllerOptions copts;
+  copts.use_reduction = scenario_.pipeline.use_reduction;
+  for (auto& sh : shards) {
+    sh.plan = day.plan;  // fresh credit state per shard per plan generation
+    if (sh.controller == nullptr)
+      sh.controller = std::make_unique<titannext::OnlineController>(*day.inputs, sh.plan, copts);
+    else
+      sh.controller->rebind(*day.inputs, sh.plan);
+  }
+  current_plan_ = std::move(day);  // frees the previous generation
+  plan_begin_ = slot;
+}
+
+SimResult SimEngine::run(int threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  reset_network();
+
+  const int num_slots = scenario_.eval_slots();
+  const int num_links = static_cast<int>(db_->topology().link_count());
+  const int num_shards = scenario_.shards;
+  const auto& calls = workload_.eval.calls();
+  const bool use_reduction = scenario_.pipeline.use_reduction;
+
+  std::vector<Shard> shards(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards[static_cast<std::size_t>(i)].rng =
+        core::Rng(core::hash_key(scenario_.seed, 0x51Aa, i));
+    shards[static_cast<std::size_t>(i)].sink = eval::SlotMetricsSink(num_slots, num_links);
+  }
+  for (const auto& e : workload::build_event_stream(workload_.eval))
+    shards[static_cast<std::size_t>(shard_of(calls[e.call_index].id, num_shards))].queue.push(e);
+
+  ShardedExecutor exec(num_shards, threads);
+  SimResult result;
+  result.scenario = scenario_.name;
+  result.eval_slots = num_slots;
+  result.threads = std::max(1, threads);
+
+  std::size_t next_event = 0;
+  core::SlotIndex next_replan = 0;
+  for (core::SlotIndex s = 0; s < num_slots; ++s) {
+    bool force_replan = false;
+    while (next_event < events_.size() && events_[next_event].slot <= s) {
+      apply_network_event(events_[next_event]);
+      if (events_[next_event].kind != NetworkEventKind::kForecastBias) force_replan = true;
+      ++next_event;
+    }
+    if (s >= next_replan || force_replan) {
+      replan(s, shards);
+      result.plan_seconds += current_plan_.lp_seconds;
+      result.forecast_seconds += current_plan_.forecast_seconds;
+      ++result.replans;
+      next_replan = s + scenario_.replan_interval_slots;
+    }
+
+    const bool evacuate = evacuation_pending_;
+    evacuation_pending_ = false;
+    const core::SlotIndex abs_slot = history_slots_ + s;
+    const core::SlotIndex t = s - plan_begin_;  // slot within the plan horizon
+
+    // Phase A+B: per shard, evacuate stranded calls, drain this slot's call
+    // events, then account per-slot usage of the shard's active set.
+    exec.run([&](int i) {
+      auto& sh = shards[static_cast<std::size_t>(i)];
+      sh.internet_load.clear();
+      sh.converged_this_slot.clear();
+
+      if (evacuate) {
+        for (auto& [idx, ac] : sh.active) {
+          const auto& call = calls[idx];
+          bool stranded = drained_dcs_[static_cast<std::size_t>(ac.dc.value())];
+          if (!stranded && ac.path == net::PathType::kWan) {
+            const auto& config = workload_.eval.configs().get(call.config);
+            for (const auto& [country, count] : config.participants) {
+              for (const auto lid : db_->topology().path(country, ac.dc).links)
+                if (dead_links_[static_cast<std::size_t>(lid.value())]) {
+                  stranded = true;
+                  break;
+                }
+              if (stranded) break;
+            }
+          }
+          if (!stranded) continue;
+          const auto& config = workload_.eval.configs().get(call.config);
+          const auto reduced = use_reduction ? workload::reduce(config).config : config;
+          const auto picked = sh.plan.pick(reduced, t, sh.rng);
+          const titannext::Assignment target =
+              picked.value_or(sh.controller->fallback(call.first_joiner));
+          if (target.dc != ac.dc) {
+            ++sh.forced_migrations;
+            sh.sink.add_forced_migration(s);
+          }
+          ac.dc = target.dc;
+          ac.path = target.path;
+          sh.checksum = mix_decision(sh.checksum, idx, ac.dc, ac.path, 0x4u);
+        }
+      }
+
+      while (sh.queue.due(s)) {
+        const auto e = sh.queue.pop();
+        const auto& call = calls[e.call_index];
+        switch (e.kind) {
+          case workload::CallEventKind::kEnd:
+            sh.active.erase(e.call_index);
+            break;
+          case workload::CallEventKind::kArrival: {
+            ++sh.calls;
+            sh.sink.add_arrival(s);
+            const auto& config = workload_.eval.configs().get(call.config);
+            auto initial =
+                sh.controller->assign_initial(call.first_joiner, config.media, t, sh.rng);
+            if (!initial.from_plan) ++sh.fallbacks;
+            sh.pending.emplace(e.call_index, std::move(initial));
+            break;
+          }
+          case workload::CallEventKind::kConvergence: {
+            const auto it = sh.pending.find(e.call_index);
+            const auto& config = workload_.eval.configs().get(call.config);
+            const auto conv = sh.controller->converge(it->second, config, t, sh.rng);
+            std::uint32_t flags = 0;
+            if (conv.dc_migration) {
+              ++sh.dc_migrations;
+              sh.sink.add_dc_migration(s);
+              flags |= 0x1u;
+            }
+            if (conv.out_of_plan) {
+              ++sh.out_of_plan;
+              sh.sink.add_out_of_plan(s);
+              flags |= 0x2u;
+            }
+            sh.active.insert_or_assign(
+                e.call_index,
+                Shard::ActiveCall{conv.final_assignment.dc, conv.final_assignment.path});
+            sh.pending.erase(it);
+            sh.converged_this_slot.push_back(e.call_index);
+            sh.checksum = mix_decision(sh.checksum, e.call_index, conv.final_assignment.dc,
+                                       conv.final_assignment.path, flags);
+            break;
+          }
+        }
+      }
+
+      // Per-slot usage of everything active in this shard.
+      for (const auto& [idx, ac] : sh.active) {
+        const auto& call = calls[idx];
+        const auto& config = workload_.eval.configs().get(call.config);
+        int total = 0;
+        for (const auto& [country, count] : config.participants) {
+          total += count;
+          const double bw = config.network_mbps_from(country);
+          if (ac.path == net::PathType::kWan) {
+            for (const auto lid : db_->topology().path(country, ac.dc).links)
+              sh.sink.add_wan_mbps(s, lid, bw);
+          } else {
+            sh.internet_load[{country.value(), ac.dc.value()}] += bw;
+            sh.sink.add_internet_mbps(s, bw);
+          }
+        }
+        sh.sink.add_participants(s, ac.path == net::PathType::kInternet ? total : 0, total);
+      }
+    });
+
+    // Barrier: the load-dependent Internet metrics need the slot's total
+    // offered load per pair across every shard (merged in shard order).
+    std::map<std::pair<int, int>, double> pair_load;
+    for (const auto& sh : shards)
+      for (const auto& [pair, mbps] : sh.internet_load) pair_load[pair] += mbps;
+
+    // Phase C: route-quality failover and the MOS proxy, against effective
+    // (elasticity-aware) Internet quality at the merged load.
+    exec.run([&](int i) {
+      auto& sh = shards[static_cast<std::size_t>(i)];
+      for (auto& [idx, ac] : sh.active) {
+        if (ac.path != net::PathType::kInternet) continue;
+        const auto& call = calls[idx];
+        const auto country = call.first_joiner;
+        const auto it = pair_load.find({country.value(), ac.dc.value()});
+        const double offered = it == pair_load.end() ? 0.0 : it->second;
+        const double loss = db_->effective_internet_loss(country, ac.dc, abs_slot, offered);
+        const double rtt = db_->effective_internet_rtt(country, ac.dc, abs_slot, offered);
+        if (sh.controller->should_route_failover(country, ac.dc, loss, rtt)) {
+          // §6.4: degraded Internet traffic moves to the WAN; never back.
+          ac.path = net::PathType::kWan;
+          ++sh.route_changes;
+          sh.sink.add_route_change(s);
+          sh.checksum = mix_decision(sh.checksum, idx, ac.dc, ac.path, 0x8u);
+        }
+      }
+      const media::MosModel mos_model;
+      for (const auto idx : sh.converged_this_slot) {
+        const auto it = sh.active.find(idx);
+        if (it == sh.active.end()) continue;
+        const auto& ac = it->second;
+        const auto& call = calls[idx];
+        const auto& config = workload_.eval.configs().get(call.config);
+        double loss = 0.0;
+        if (ac.path == net::PathType::kInternet) {
+          const auto lit = pair_load.find({call.first_joiner.value(), ac.dc.value()});
+          loss = db_->effective_internet_loss(call.first_joiner, ac.dc, abs_slot,
+                                              lit == pair_load.end() ? 0.0 : lit->second);
+        } else {
+          loss = db_->loss().slot_loss(call.first_joiner, ac.dc, net::PathType::kWan, abs_slot);
+        }
+        const double e2e = current_plan_.inputs->max_e2e_ms(config, ac.dc, ac.path);
+        sh.sink.add_mos(s, mos_model.expected(e2e, loss));
+      }
+    });
+  }
+
+  // Deterministic merge in shard index order.
+  eval::SlotMetricsSink merged(num_slots, num_links);
+  std::uint64_t checksum = 0x9e3779b97f4a7c15ULL;
+  for (const auto& sh : shards) {
+    merged.merge(sh.sink);
+    result.calls += sh.calls;
+    result.dc_migrations += sh.dc_migrations;
+    result.route_changes += sh.route_changes;
+    result.forced_migrations += sh.forced_migrations;
+    result.out_of_plan += sh.out_of_plan;
+    result.fallback_assignments += sh.fallbacks;
+    checksum = core::hash_mix(checksum, sh.checksum);
+  }
+  result.wan = merged.wan_usage();
+  result.internet_share = merged.internet_share_overall();
+  result.mean_mos = merged.mean_mos_overall();
+  result.streams = std::move(merged);
+  result.checksum = checksum;
+  result.severed_links = severed_links_;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace titan::sim

@@ -1,0 +1,122 @@
+// Closed-loop discrete-event simulation engine.
+//
+// Drives the full Titan-Next stack end-to-end the way production runs it
+// (§8): the online controller assigns calls in real time from the current
+// offline plan while the LP re-plans on fresh forecasts every
+// `replan_interval` slots, under injectable disturbances (fiber cuts, DC
+// drains, forecast-miss regimes, flash crowds). Per slot the engine
+//
+//   1. fires due network events (mutating the engine's own NetworkDb),
+//   2. re-plans when the replan timer — or a disturbance — demands it,
+//      re-binding every shard's controller to the fresh plan,
+//   3. evacuates active calls stranded on severed links or drained DCs,
+//   4. drains call events (end / arrival / convergence) shard-parallel,
+//   5. accounts per-slot WAN link and Internet pair usage,
+//   6. runs §6.4 route-quality failover against load-dependent Internet
+//      loss/RTT (elasticity knee included); failed-over traffic moves
+//      Internet -> WAN, never the reverse.
+//
+// Determinism: calls are partitioned across a fixed shard count by call-id
+// hash; each shard owns an RNG stream, a controller, a plan copy (credit
+// state), and a metric sink. Merges happen in shard index order, so a
+// given (scenario, seed) produces bit-identical results at any worker
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/slot_metrics.h"
+#include "sim/scenario.h"
+
+namespace titan::sim {
+
+struct SimResult {
+  std::string scenario;
+  int eval_slots = 0;
+  int threads = 1;
+
+  std::int64_t calls = 0;
+  std::int64_t dc_migrations = 0;       // convergence-time inter-DC moves
+  std::int64_t route_changes = 0;       // route-quality failovers (Internet -> WAN)
+  std::int64_t forced_migrations = 0;   // network-event evacuations
+  std::int64_t out_of_plan = 0;         // true config absent from the plan
+  std::int64_t fallback_assignments = 0;
+  int replans = 0;
+
+  double plan_seconds = 0.0;      // LP time across replans
+  double forecast_seconds = 0.0;  // forecasting time across replans
+  double wall_seconds = 0.0;
+
+  double internet_share = 0.0;  // participant-weighted
+  double mean_mos = 0.0;        // MOS proxy over converged calls
+
+  eval::WanUsage wan;            // day-peak cost metric over the sim window
+  eval::SlotMetricsSink streams; // full per-slot streams
+
+  // Bit-exact fingerprint of every assignment decision, in shard order.
+  std::uint64_t checksum = 0;
+
+  // Links severed by fiber-cut/link-scale events, with their firing slot.
+  std::vector<std::pair<core::SlotIndex, core::LinkId>> severed_links;
+
+  [[nodiscard]] double out_of_plan_rate() const {
+    return calls > 0 ? static_cast<double>(out_of_plan) / static_cast<double>(calls) : 0.0;
+  }
+  [[nodiscard]] double migration_rate() const {
+    return calls > 0 ? static_cast<double>(dc_migrations) / static_cast<double>(calls) : 0.0;
+  }
+};
+
+class SimEngine {
+ public:
+  // Materializes the scenario: world, a private mutable NetworkDb, the
+  // workload split (surges applied), Titan fractions, and the disturbance
+  // schedule with names resolved to ids.
+  explicit SimEngine(const Scenario& scenario);
+  ~SimEngine();
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] const geo::World& world() const { return *world_; }
+  [[nodiscard]] const net::NetworkDb& network() const { return *db_; }
+  [[nodiscard]] const workload::Trace& eval_trace() const { return workload_.eval; }
+
+  // Runs the whole scenario with `threads` workers. Repeatable: each run
+  // rebuilds all mutable state (including disturbance effects) from the
+  // scenario, so consecutive runs of one engine are identical.
+  [[nodiscard]] SimResult run(int threads = 1);
+
+ private:
+  struct Shard;
+
+  void reset_network();
+  void apply_network_event(const NetworkEvent& event);
+  void replan(core::SlotIndex slot, std::vector<Shard>& shards);
+
+  Scenario scenario_;
+  std::unique_ptr<geo::World> world_;
+  std::unique_ptr<net::NetworkDb> db_;
+  ScenarioWorkload workload_;
+  std::map<std::pair<int, int>, double> fractions_;
+  std::vector<NetworkEvent> events_;  // sorted by slot
+  // Active-counts history ++ realized eval counts, for forecasting.
+  std::vector<std::vector<double>> combined_counts_;
+  int history_slots_ = 0;
+
+  // Forecast-miss regimes (kForecastBias), fixed per scenario: any forecast
+  // column whose slot falls inside a window is scaled by its magnitude,
+  // whenever the replan producing it happens.
+  std::vector<NetworkEvent> forecast_biases_;
+
+  // Per-run mutable state.
+  titannext::DayPlan current_plan_;
+  core::SlotIndex plan_begin_ = 0;
+  std::vector<bool> dead_links_;   // capacity fully severed
+  std::vector<bool> drained_dcs_;  // compute fully drained
+  bool evacuation_pending_ = false;
+  std::vector<std::pair<core::SlotIndex, core::LinkId>> severed_links_;
+};
+
+}  // namespace titan::sim

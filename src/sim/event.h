@@ -1,0 +1,68 @@
+// Typed events of the closed-loop simulation.
+//
+// Two event families drive the engine: *call events* (arrival, convergence,
+// end — see workload/event_stream.h) flow through per-shard queues at high
+// volume, and *network events* (injectable disturbances: fiber cuts, link
+// regrades, DC drains, forecast-miss regimes) fire at slot boundaries on
+// the engine thread. Ordering is strict and deterministic: (slot, kind,
+// call index) for call events, (slot, insertion order) for network events.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/timegrid.h"
+#include "workload/event_stream.h"
+
+namespace titan::sim {
+
+// Min-heap of call events in (slot, kind, call index) order. Each shard
+// drains its queue up to the engine's current slot; kEnd orders before
+// kArrival so resources free at the slot boundary.
+class EventQueue {
+ public:
+  void push(const workload::CallEvent& e) { heap_.push(e); }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const workload::CallEvent& top() const { return heap_.top(); }
+
+  workload::CallEvent pop() {
+    workload::CallEvent e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  // True when the next event is due at or before `slot`.
+  [[nodiscard]] bool due(core::SlotIndex slot) const {
+    return !heap_.empty() && heap_.top().slot <= slot;
+  }
+
+ private:
+  struct After {
+    bool operator()(const workload::CallEvent& a, const workload::CallEvent& b) const {
+      return b < a;  // min-heap
+    }
+  };
+  std::priority_queue<workload::CallEvent, std::vector<workload::CallEvent>, After> heap_;
+};
+
+enum class NetworkEventKind : std::uint8_t {
+  kFiberCut,      // sever the top-capacity WAN link on the (country, dc) path
+  kLinkScale,     // scale every WAN link on the (country, dc) path
+  kDcDrain,       // scale a DC's usable MP compute (0 = drained)
+  kForecastBias,  // multiply forecasts by `magnitude` while active
+};
+
+struct NetworkEvent {
+  NetworkEventKind kind = NetworkEventKind::kFiberCut;
+  core::SlotIndex slot = 0;      // eval-relative firing slot
+  core::SlotIndex end_slot = -1; // windowed regimes (kForecastBias); -1 = open
+  core::CountryId country = core::CountryId::invalid();
+  core::DcId dc = core::DcId::invalid();
+  double magnitude = 0.0;  // scale / factor, kind-dependent
+};
+
+}  // namespace titan::sim

@@ -1,0 +1,61 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+
+namespace titan::sim {
+
+ShardedExecutor::ShardedExecutor(int num_shards, int threads)
+    : num_shards_(num_shards), threads_(std::max(1, threads)) {
+  if (threads_ <= 1) return;
+  const int n = std::min(threads_, num_shards_);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ShardedExecutor::~ShardedExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardedExecutor::run(const std::function<void(int)>& job) {
+  if (workers_.empty()) {
+    for (int s = 0; s < num_shards_; ++s) job(s);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  next_shard_.store(0, std::memory_order_relaxed);
+  running_ = static_cast<int>(workers_.size());
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardedExecutor::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    int shard;
+    while ((shard = next_shard_.fetch_add(1, std::memory_order_relaxed)) < num_shards_)
+      (*job)(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace titan::sim

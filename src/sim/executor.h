@@ -1,0 +1,63 @@
+// Sharded deterministic execution.
+//
+// The engine partitions calls across a *fixed* number of shards by a hash
+// of the call id; worker threads execute shard jobs in parallel. Because
+// every job touches only its own shard's state (RNG stream, controller,
+// plan credits, metric sink) and merges happen single-threaded in shard
+// index order, simulation results are bit-identical for a given seed
+// regardless of the worker-thread count — the shard count, not the thread
+// count, defines the decomposition.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/hash.h"
+#include "core/ids.h"
+
+namespace titan::sim {
+
+// Stable shard of a call id: a pure function of the id, never of threads.
+[[nodiscard]] inline int shard_of(core::CallId id, int num_shards) {
+  return static_cast<int>(core::hash_key(0x5eedU, static_cast<std::uint64_t>(id.value())) %
+                          static_cast<std::uint64_t>(num_shards));
+}
+
+// Persistent worker pool executing `job(shard)` for shards [0, num_shards).
+// `run` blocks until every shard has finished. With `threads <= 1` jobs run
+// inline on the caller, with zero pool overhead.
+class ShardedExecutor {
+ public:
+  ShardedExecutor(int num_shards, int threads);
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  void run(const std::function<void(int shard)>& job);
+
+  [[nodiscard]] int num_shards() const { return num_shards_; }
+  [[nodiscard]] int threads() const { return threads_; }
+
+ private:
+  void worker_loop();
+
+  int num_shards_;
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::atomic<int> next_shard_{0};
+  int running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace titan::sim

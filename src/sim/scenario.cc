@@ -1,0 +1,164 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/hash.h"
+
+namespace titan::sim {
+
+namespace {
+
+Scenario base_scenario() {
+  Scenario s;
+  s.pipeline.scope.timeslots = core::kSlotsPerDay;
+  s.pipeline.scope.max_reduced_configs = 60;
+  s.pipeline.top_k_forecast = 150;
+  return s;
+}
+
+}  // namespace
+
+Scenario steady_week() {
+  Scenario s = base_scenario();
+  s.name = "steady-week";
+  s.description = "one undisturbed evaluation week with daily replans (Fig. 15 closed-loop)";
+  return s;
+}
+
+Scenario weekend_transition() {
+  Scenario s = base_scenario();
+  s.name = "weekend-transition";
+  s.description = "Friday through Monday: the workload collapses to weekend volume and "
+                  "recovers; forecasts must track the regime change";
+  s.eval_offset_days = 4;  // start on Friday
+  s.eval_days = 4;         // Fri, Sat, Sun, Mon
+  return s;
+}
+
+Scenario fiber_cut_failover() {
+  Scenario s = base_scenario();
+  s.name = "fiber-cut-failover";
+  s.description = "mid-week fiber cut severs the top WAN link on the France path; Titan "
+                  "surges the affected pairs' Internet fractions and the loop replans "
+                  "(§4.2 finding 7)";
+  Disturbance cut;
+  cut.kind = NetworkEventKind::kFiberCut;
+  cut.day = 2;                // Wednesday
+  cut.slot_in_day = 20;       // 10:00, mid business morning
+  cut.country = "france";
+  cut.dc = "netherlands";
+  cut.magnitude = 0.0;        // severed outright
+  s.disturbances.push_back(cut);
+  return s;
+}
+
+Scenario dc_drain() {
+  Scenario s = base_scenario();
+  s.name = "dc-drain";
+  s.description = "maintenance fully drains the Netherlands MP DC on Thursday morning; "
+                  "active calls evacuate and replans spread the load";
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 3;              // Thursday
+  drain.slot_in_day = 16;     // 08:00
+  drain.dc = "netherlands";
+  drain.magnitude = 0.0;
+  s.disturbances.push_back(drain);
+  return s;
+}
+
+Scenario flash_crowd() {
+  Scenario s = base_scenario();
+  s.name = "flash-crowd";
+  s.description = "a Tuesday-morning regional event triples France call volume for four "
+                  "hours; forecasts trained on calm history under-provision";
+  SurgeSpec surge;
+  surge.day = 1;              // Tuesday
+  surge.begin_slot_in_day = 18;
+  surge.end_slot_in_day = 26;
+  surge.country = "france";
+  surge.factor = 3.0;
+  s.surges.push_back(surge);
+  // The surge also breaks the forecast regime: model the under-forecast
+  // explicitly so forecast columns covering the window are biased low,
+  // whichever replan produces them.
+  Disturbance bias;
+  bias.kind = NetworkEventKind::kForecastBias;
+  bias.day = 1;
+  bias.slot_in_day = 18;
+  bias.duration_slots = 8;
+  bias.magnitude = 0.7;
+  s.disturbances.push_back(bias);
+  return s;
+}
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "steady-week", "weekend-transition", "fiber-cut-failover", "dc-drain", "flash-crowd"};
+  return names;
+}
+
+Scenario make_scenario(const std::string& name) {
+  if (name == "steady-week") return steady_week();
+  if (name == "weekend-transition") return weekend_transition();
+  if (name == "fiber-cut-failover") return fiber_cut_failover();
+  if (name == "dc-drain") return dc_drain();
+  if (name == "flash-crowd") return flash_crowd();
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+ScenarioWorkload build_workload(const Scenario& scenario, const geo::World& world) {
+  const int hist_slots = scenario.history_slots();
+  const int total_slots = hist_slots + scenario.eval_slots();
+  workload::TraceOptions topts;
+  topts.seed = scenario.seed;
+  topts.weeks = (total_slots + core::kSlotsPerWeek - 1) / core::kSlotsPerWeek;
+  topts.peak_slot_calls = scenario.peak_slot_calls;
+  topts.weekend_factor = scenario.weekend_factor;
+  topts.continent = scenario.pipeline.scope.continent;
+  const auto full = workload::TraceGenerator(world).generate(topts);
+
+  ScenarioWorkload out;
+  out.history = full.window(0, hist_slots);
+  workload::Trace eval = full.window(hist_slots, total_slots);
+
+  if (scenario.surges.empty()) {
+    out.eval = std::move(eval);
+    return out;
+  }
+
+  // Flash-crowd injection: clone matching arrivals (factor - 1) extra
+  // times, deterministically per call id. Clones keep the config (the
+  // registry is shared) and get fresh ids past the original range.
+  std::vector<workload::CallRecord> calls = eval.calls();
+  std::int64_t next_id = 0;
+  for (const auto& call : calls) next_id = std::max(next_id, call.id.value() + 1);
+  // Each surge clones *original* calls only (snapshot taken before any
+  // surge), so overlapping surges add rather than compound.
+  const std::size_t original_count = calls.size();
+  for (const auto& surge : scenario.surges) {
+    const auto region = world.find_country(surge.country);
+    if (!region.valid()) throw std::invalid_argument("surge country: " + surge.country);
+    const int begin = surge.day * core::kSlotsPerDay + surge.begin_slot_in_day;
+    const int end = surge.day * core::kSlotsPerDay + surge.end_slot_in_day;
+    for (std::size_t i = 0; i < original_count; ++i) {
+      const auto call = calls[i];
+      if (call.start_slot < begin || call.start_slot >= end) continue;
+      if (call.first_joiner != region) continue;
+      const double extra = surge.factor - 1.0;
+      int clones = static_cast<int>(std::floor(extra));
+      core::Rng rng = core::rng_at(scenario.seed, 0xF1a5, call.id.value());
+      if (rng.chance(extra - clones)) ++clones;
+      for (int k = 0; k < clones; ++k) {
+        workload::CallRecord clone = call;
+        clone.id = core::CallId(next_id++);
+        calls.push_back(clone);
+      }
+    }
+  }
+  out.eval = workload::Trace::assemble(std::move(calls), eval.configs(), eval.num_slots());
+  return out;
+}
+
+}  // namespace titan::sim

@@ -1,0 +1,105 @@
+// Scenario descriptions for the closed-loop simulator.
+//
+// A `Scenario` pins down everything a simulation needs — workload shape,
+// training/evaluation split, replanning cadence, shard count, Titan
+// fractions, and a schedule of disturbances — so benches, tests, and
+// examples exercise the *same* named situations. The library covers the
+// paper's §8 situations plus the failure drills production rehearses:
+// steady-week, weekend-transition, fiber-cut-failover, dc-drain, and
+// flash-crowd.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+#include "titannext/pipeline.h"
+#include "workload/callgen.h"
+
+namespace titan::sim {
+
+// A scheduled disturbance, resolved to ids when the engine materializes
+// the scenario. Times are eval-relative (day 0 = first simulated day).
+struct Disturbance {
+  NetworkEventKind kind = NetworkEventKind::kFiberCut;
+  int day = 0;
+  int slot_in_day = 0;
+  // Window length for kForecastBias (bias applies inside the window) and
+  // kDcDrain (the DC restores when the window closes); -1 = open-ended.
+  // Link kinds reject windows: fiber repairs exceed any sim horizon.
+  int duration_slots = -1;
+  std::string country;      // client country name ("" = unused)
+  std::string dc;           // DC name ("" = unused)
+  double magnitude = 0.0;   // kind-dependent scale / factor
+};
+
+// A regional traffic surge (flash crowd). Applied to the workload before
+// the simulation starts: arrivals of the region inside the window are
+// cloned up to `factor` times the original volume, with fresh call ids.
+struct SurgeSpec {
+  int day = 0;
+  int begin_slot_in_day = 18;  // 09:00
+  int end_slot_in_day = 26;    // 13:00
+  std::string country;
+  double factor = 3.0;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  std::uint64_t seed = 2024;
+  int training_weeks = 4;
+  int eval_days = 7;
+  // Day-of-week offset of the eval window from its Monday start (the
+  // weekend-transition scenario starts on Friday with offset 4).
+  int eval_offset_days = 0;
+  double peak_slot_calls = 150.0;
+  double weekend_factor = 0.25;
+
+  // Closed-loop control: the offline LP re-plans every `replan_interval`
+  // slots (production: every slot; the long benches use daily replans).
+  int replan_interval_slots = core::kSlotsPerDay;
+  // Plan on ground-truth counts instead of Holt-Winters forecasts (oracle
+  // replanning; cheap, used by tests).
+  bool oracle_counts = false;
+
+  int shards = 16;
+  double titan_fraction_cap = 0.20;
+  // Titan's emergency offload cap for pairs hit by a fiber cut.
+  double fiber_cut_surge_fraction = 0.50;
+
+  titannext::PipelineOptions pipeline;
+
+  std::vector<Disturbance> disturbances;
+  std::vector<SurgeSpec> surges;
+
+  [[nodiscard]] int eval_slots() const { return eval_days * core::kSlotsPerDay; }
+  [[nodiscard]] int history_slots() const {
+    return training_weeks * core::kSlotsPerWeek + eval_offset_days * core::kSlotsPerDay;
+  }
+};
+
+// --- named library ------------------------------------------------------
+[[nodiscard]] Scenario steady_week();
+[[nodiscard]] Scenario weekend_transition();
+[[nodiscard]] Scenario fiber_cut_failover();
+[[nodiscard]] Scenario dc_drain();
+[[nodiscard]] Scenario flash_crowd();
+
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+// Throws std::invalid_argument for unknown names.
+[[nodiscard]] Scenario make_scenario(const std::string& name);
+
+struct ScenarioWorkload {
+  workload::Trace history;  // everything before the eval window
+  workload::Trace eval;     // the simulated window, surges applied
+};
+
+// Generates the scenario's trace, splits it around the eval window, and
+// injects flash-crowd surges into the eval side. Deterministic in
+// (scenario, world).
+[[nodiscard]] ScenarioWorkload build_workload(const Scenario& scenario,
+                                              const geo::World& world);
+
+}  // namespace titan::sim

@@ -8,15 +8,27 @@ OnlineController::OnlineController(const PlanInputs& inputs, const OfflinePlan& 
                                    const ControllerOptions& options)
     : inputs_(&inputs), plan_(&plan), options_(options) {}
 
+void OnlineController::rebind(const PlanInputs& inputs, const OfflinePlan& plan) {
+  inputs_ = &inputs;
+  plan_ = &plan;
+}
+
 Assignment OnlineController::fallback(core::CountryId country) const {
-  core::DcId best = inputs_->dcs().front();
+  core::DcId best = core::DcId::invalid();
   double best_rtt = std::numeric_limits<double>::infinity();
-  for (const auto dc : inputs_->dcs()) {
-    const double rtt = inputs_->net().latency().base_rtt_ms(country, dc, net::PathType::kWan);
-    if (rtt < best_rtt) {
-      best_rtt = rtt;
-      best = dc;
+  // Fully drained DCs (scenario maintenance events) take no new calls —
+  // unless everything is drained, in which case the call still has to land
+  // somewhere and the drain filter is dropped (second pass).
+  for (const bool skip_drained : {true, false}) {
+    for (const auto dc : inputs_->dcs()) {
+      if (skip_drained && inputs_->net().dc_compute_scale(dc) <= 0.0) continue;
+      const double rtt = inputs_->net().latency().base_rtt_ms(country, dc, net::PathType::kWan);
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        best = dc;
+      }
     }
+    if (best.valid()) break;
   }
   return Assignment{best, net::PathType::kWan};
 }
@@ -25,6 +37,7 @@ InitialAssignment OnlineController::assign_initial(core::CountryId first_joiner,
                                                    media::MediaType media, core::SlotIndex t,
                                                    core::Rng& rng) {
   InitialAssignment out;
+  out.first_joiner = first_joiner;
   // Most recently used reduced config for the country+media; default to the
   // intra-country singleton (the majority shape).
   const auto key = std::make_pair(first_joiner.value(), static_cast<int>(media));
@@ -66,9 +79,11 @@ ConvergenceResult OnlineController::converge(const InitialAssignment& initial,
   const workload::CallConfig reduced =
       options_.use_reduction ? workload::reduce(true_config).config : true_config;
 
-  // Remember the converged reduced config for future first-joiner guesses.
-  if (!true_config.participants.empty()) {
-    const auto key = std::make_pair(true_config.participants.front().first.value(),
+  // Remember the converged reduced config for future first-joiner guesses
+  // (§6.4: the memory is per the *first joiner's* country — known at
+  // assignment time — not per the config's lowest-id participant).
+  if (initial.first_joiner.valid()) {
+    const auto key = std::make_pair(initial.first_joiner.value(),
                                     static_cast<int>(true_config.media));
     recent_[key] = reduced;
   }

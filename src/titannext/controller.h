@@ -33,6 +33,7 @@ struct InitialAssignment {
   Assignment assignment;
   bool from_plan = false;  // false => fallback (nearest DC, WAN)
   workload::CallConfig guessed_config;
+  core::CountryId first_joiner;  // keys the recently-used-config memory
 };
 
 struct ConvergenceResult {
@@ -46,6 +47,11 @@ class OnlineController {
  public:
   OnlineController(const PlanInputs& inputs, const OfflinePlan& plan,
                    const ControllerOptions& options = {});
+
+  // Closed-loop replan hook (src/sim/): swap in a freshly solved plan while
+  // preserving the recently-used-config state that guides first-joiner
+  // guesses across plan generations.
+  void rebind(const PlanInputs& inputs, const OfflinePlan& plan);
 
   // Assignment when the first user joins.
   [[nodiscard]] InitialAssignment assign_initial(core::CountryId first_joiner,

@@ -81,9 +81,12 @@ void PlanInputs::finalize_capacities() {
   double share_total = 0.0;
   for (const auto dc : dcs_) share_total += net_->world().dc(dc).cores;
   dc_capacity_.assign(dcs_.size(), 0.0);
+  // A drained DC (scenario maintenance events) keeps its provisioned share
+  // in the split but only its drain-scaled remainder is usable by the plan.
   for (std::size_t i = 0; i < dcs_.size(); ++i)
     dc_capacity_[i] = peak_cores * scope_.compute_headroom *
-                      (net_->world().dc(dcs_[i]).cores / share_total);
+                      (net_->world().dc(dcs_[i]).cores / share_total) *
+                      net_->dc_compute_scale(dcs_[i]);
 
   // Internet capacity per DC path: sum of Titan's per-(country, dc)
   // fractions applied to each country's share of the in-scope demand.

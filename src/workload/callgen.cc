@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace titan::workload {
 
@@ -128,6 +129,23 @@ std::vector<core::ConfigId> Trace::configs_by_volume() const {
            totals[static_cast<std::size_t>(b.value())];
   });
   return ids;
+}
+
+Trace Trace::assemble(std::vector<CallRecord> calls, ConfigRegistry registry, int num_slots) {
+  Trace out;
+  out.registry_ = std::move(registry);
+  out.num_slots_ = num_slots;
+  std::sort(calls.begin(), calls.end(), [](const CallRecord& a, const CallRecord& b) {
+    return a.start_slot != b.start_slot ? a.start_slot < b.start_slot : a.id < b.id;
+  });
+  out.by_slot_.resize(static_cast<std::size_t>(num_slots));
+  for (auto& call : calls) {
+    if (call.start_slot < 0 || call.start_slot >= num_slots)
+      throw std::out_of_range("Trace::assemble: call starts outside [0, num_slots)");
+    out.by_slot_[static_cast<std::size_t>(call.start_slot)].push_back(out.calls_.size());
+    out.calls_.push_back(call);
+  }
+  return out;
 }
 
 Trace Trace::window(core::SlotIndex begin, core::SlotIndex end) const {

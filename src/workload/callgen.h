@@ -74,6 +74,12 @@ class Trace {
   // Restricts to a window of slots [begin, end) re-based at slot 0.
   [[nodiscard]] Trace window(core::SlotIndex begin, core::SlotIndex end) const;
 
+  // Builds a trace from explicit parts (scenario tooling: e.g. flash-crowd
+  // injection clones calls into an existing trace). Calls are re-sorted by
+  // (start slot, id); the per-slot index is rebuilt.
+  [[nodiscard]] static Trace assemble(std::vector<CallRecord> calls, ConfigRegistry registry,
+                                      int num_slots);
+
   friend class TraceGenerator;
 
  private:

@@ -1,0 +1,46 @@
+// Typed call-event stream derived from a trace.
+//
+// The closed-loop simulator (src/sim/) consumes the workload as discrete
+// events rather than as a static call table: a call *arrives* in its start
+// slot (only the first joiner's country is known), *converges* a few
+// minutes later within the same 30-minute slot (the true call config
+// becomes visible and the call may migrate), and *ends* after its duration.
+// End events order before arrivals of the same slot — a call occupying
+// [start, start + duration) stops consuming resources at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timegrid.h"
+#include "workload/callgen.h"
+
+namespace titan::workload {
+
+enum class CallEventKind : std::uint8_t {
+  kEnd = 0,         // call leaves at the slot boundary
+  kArrival = 1,     // first joiner joins; initial assignment
+  kConvergence = 2, // true config known; migration check
+};
+
+struct CallEvent {
+  core::SlotIndex slot = 0;
+  CallEventKind kind = CallEventKind::kArrival;
+  std::uint32_t call_index = 0;  // into Trace::calls()
+
+  friend bool operator<(const CallEvent& a, const CallEvent& b) {
+    if (a.slot != b.slot) return a.slot < b.slot;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.call_index < b.call_index;
+  }
+  friend bool operator==(const CallEvent& a, const CallEvent& b) {
+    return a.slot == b.slot && a.kind == b.kind && a.call_index == b.call_index;
+  }
+};
+
+// All events of the trace, sorted by (slot, kind, call index). End events
+// past the trace's last slot are clamped to `trace.num_slots()` so every
+// call ends inside [0, num_slots].
+[[nodiscard]] std::vector<CallEvent> build_event_stream(const Trace& trace);
+
+}  // namespace titan::workload

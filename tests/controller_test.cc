@@ -1,0 +1,241 @@
+// Focused coverage of the online controller (§6.4): route-quality failover
+// threshold edges, the never-WAN->Internet capacity-safety invariant,
+// migration / out-of-plan accounting against hand-crafted plans, and the
+// drained-DC fallback. Plans are built directly from LpPlanResult weights
+// so every decision path is pinned down exactly.
+#include <gtest/gtest.h>
+
+#include "titannext/controller.h"
+#include "titannext/pipeline.h"
+
+namespace titan::titannext {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new geo::World(geo::World::make());
+    db_ = new net::NetworkDb(*world_);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete world_;
+    db_ = nullptr;
+    world_ = nullptr;
+  }
+
+  void SetUp() override {
+    fr_ = world_->find_country("france");
+    uk_ = world_->find_country("uk");
+    ASSERT_TRUE(fr_.valid());
+    ASSERT_TRUE(uk_.valid());
+
+    PlanScope scope;
+    scope.timeslots = 4;
+    scope.max_reduced_configs = 10;
+    std::map<std::pair<int, int>, double> fractions;
+    for (const auto c : world_->countries_in(geo::Continent::kEurope))
+      for (const auto d : world_->dcs_in(geo::Continent::kEurope))
+        fractions[{c.value(), d.value()}] = 0.2;
+    inputs_ = std::make_unique<PlanInputs>(*db_, scope, fractions);
+
+    // Three shapes: the France intra-country audio singleton (the default
+    // first-joiner guess), its video sibling, and a FR+UK international.
+    fr_audio_.participants = {{fr_, 1}};
+    fr_audio_.media = media::MediaType::kAudio;
+    fr_video_.participants = {{fr_, 1}};
+    fr_video_.media = media::MediaType::kVideo;
+    fr_uk_.participants = {{fr_, 1}, {uk_, 1}};
+    fr_uk_.canonicalize();
+    fr_uk_.media = media::MediaType::kAudio;
+
+    workload::ConfigRegistry registry;
+    const auto a = registry.intern(fr_audio_);
+    const auto v = registry.intern(fr_video_);
+    const auto i = registry.intern(fr_uk_);
+    std::vector<std::vector<double>> counts(registry.size(),
+                                            std::vector<double>(4, 0.0));
+    counts[static_cast<std::size_t>(a.value())] = {10, 10, 10, 10};
+    counts[static_cast<std::size_t>(v.value())] = {5, 5, 5, 5};
+    counts[static_cast<std::size_t>(i.value())] = {3, 3, 3, 3};
+    inputs_->set_demand(registry, counts, /*use_reduction=*/true);
+
+    dc0_ = inputs_->dcs().at(0);
+    dc1_ = inputs_->dcs().at(1);
+  }
+
+  // A solved-looking plan: audio singleton -> dc0/WAN, international ->
+  // dc1/WAN only. The video singleton is deliberately left out of the plan.
+  OfflinePlan make_plan() {
+    LpPlanResult result;
+    result.status = lp::SolveStatus::kOptimal;
+    result.weights.assign(4, std::vector<AssignmentWeights>(inputs_->demands().size()));
+    const int a_idx = inputs_->demand_index(fr_audio_);
+    const int i_idx = inputs_->demand_index(fr_uk_);
+    EXPECT_GE(a_idx, 0);
+    EXPECT_GE(i_idx, 0);
+    for (int t = 0; t < 4; ++t) {
+      result.weights[t][static_cast<std::size_t>(a_idx)].entries = {
+          {dc0_, net::PathType::kWan, 10.0}};
+      result.weights[t][static_cast<std::size_t>(i_idx)].entries = {
+          {dc1_, net::PathType::kWan, 3.0}};
+    }
+    return OfflinePlan(inputs_.get(), std::move(result));
+  }
+
+  static geo::World* world_;
+  static net::NetworkDb* db_;
+  std::unique_ptr<PlanInputs> inputs_;
+  core::CountryId fr_, uk_;
+  core::DcId dc0_, dc1_;
+  workload::CallConfig fr_audio_, fr_video_, fr_uk_;
+};
+
+geo::World* ControllerTest::world_ = nullptr;
+net::NetworkDb* ControllerTest::db_ = nullptr;
+
+// --- route-quality failover thresholds (§6.4) ---------------------------
+
+TEST_F(ControllerTest, FailoverLossThresholdEdges) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  const double wan_rtt = db_->latency().base_rtt_ms(fr_, dc0_, net::PathType::kWan);
+
+  // Exactly at the 1% loss threshold: fail over (>= semantics).
+  EXPECT_TRUE(controller.should_route_failover(fr_, dc0_, 0.01, wan_rtt));
+  // Just below the loss threshold with healthy RTT: stay.
+  EXPECT_FALSE(controller.should_route_failover(fr_, dc0_, 0.0099, wan_rtt));
+  // Zero loss, healthy RTT: stay.
+  EXPECT_FALSE(controller.should_route_failover(fr_, dc0_, 0.0, wan_rtt));
+}
+
+TEST_F(ControllerTest, FailoverRttFactorEdges) {
+  const auto plan = make_plan();
+  ControllerOptions opts;
+  OnlineController controller(*inputs_, plan, opts);
+  const double wan_rtt = db_->latency().base_rtt_ms(fr_, dc0_, net::PathType::kWan);
+  const double bound = wan_rtt * opts.route_failover_rtt_factor;
+
+  // Exactly at the bound: stay (strict > semantics).
+  EXPECT_FALSE(controller.should_route_failover(fr_, dc0_, 0.0, bound));
+  // Just above: fail over.
+  EXPECT_TRUE(controller.should_route_failover(fr_, dc0_, 0.0, bound * 1.001));
+}
+
+// --- initial assignment + convergence accounting ------------------------
+
+TEST_F(ControllerTest, InitialAssignmentFollowsPlan) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  core::Rng rng(1);
+  const auto initial = controller.assign_initial(fr_, media::MediaType::kAudio, 0, rng);
+  EXPECT_TRUE(initial.from_plan);
+  EXPECT_EQ(initial.assignment.dc, dc0_);
+  EXPECT_EQ(initial.assignment.path, net::PathType::kWan);
+}
+
+TEST_F(ControllerTest, ConvergenceStaysWhenPlanSupportsCurrentDc) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  core::Rng rng(1);
+  const auto initial = controller.assign_initial(fr_, media::MediaType::kAudio, 0, rng);
+  const auto conv = controller.converge(initial, fr_audio_, 0, rng);
+  EXPECT_FALSE(conv.dc_migration);
+  EXPECT_FALSE(conv.out_of_plan);
+  EXPECT_EQ(conv.final_assignment.dc, initial.assignment.dc);
+  // Capacity safety: a call that stays put never silently changes route
+  // (in particular never WAN -> Internet mid-flight).
+  EXPECT_EQ(conv.final_assignment.path, initial.assignment.path);
+}
+
+TEST_F(ControllerTest, ConvergenceMigratesToPlannedDcAndCounts) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  core::Rng rng(1);
+  // Initial guess is the audio singleton -> dc0; the true config is the
+  // international shape, planned only at dc1: an inter-DC migration.
+  const auto initial = controller.assign_initial(fr_, media::MediaType::kAudio, 0, rng);
+  ASSERT_EQ(initial.assignment.dc, dc0_);
+  const auto conv = controller.converge(initial, fr_uk_, 0, rng);
+  EXPECT_TRUE(conv.dc_migration);
+  EXPECT_FALSE(conv.out_of_plan);
+  EXPECT_FALSE(conv.route_change);
+  EXPECT_EQ(conv.final_assignment.dc, dc1_);
+}
+
+TEST_F(ControllerTest, OutOfPlanConfigKeepsCallInPlaceAndCounts) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  core::Rng rng(1);
+  const auto initial = controller.assign_initial(fr_, media::MediaType::kVideo, 0, rng);
+  // The video singleton has no planned units anywhere: the true config is
+  // out of plan; the call must stay exactly where it started.
+  const auto conv = controller.converge(initial, fr_video_, 0, rng);
+  EXPECT_TRUE(conv.out_of_plan);
+  EXPECT_FALSE(conv.dc_migration);
+  EXPECT_EQ(conv.final_assignment.dc, initial.assignment.dc);
+  EXPECT_EQ(conv.final_assignment.path, initial.assignment.path);
+}
+
+TEST_F(ControllerTest, RecentConfigGuidesNextGuess) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  core::Rng rng(1);
+  // First France audio call converges to the international shape at dc1;
+  // the next first-joiner guess for (France, audio) follows it there.
+  const auto first = controller.assign_initial(fr_, media::MediaType::kAudio, 0, rng);
+  (void)controller.converge(first, fr_uk_, 0, rng);
+  const auto second = controller.assign_initial(fr_, media::MediaType::kAudio, 1, rng);
+  EXPECT_TRUE(second.from_plan);
+  EXPECT_EQ(second.assignment.dc, dc1_);
+}
+
+// --- fallback -----------------------------------------------------------
+
+TEST_F(ControllerTest, FallbackPicksNearestDcOverWan) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  const auto fb = controller.fallback(fr_);
+  EXPECT_EQ(fb.path, net::PathType::kWan);
+  double best = 1e18;
+  core::DcId nearest;
+  for (const auto dc : inputs_->dcs()) {
+    const double rtt = db_->latency().base_rtt_ms(fr_, dc, net::PathType::kWan);
+    if (rtt < best) {
+      best = rtt;
+      nearest = dc;
+    }
+  }
+  EXPECT_EQ(fb.dc, nearest);
+}
+
+TEST_F(ControllerTest, FallbackSkipsDrainedDc) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  const auto nearest = controller.fallback(fr_).dc;
+  db_->set_dc_compute_scale(nearest, 0.0);
+  const auto fb = controller.fallback(fr_);
+  EXPECT_NE(fb.dc, nearest);
+  EXPECT_EQ(fb.path, net::PathType::kWan);
+  db_->set_dc_compute_scale(nearest, 1.0);
+}
+
+// --- rebind (closed-loop replan hook) -----------------------------------
+
+TEST_F(ControllerTest, RebindPreservesRecentConfigState) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  core::Rng rng(1);
+  const auto first = controller.assign_initial(fr_, media::MediaType::kAudio, 0, rng);
+  (void)controller.converge(first, fr_uk_, 0, rng);
+
+  // A fresh plan generation arrives; the learned guess must survive.
+  const auto plan2 = make_plan();
+  controller.rebind(*inputs_, plan2);
+  const auto guess = controller.assign_initial(fr_, media::MediaType::kAudio, 1, rng);
+  EXPECT_TRUE(guess.from_plan);
+  EXPECT_EQ(guess.assignment.dc, dc1_);
+}
+
+}  // namespace
+}  // namespace titan::titannext

@@ -1,0 +1,383 @@
+// Tests for the closed-loop simulation subsystem: the event stream, the
+// event queue, the sharded executor, the scenario library (including
+// flash-crowd injection), per-slot metric sinks, and — the core guarantee —
+// bit-identical results across worker-thread counts for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sim/engine.h"
+#include "sim/executor.h"
+#include "workload/event_stream.h"
+
+namespace titan::sim {
+namespace {
+
+// A deliberately small scenario that still exercises the full loop:
+// several replans, a fiber cut, and a DC drain inside two simulated days.
+Scenario small_scenario() {
+  Scenario s = make_scenario("steady-week");
+  s.training_weeks = 2;
+  s.eval_days = 1;
+  s.peak_slot_calls = 40.0;
+  s.shards = 8;
+  s.oracle_counts = true;  // skip Holt-Winters; planning stays identical
+  s.replan_interval_slots = 12;
+  s.pipeline.scope.timeslots = 12;
+  s.pipeline.scope.max_reduced_configs = 20;
+  return s;
+}
+
+// --- event stream -------------------------------------------------------
+
+TEST(EventStreamTest, SortedAndComplete) {
+  const geo::World world = geo::World::make();
+  workload::TraceOptions topts;
+  topts.weeks = 1;
+  topts.peak_slot_calls = 30.0;
+  const auto trace = workload::TraceGenerator(world).generate(topts);
+  const auto events = workload::build_event_stream(trace);
+
+  ASSERT_EQ(events.size(), trace.calls().size() * 3);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_FALSE(events[i] < events[i - 1]) << "stream not sorted at " << i;
+
+  // Every call contributes one event of each kind; ends are clamped.
+  std::vector<int> seen(trace.calls().size(), 0);
+  for (const auto& e : events) {
+    seen[e.call_index] |= 1 << static_cast<int>(e.kind);
+    EXPECT_LE(e.slot, trace.num_slots());
+    if (e.kind == workload::CallEventKind::kArrival)
+      EXPECT_EQ(e.slot, trace.calls()[e.call_index].start_slot);
+  }
+  for (const int mask : seen) EXPECT_EQ(mask, 0b111);
+}
+
+TEST(EventStreamTest, EndOrdersBeforeArrivalInSameSlot) {
+  const workload::CallEvent end{5, workload::CallEventKind::kEnd, 9};
+  const workload::CallEvent arrival{5, workload::CallEventKind::kArrival, 1};
+  const workload::CallEvent convergence{5, workload::CallEventKind::kConvergence, 0};
+  EXPECT_LT(end, arrival);
+  EXPECT_LT(arrival, convergence);
+
+  EventQueue q;
+  q.push(convergence);
+  q.push(arrival);
+  q.push(end);
+  EXPECT_TRUE(q.due(5));
+  EXPECT_EQ(q.pop().kind, workload::CallEventKind::kEnd);
+  EXPECT_EQ(q.pop().kind, workload::CallEventKind::kArrival);
+  EXPECT_EQ(q.pop().kind, workload::CallEventKind::kConvergence);
+  EXPECT_TRUE(q.empty());
+}
+
+// --- executor -----------------------------------------------------------
+
+TEST(ExecutorTest, RunsEveryShardExactlyOnce) {
+  for (const int threads : {1, 3, 8}) {
+    ShardedExecutor exec(16, threads);
+    std::vector<std::atomic<int>> hits(16);
+    for (auto& h : hits) h = 0;
+    for (int round = 0; round < 3; ++round) {
+      exec.run([&](int shard) { ++hits[static_cast<std::size_t>(shard)]; });
+    }
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 3) << "threads=" << threads;
+  }
+}
+
+TEST(ExecutorTest, ShardOfIsThreadCountIndependent) {
+  // Pure function of (id, num_shards) — trivially, but pin the contract.
+  for (std::int64_t id : {0LL, 1LL, 12345LL, 99999999LL}) {
+    const int a = shard_of(core::CallId(id), 16);
+    const int b = shard_of(core::CallId(id), 16);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 16);
+  }
+}
+
+// --- scenario library ---------------------------------------------------
+
+TEST(ScenarioTest, LibraryRoundTripsByName) {
+  for (const auto& name : scenario_names()) {
+    const Scenario s = make_scenario(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_GT(s.eval_days, 0);
+    EXPECT_FALSE(s.description.empty());
+  }
+  EXPECT_THROW((void)make_scenario("no-such-scenario"), std::invalid_argument);
+}
+
+TEST(ScenarioTest, WeekendTransitionStartsOnFriday) {
+  const Scenario s = make_scenario("weekend-transition");
+  // The eval window starts eval_offset_days after a Monday.
+  EXPECT_EQ(core::weekday_of(s.history_slots()), core::Weekday::kFriday);
+}
+
+TEST(ScenarioTest, FlashCrowdInjectsSurgeCalls) {
+  Scenario s = make_scenario("flash-crowd");
+  s.training_weeks = 1;
+  s.eval_days = 2;
+  s.peak_slot_calls = 60.0;
+  const geo::World world = geo::World::make();
+
+  Scenario calm = s;
+  calm.surges.clear();
+  const auto with = build_workload(s, world);
+  const auto without = build_workload(calm, world);
+  ASSERT_GT(with.eval.calls().size(), without.eval.calls().size());
+
+  // Surge clones sit inside the window, in the surge country, and roughly
+  // (factor - 1)x the matching originals.
+  const auto& surge = s.surges.front();
+  const auto region = world.find_country(surge.country);
+  const int begin = surge.day * core::kSlotsPerDay + surge.begin_slot_in_day;
+  const int end = surge.day * core::kSlotsPerDay + surge.end_slot_in_day;
+  auto count_matching = [&](const workload::Trace& t) {
+    std::size_t n = 0;
+    for (const auto& c : t.calls())
+      n += c.start_slot >= begin && c.start_slot < end && c.first_joiner == region;
+    return n;
+  };
+  const auto base = count_matching(without.eval);
+  const auto surged = count_matching(with.eval);
+  ASSERT_GT(base, 0u);
+  EXPECT_NEAR(static_cast<double>(surged), surge.factor * static_cast<double>(base),
+              0.25 * surge.factor * static_cast<double>(base));
+  // Everything outside the surge is untouched.
+  EXPECT_EQ(with.eval.calls().size() - without.eval.calls().size(), surged - base);
+
+  // Trace invariants survive assembly: the per-slot index matches.
+  for (int slot = 0; slot < with.eval.num_slots(); ++slot)
+    for (const auto idx : with.eval.calls_starting_in(slot))
+      EXPECT_EQ(with.eval.calls()[idx].start_slot, slot);
+}
+
+// --- per-slot sink ------------------------------------------------------
+
+TEST(SlotMetricsTest, WanUsageTakesPerDayPeaks) {
+  eval::SlotMetricsSink sink(2 * core::kSlotsPerDay, 2);
+  // Link 0: peak 10 on day 0, peak 4 on day 1. Link 1: flat 1 all along.
+  sink.add_wan_mbps(3, core::LinkId(0), 10.0);
+  sink.add_wan_mbps(50, core::LinkId(0), 4.0);
+  for (int s = 0; s < 2 * core::kSlotsPerDay; ++s) sink.add_wan_mbps(s, core::LinkId(1), 1.0);
+  const auto usage = sink.wan_usage();
+  ASSERT_EQ(usage.per_day_sum_of_peaks_mbps.size(), 2u);
+  EXPECT_DOUBLE_EQ(usage.per_day_sum_of_peaks_mbps[0], 11.0);
+  EXPECT_DOUBLE_EQ(usage.per_day_sum_of_peaks_mbps[1], 5.0);
+  EXPECT_DOUBLE_EQ(usage.sum_of_peaks_mbps, 11.0);
+  EXPECT_DOUBLE_EQ(sink.link_peak_mbps(core::LinkId(0)), 10.0);
+}
+
+TEST(SlotMetricsTest, MergeIsElementwise) {
+  eval::SlotMetricsSink a(4, 1), b(4, 1);
+  a.add_arrival(0);
+  a.add_participants(0, 1, 2);
+  b.add_arrival(0);
+  b.add_participants(0, 1, 2);
+  b.add_mos(2, 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.arrivals()[0], 2.0);
+  EXPECT_DOUBLE_EQ(a.internet_share_per_slot()[0], 0.5);
+  EXPECT_DOUBLE_EQ(a.mean_mos_per_slot()[2], 4.0);
+}
+
+// --- the core guarantee: thread-count determinism -----------------------
+
+TEST(SimDeterminismTest, IdenticalResultsAtOneTwoAndEightThreads) {
+  SimEngine engine(small_scenario());
+  const auto r1 = engine.run(1);
+  const auto r2 = engine.run(2);
+  const auto r8 = engine.run(8);
+
+  for (const auto* r : {&r2, &r8}) {
+    EXPECT_EQ(r->checksum, r1.checksum);
+    EXPECT_EQ(r->calls, r1.calls);
+    EXPECT_EQ(r->dc_migrations, r1.dc_migrations);
+    EXPECT_EQ(r->route_changes, r1.route_changes);
+    EXPECT_EQ(r->out_of_plan, r1.out_of_plan);
+    EXPECT_EQ(r->fallback_assignments, r1.fallback_assignments);
+    // Bit-identical floating-point aggregates, not just "close".
+    EXPECT_EQ(r->wan.sum_of_peaks_mbps, r1.wan.sum_of_peaks_mbps);
+    EXPECT_EQ(r->wan.total_traffic_gb, r1.wan.total_traffic_gb);
+    EXPECT_EQ(r->internet_share, r1.internet_share);
+    EXPECT_EQ(r->mean_mos, r1.mean_mos);
+    const auto wan1 = r1.streams.wan_total_mbps_per_slot();
+    const auto wanN = r->streams.wan_total_mbps_per_slot();
+    EXPECT_EQ(wanN, wan1);
+  }
+  EXPECT_GT(r1.calls, 0);
+  EXPECT_GT(r1.replans, 1);
+}
+
+TEST(SimDeterminismTest, DisturbedScenarioIsAlsoThreadCountInvariant) {
+  Scenario s = small_scenario();
+  s.name = "disturbed-small";
+  Disturbance cut;
+  cut.kind = NetworkEventKind::kFiberCut;
+  cut.day = 0;
+  cut.slot_in_day = 18;
+  cut.country = "france";
+  cut.dc = "netherlands";
+  s.disturbances.push_back(cut);
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 0;
+  drain.slot_in_day = 22;
+  drain.dc = "netherlands";
+  s.disturbances.push_back(drain);
+
+  SimEngine engine(s);
+  const auto r1 = engine.run(1);
+  const auto r8 = engine.run(8);
+  EXPECT_EQ(r1.checksum, r8.checksum);
+  EXPECT_EQ(r1.wan.sum_of_peaks_mbps, r8.wan.sum_of_peaks_mbps);
+  EXPECT_EQ(r1.forced_migrations, r8.forced_migrations);
+  ASSERT_EQ(r1.severed_links.size(), 1u);
+}
+
+TEST(SimDeterminismTest, RunsAreRepeatable) {
+  // The same engine run twice resets all mutable state (network, plans).
+  SimEngine engine(small_scenario());
+  const auto a = engine.run(2);
+  const auto b = engine.run(2);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.wan.sum_of_peaks_mbps, b.wan.sum_of_peaks_mbps);
+}
+
+// --- closed-loop behaviour ----------------------------------------------
+
+TEST(SimEngineTest, SteadyScenarioProducesSaneMetrics) {
+  SimEngine engine(small_scenario());
+  const auto r = engine.run(2);
+  EXPECT_EQ(r.calls, static_cast<std::int64_t>(engine.eval_trace().calls().size()));
+  EXPECT_EQ(r.replans, 4);  // 48 slots / 12-slot interval
+  EXPECT_GT(r.wan.sum_of_peaks_mbps, 0.0);
+  EXPECT_GT(r.internet_share, 0.0);
+  EXPECT_LT(r.internet_share, 0.6);
+  EXPECT_GE(r.mean_mos, 1.0);
+  EXPECT_LE(r.mean_mos, 5.0);
+  // Streams cover every slot; arrivals total the call count.
+  const double arrivals = std::accumulate(r.streams.arrivals().begin(),
+                                          r.streams.arrivals().end(), 0.0);
+  EXPECT_EQ(static_cast<std::int64_t>(arrivals), r.calls);
+}
+
+TEST(SimEngineTest, FiberCutSilencesTheSeveredLink) {
+  Scenario s = small_scenario();
+  s.name = "cut-small";
+  Disturbance cut;
+  cut.kind = NetworkEventKind::kFiberCut;
+  cut.day = 0;
+  cut.slot_in_day = 20;
+  cut.country = "france";
+  cut.dc = "netherlands";
+  s.disturbances.push_back(cut);
+
+  SimEngine engine(s);
+  const auto r = engine.run(2);
+  ASSERT_EQ(r.severed_links.size(), 1u);
+  const auto [cut_slot, link] = r.severed_links.front();
+  EXPECT_EQ(cut_slot, 20);
+  // Rerouting + evacuation: no WAN traffic rides the dead fiber afterwards.
+  for (int slot = cut_slot + 1; slot < r.eval_slots; ++slot)
+    EXPECT_EQ(r.streams.link_mbps_at(slot, link), 0.0) << "slot " << slot;
+}
+
+TEST(SimEngineTest, FiberCutSurgesInternetFractionsOfAffectedPairs) {
+  Scenario s = small_scenario();
+  s.name = "cut-surge-small";
+  // A longer post-cut window than the other small tests, so the surged
+  // offload dominates noise.
+  s.eval_days = 2;
+  s.peak_slot_calls = 60.0;
+  s.replan_interval_slots = 24;
+  s.pipeline.scope.timeslots = 24;
+  Disturbance cut;
+  cut.kind = NetworkEventKind::kFiberCut;
+  cut.day = 0;
+  cut.slot_in_day = 18;
+  cut.country = "france";
+  cut.dc = "netherlands";
+  s.disturbances.push_back(cut);
+
+  // With the emergency surge neutralized (surge == calm cap) the loop must
+  // offload strictly less than with the real surge response.
+  Scenario no_surge = s;
+  no_surge.fiber_cut_surge_fraction = no_surge.titan_fraction_cap;
+  const auto with = SimEngine(s).run(2);
+  const auto without = SimEngine(no_surge).run(2);
+  EXPECT_GT(with.internet_share, without.internet_share);
+}
+
+TEST(SimEngineTest, ForecastBiasChangesPlansCoveringItsWindow) {
+  Scenario s = small_scenario();
+  s.name = "bias-small";
+  Disturbance bias;
+  bias.kind = NetworkEventKind::kForecastBias;
+  bias.day = 0;
+  bias.slot_in_day = 18;
+  bias.duration_slots = 6;
+  bias.magnitude = 0.5;
+  s.disturbances.push_back(bias);
+  s.oracle_counts = true;  // bias applies to oracle counts too
+
+  Scenario unbiased = s;
+  unbiased.disturbances.clear();
+  const auto with = SimEngine(s).run(2);
+  const auto without = SimEngine(unbiased).run(2);
+  // Under-forecasting the window must change the plans and hence decisions.
+  EXPECT_NE(with.checksum, without.checksum);
+}
+
+TEST(SimEngineTest, DcDrainEvacuatesActiveCalls) {
+  Scenario s = small_scenario();
+  s.name = "drain-small";
+  s.peak_slot_calls = 60.0;
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 0;
+  drain.slot_in_day = 21;  // mid business morning: calls are in flight
+  drain.dc = "netherlands";
+  s.disturbances.push_back(drain);
+
+  SimEngine engine(s);
+  const auto r = engine.run(2);
+  EXPECT_GT(r.forced_migrations, 0);
+}
+
+TEST(SimEngineTest, DrainWindowRestoresTheDc) {
+  Scenario s = small_scenario();
+  s.name = "drain-window-small";
+  s.peak_slot_calls = 60.0;
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 0;
+  drain.slot_in_day = 18;
+  drain.duration_slots = 6;  // a 3-hour maintenance window
+  drain.dc = "netherlands";
+  s.disturbances.push_back(drain);
+
+  Scenario open_ended = s;
+  open_ended.disturbances[0].duration_slots = -1;
+  const auto windowed = SimEngine(s).run(2);
+  const auto permanent = SimEngine(open_ended).run(2);
+  // The restored DC serves again: the closed window must diverge from the
+  // permanent drain.
+  EXPECT_NE(windowed.checksum, permanent.checksum);
+}
+
+TEST(SimEngineTest, LinkDisturbanceWindowsAreRejected) {
+  Scenario s = small_scenario();
+  Disturbance cut;
+  cut.kind = NetworkEventKind::kFiberCut;
+  cut.country = "france";
+  cut.dc = "netherlands";
+  cut.duration_slots = 8;  // fiber does not heal within a sim
+  s.disturbances.push_back(cut);
+  EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace titan::sim
