@@ -36,6 +36,7 @@ titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& 
                  core::TextTable::pct(r.migration_rate()) + " of calls)"});
   t.add_row({"forced evacuations", std::to_string(r.forced_migrations)});
   t.add_row({"route failovers (Internet->WAN)", std::to_string(r.route_changes)});
+  t.add_row({"transit failovers (pair steering)", std::to_string(r.transit_failovers)});
   t.add_row({"out-of-plan convergences",
              std::to_string(r.out_of_plan) + "  (" + core::TextTable::pct(r.out_of_plan_rate()) +
                  ")"});
@@ -55,6 +56,9 @@ titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& 
   t.add_row({"determinism checksum", buf});
   std::printf("%s", t.render().c_str());
 
+  if (r.leaked_calls != 0)
+    std::printf("WARNING: %lld leaked calls (lifecycle bug)\n",
+                static_cast<long long>(r.leaked_calls));
   for (const auto& [slot, link] : r.severed_links) {
     double peak_before = 0.0, peak_after = 0.0;
     for (int s = 0; s <= slot; ++s)
@@ -89,6 +93,46 @@ int main(int argc, char** argv) {
     }
     names = {cli.scenario};
   }
-  for (const auto& name : names) (void)run_one(name, cli);
+  std::vector<sim::SimResult> results;
+  results.reserve(names.size());
+  for (const auto& name : names) results.push_back(run_one(name, cli));
+
+  // Machine-readable per-scenario summary (CI uploads this as an artifact;
+  // the determinism checksums double as cheap golden values).
+  if (!cli.json_path.empty()) {
+    std::FILE* f = std::fopen(cli.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"seed\": %llu,\n  \"threads\": %d,\n  \"scenarios\": [\n",
+                 static_cast<unsigned long long>(cli.seed), cli.threads);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"checksum\": \"%016llx\", \"calls\": %lld, "
+                   "\"replans\": %d, \"dc_migrations\": %lld, \"route_changes\": %lld, "
+                   "\"transit_failovers\": %lld, \"forced_migrations\": %lld, "
+                   "\"out_of_plan\": %lld, \"leaked_calls\": %lld, "
+                   "\"internet_share\": %.6f, \"mean_mos\": %.4f, "
+                   "\"wan_sum_of_peaks_mbps\": %.3f}%s\n",
+                   r.scenario.c_str(), static_cast<unsigned long long>(r.checksum),
+                   static_cast<long long>(r.calls), r.replans,
+                   static_cast<long long>(r.dc_migrations),
+                   static_cast<long long>(r.route_changes),
+                   static_cast<long long>(r.transit_failovers),
+                   static_cast<long long>(r.forced_migrations),
+                   static_cast<long long>(r.out_of_plan),
+                   static_cast<long long>(r.leaked_calls), r.internet_share, r.mean_mos,
+                   r.wan.sum_of_peaks_mbps, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", cli.json_path.c_str());
+  }
+
+  // Leaked calls mean corrupted usage streams; fail the smoke run loudly.
+  for (const auto& r : results)
+    if (r.leaked_calls != 0) return 1;
   return 0;
 }

@@ -4,6 +4,7 @@
 // calls). All seeds are fixed so every bench is reproducible.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,10 +21,14 @@ namespace titan::bench {
 
 // Shared command-line interface of every bench binary:
 //   --seed N      workload seed               (default 2024)
-//   --weeks N     total workload weeks, last one evaluated (default 5)
+//   --weeks N     total workload weeks, last one evaluated (default 5).
+//                 Forecasting needs at least one training week, so
+//                 --weeks 1 still generates one: it is equivalent to
+//                 --weeks 2 and is the cheapest smoke-run setting.
 //   --threads N   sim worker threads          (default 1)
 //   --peak X      busiest-slot call volume    (default: per bench)
 //   --scenario S  named scenario              (sim bench only)
+//   --json PATH   machine-readable per-scenario results (sim bench only)
 // The workload knobs apply to the benches that generate call traces
 // (fig14/15/20, table3/4, sim); pure measurement-study benches accept but
 // do not consume them.
@@ -33,6 +38,7 @@ struct Cli {
   int threads = 1;
   double peak_slot_calls = -1.0;  // < 0: keep the bench's default
   std::string scenario;
+  std::string json_path;
 
   [[nodiscard]] double peak_or(double fallback) const {
     return peak_slot_calls > 0.0 ? peak_slot_calls : fallback;
@@ -55,8 +61,8 @@ inline Cli parse_cli(int argc, char** argv) {
       cli.seed = std::strtoull(value(), nullptr, 10);
     } else if (is("--weeks")) {
       cli.weeks = std::atoi(value());
-      if (cli.weeks < 2) {
-        std::fprintf(stderr, "--weeks must be >= 2 (training weeks + 1 evaluation week)\n");
+      if (cli.weeks < 1) {
+        std::fprintf(stderr, "--weeks must be >= 1 (smoke runs train on one week)\n");
         std::exit(2);
       }
     } else if (is("--threads")) {
@@ -65,8 +71,11 @@ inline Cli parse_cli(int argc, char** argv) {
       cli.peak_slot_calls = std::atof(value());
     } else if (is("--scenario")) {
       cli.scenario = value();
+    } else if (is("--json")) {
+      cli.json_path = value();
     } else if (is("--help") || is("-h")) {
-      std::printf("usage: %s [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]\n",
+      std::printf("usage: %s [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]"
+                  " [--json PATH]\n",
                   argv[0]);
       std::exit(0);
     } else {
@@ -107,6 +116,9 @@ struct WorkloadSplit {
 
 inline WorkloadSplit make_workload(const geo::World& world, double peak_slot_calls = 150.0,
                                    std::uint64_t seed = 2024, int weeks = 5) {
+  // Training history can never be empty (forecast-driven benches would emit
+  // NaNs): --weeks 1 generates one training week anyway, same as --weeks 2.
+  weeks = std::max(weeks, 2);
   workload::TraceOptions opts;
   opts.weeks = weeks;
   opts.peak_slot_calls = peak_slot_calls;

@@ -15,6 +15,7 @@ SlotMetricsSink::SlotMetricsSink(int num_slots, int num_links)
   dc_migrations_.assign(n, 0.0);
   route_changes_.assign(n, 0.0);
   forced_migrations_.assign(n, 0.0);
+  transit_failovers_.assign(n, 0.0);
   out_of_plan_.assign(n, 0.0);
   internet_participants_.assign(n, 0.0);
   participants_.assign(n, 0.0);
@@ -39,6 +40,9 @@ void SlotMetricsSink::add_route_change(core::SlotIndex s) {
 }
 void SlotMetricsSink::add_forced_migration(core::SlotIndex s) {
   forced_migrations_[static_cast<std::size_t>(s)] += 1.0;
+}
+void SlotMetricsSink::add_transit_failover(core::SlotIndex s) {
+  transit_failovers_[static_cast<std::size_t>(s)] += 1.0;
 }
 void SlotMetricsSink::add_out_of_plan(core::SlotIndex s) {
   out_of_plan_[static_cast<std::size_t>(s)] += 1.0;
@@ -66,6 +70,7 @@ void SlotMetricsSink::merge(const SlotMetricsSink& other) {
   add_into(dc_migrations_, other.dc_migrations_);
   add_into(route_changes_, other.route_changes_);
   add_into(forced_migrations_, other.forced_migrations_);
+  add_into(transit_failovers_, other.transit_failovers_);
   add_into(out_of_plan_, other.out_of_plan_);
   add_into(internet_participants_, other.internet_participants_);
   add_into(participants_, other.participants_);

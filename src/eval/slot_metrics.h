@@ -30,6 +30,7 @@ class SlotMetricsSink {
   void add_dc_migration(core::SlotIndex s);
   void add_route_change(core::SlotIndex s);
   void add_forced_migration(core::SlotIndex s);  // network-event evictions
+  void add_transit_failover(core::SlotIndex s);  // pair steered to alt transit
   void add_out_of_plan(core::SlotIndex s);
   void add_participants(core::SlotIndex s, int internet, int total);
   void add_mos(core::SlotIndex s, double mos);
@@ -62,6 +63,9 @@ class SlotMetricsSink {
   [[nodiscard]] const std::vector<double>& forced_migrations() const {
     return forced_migrations_;
   }
+  [[nodiscard]] const std::vector<double>& transit_failovers() const {
+    return transit_failovers_;
+  }
   [[nodiscard]] const std::vector<double>& out_of_plan() const { return out_of_plan_; }
 
  private:
@@ -78,6 +82,7 @@ class SlotMetricsSink {
   std::vector<double> dc_migrations_;
   std::vector<double> route_changes_;
   std::vector<double> forced_migrations_;
+  std::vector<double> transit_failovers_;
   std::vector<double> out_of_plan_;
   std::vector<double> internet_participants_;
   std::vector<double> participants_;

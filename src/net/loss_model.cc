@@ -61,16 +61,42 @@ void LossModel::fail_over(core::CountryId client, core::DcId dc) {
   int idx = default_transit_index(client, dc);
   const auto it = failover_.find(pair_key(client, dc));
   if (it != failover_.end()) idx = it->second;
-  failover_[pair_key(client, dc)] = (idx + 1) % options_.transits_per_dc;
+  // Steer to the next provider, skipping force-degraded ones: Titan would
+  // never move a pair onto a transit it knows is bad. With no clean
+  // alternate, stay put — unless the current provider is itself degraded
+  // (then plain rotation: everything is bad anyway).
+  const auto& transits = transits_by_dc_[static_cast<std::size_t>(dc.value())];
+  for (int step = 1; step < options_.transits_per_dc; ++step) {
+    const int candidate = (idx + step) % options_.transits_per_dc;
+    if (!transit_degraded(transits[static_cast<std::size_t>(candidate)])) {
+      failover_[pair_key(client, dc)] = candidate;
+      return;
+    }
+  }
+  if (transit_degraded(transits[static_cast<std::size_t>(idx % options_.transits_per_dc)]))
+    failover_[pair_key(client, dc)] = (idx + 1) % options_.transits_per_dc;
 }
 
 void LossModel::reset_failovers() { failover_.clear(); }
+
+void LossModel::degrade_transit(core::TransitId t, double added_loss) {
+  degraded_[t.value()] = added_loss;
+}
+
+void LossModel::clear_transit_degrade(core::TransitId t) { degraded_.erase(t.value()); }
+
+bool LossModel::transit_degraded(core::TransitId t) const {
+  return degraded_.find(t.value()) != degraded_.end();
+}
+
+void LossModel::reset_degrades() { degraded_.clear(); }
 
 std::vector<core::TransitId> LossModel::transits_of(core::DcId dc) const {
   return transits_by_dc_.at(static_cast<std::size_t>(dc.value()));
 }
 
 bool LossModel::transit_congested(core::TransitId t, core::SlotIndex slot) const {
+  if (transit_degraded(t)) return true;
   core::Rng r = core::rng_at(options_.seed, kEpisodeStream, t.value(),
                              static_cast<std::uint64_t>(slot));
   return r.chance(options_.transit_episode_prob);
@@ -116,6 +142,10 @@ core::LossFraction LossModel::slot_loss(core::CountryId client, core::DcId dc, P
     core::Rng pf = core::rng_at(options_.seed, 0xBC, client.value(), dc.value(),
                                 static_cast<std::uint64_t>(slot));
     loss += severity * pf.uniform(0.6, 1.4);
+    // Forced degradation adds its configured loss floor on top, so the
+    // whole homed population breaches the route-failover threshold.
+    const auto it = degraded_.find(transit.value());
+    if (it != degraded_.end()) loss += it->second;
   }
 
   // Idiosyncratic last-mile spike.

@@ -12,8 +12,9 @@
 //      transit providers per DC with slot-level congestion episodes.
 //
 // All per-slot values are pure functions of (seed, pair, slot) via hashed
-// RNG streams; the only mutable state is the transit failover table, which
-// reproduces Titan's "steer traffic to an alternate transit provider" knob.
+// RNG streams; the only mutable state is the transit failover table — which
+// reproduces Titan's "steer traffic to an alternate transit provider" knob —
+// and the forced-degrade table driven by scenario kTransitDegrade events.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +73,16 @@ class LossModel {
   void fail_over(core::CountryId client, core::DcId dc);
   void reset_failovers();
 
+  // Forced transit degradation (scenario kTransitDegrade events): while a
+  // transit is degraded it counts as congested in every slot and adds
+  // `added_loss` on top of the episode loss, so every pair homed onto it
+  // crosses the §6.4 route-failover threshold until Titan steers the pair
+  // to an alternate provider via `fail_over`.
+  void degrade_transit(core::TransitId t, double added_loss);
+  void clear_transit_degrade(core::TransitId t);
+  [[nodiscard]] bool transit_degraded(core::TransitId t) const;
+  void reset_degrades();
+
   // Whether the (DC, transit) peering is congested in this slot — exposed so
   // tests can verify the one-to-many loss pattern.
   [[nodiscard]] bool transit_congested(core::TransitId t, core::SlotIndex slot) const;
@@ -86,6 +97,8 @@ class LossModel {
   std::vector<bool> unusable_;  // per country
   // (country, dc) -> transit index override after failovers.
   std::unordered_map<std::uint64_t, int> failover_;
+  // transit -> forced added loss fraction while degraded.
+  std::unordered_map<int, double> degraded_;
 };
 
 }  // namespace titan::net

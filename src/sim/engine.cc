@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <map>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 #include "core/hash.h"
 #include "media/mos.h"
@@ -40,6 +44,10 @@ struct SimEngine::Shard {
   std::map<std::uint32_t, titannext::InitialAssignment> pending;
   std::vector<std::uint32_t> converged_this_slot;
   std::map<std::pair<int, int>, double> internet_load;  // (country, dc) -> Mbps, this slot
+  // (country, dc) pairs whose route failover this slot was caused by a
+  // congested transit; the engine steers them to an alternate provider
+  // between slots (ordered so the merged steering order is deterministic).
+  std::set<std::pair<int, int>> transit_steer;
   eval::SlotMetricsSink sink;
   std::uint64_t checksum = 0xcbf29ce484222325ULL;
   std::int64_t calls = 0;
@@ -53,6 +61,7 @@ struct SimEngine::Shard {
 SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
   scenario_.shards = std::max(1, scenario_.shards);
   scenario_.replan_interval_slots = std::max(1, scenario_.replan_interval_slots);
+  scenario_.convergence_delay_slots = std::max(0, scenario_.convergence_delay_slots);
   // The plan must cover at least one full replan interval.
   scenario_.pipeline.scope.timeslots =
       std::max(scenario_.pipeline.scope.timeslots, scenario_.replan_interval_slots);
@@ -61,7 +70,27 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
   workload_ = build_workload(scenario_, *world_);
   history_slots_ = scenario_.history_slots();
 
-  // Resolve disturbance names into the event schedule.
+  // A clean network must exist before disturbances resolve: kTransitDegrade
+  // pins its target to the pair's *BGP-default* transit, read off the
+  // pristine loss model.
+  reset_network();
+
+  // Resolve disturbance names into the event schedule. Windowed kinds
+  // synthesize a restore/recover event at window close that resets the
+  // target outright, so overlapping windows on the *same* target would
+  // cancel each other mid-flight — reject them instead of under-simulating.
+  std::map<int, std::vector<std::pair<int, int>>> drain_windows;    // dc -> [begin, end)
+  std::map<int, std::vector<std::pair<int, int>>> degrade_windows;  // transit -> [begin, end)
+  const auto note_window = [](std::map<int, std::vector<std::pair<int, int>>>& windows,
+                              int target, int begin, int end, const char* what) {
+    constexpr int kOpenEnded = std::numeric_limits<int>::max();
+    if (end < 0) end = kOpenEnded;
+    for (const auto& [b, e] : windows[target])
+      if (begin < e && b < end)
+        throw std::invalid_argument(std::string("overlapping ") + what +
+                                    " windows on one target");
+    windows[target].emplace_back(begin, end);
+  };
   for (const auto& d : scenario_.disturbances) {
     NetworkEvent e;
     e.kind = d.kind;
@@ -79,6 +108,10 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
     if (e.kind == NetworkEventKind::kForecastBias) {
       forecast_biases_.push_back(e);  // a modeling regime, not a fired event
     } else if (e.kind == NetworkEventKind::kDcDrain) {
+      if (!e.dc.valid()) throw std::invalid_argument("dc drain requires a dc");
+      if (e.magnitude < 0.0 || e.magnitude >= 1.0)
+        throw std::invalid_argument("dc drain magnitude must be in [0, 1)");
+      note_window(drain_windows, e.dc.value(), e.slot, e.end_slot, "dc drain");
       events_.push_back(e);
       // A drain window restores the DC when it closes (maintenance done).
       if (e.end_slot >= 0) {
@@ -88,17 +121,46 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
         restore.magnitude = 1.0;
         events_.push_back(restore);
       }
+    } else if (e.kind == NetworkEventKind::kTransitDegrade) {
+      if (!e.dc.valid()) throw std::invalid_argument("transit degrade requires a dc");
+      if (e.magnitude <= 0.0)
+        throw std::invalid_argument("transit degrade magnitude must be > 0");
+      e.transit = e.country.valid() ? db_->loss().transit_for(e.country, e.dc)
+                                    : db_->loss().transits_of(e.dc).front();
+      note_window(degrade_windows, e.transit.value(), e.slot, e.end_slot, "transit degrade");
+      events_.push_back(e);
+      // The congestion episode clears when the window closes.
+      if (e.end_slot >= 0) {
+        NetworkEvent recover = e;
+        recover.slot = e.end_slot;
+        recover.end_slot = -1;
+        recover.magnitude = 0.0;
+        events_.push_back(recover);
+      }
     } else {
       // Fiber repairs take months (§4.2 finding 7) — far beyond any sim
       // horizon — so link events have no restoration path; reject windows
       // rather than silently ignoring them.
+      if (!e.country.valid() || !e.dc.valid())
+        throw std::invalid_argument("link disturbances require a country and a dc");
       if (d.duration_slots > 0)
         throw std::invalid_argument("link disturbances do not support duration_slots");
       events_.push_back(e);
     }
   }
+  // Restores order before new disturbances at the same slot, so touching
+  // windows ([10,20) then [20,30) on one target) work regardless of the
+  // order the scenario listed them in. Only synthesized restore/recover
+  // events carry these magnitudes — user disturbances reject them.
+  const auto is_restore = [](const NetworkEvent& e) {
+    return (e.kind == NetworkEventKind::kDcDrain && e.magnitude >= 1.0) ||
+           (e.kind == NetworkEventKind::kTransitDegrade && e.magnitude <= 0.0);
+  };
   std::stable_sort(events_.begin(), events_.end(),
-                   [](const NetworkEvent& a, const NetworkEvent& b) { return a.slot < b.slot; });
+                   [&](const NetworkEvent& a, const NetworkEvent& b) {
+                     if (a.slot != b.slot) return a.slot < b.slot;
+                     return is_restore(a) && !is_restore(b);
+                   });
 
   // Forecast inputs: training history followed by the realized eval counts
   // (replans only ever read columns before "now").
@@ -111,8 +173,6 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
                              : std::vector<double>(static_cast<std::size_t>(history_slots_), 0.0);
     series.insert(series.end(), eval[c].begin(), eval[c].end());
   }
-
-  reset_network();
 }
 
 SimEngine::~SimEngine() = default;
@@ -121,9 +181,14 @@ void SimEngine::reset_network() {
   // Rebuilding the NetworkDb from the world resets every disturbance effect
   // (link scales, drains), so consecutive runs are identical.
   db_ = std::make_unique<net::NetworkDb>(*world_);
+  // The rebuild already starts clean; reset the transit steering state
+  // explicitly so the invariant survives a future cheaper reset path.
+  db_->loss().reset_failovers();
+  db_->loss().reset_degrades();
   dead_links_.assign(db_->topology().link_count(), false);
   drained_dcs_.assign(world_->dcs().size(), false);
   evacuation_pending_ = false;
+  partial_evac_.clear();
   severed_links_.clear();
 
   fractions_.clear();
@@ -179,9 +244,24 @@ void SimEngine::apply_network_event(const NetworkEvent& event) {
     case NetworkEventKind::kDcDrain: {
       db_->set_dc_compute_scale(event.dc, event.magnitude);
       drained_dcs_[static_cast<std::size_t>(event.dc.value())] = event.magnitude <= 0.0;
-      if (event.magnitude <= 0.0) evacuation_pending_ = true;
+      if (event.magnitude <= 0.0) {
+        evacuation_pending_ = true;
+      } else if (event.magnitude < 1.0) {
+        // Partial/rolling maintenance: the next evacuation wave moves a
+        // deterministic ~(1 - magnitude) share of the DC's in-flight calls;
+        // planning sees the shrunk capacity through dc_compute_scale.
+        partial_evac_[event.dc.value()] =
+            std::max(partial_evac_[event.dc.value()], 1.0 - event.magnitude);
+        evacuation_pending_ = true;
+      }
       break;
     }
+    case NetworkEventKind::kTransitDegrade:
+      if (event.magnitude > 0.0)
+        db_->loss().degrade_transit(event.transit, event.magnitude);
+      else
+        db_->loss().clear_transit_degrade(event.transit);
+      break;
     case NetworkEventKind::kForecastBias:
       break;  // handled as a schedule in replan(), not as a fired event
   }
@@ -251,7 +331,8 @@ SimResult SimEngine::run(int threads) {
         core::Rng(core::hash_key(scenario_.seed, 0x51Aa, i));
     shards[static_cast<std::size_t>(i)].sink = eval::SlotMetricsSink(num_slots, num_links);
   }
-  for (const auto& e : workload::build_event_stream(workload_.eval))
+  for (const auto& e :
+       workload::build_event_stream(workload_.eval, scenario_.convergence_delay_slots))
     shards[static_cast<std::size_t>(shard_of(calls[e.call_index].id, num_shards))].queue.push(e);
 
   ShardedExecutor exec(num_shards, threads);
@@ -259,6 +340,10 @@ SimResult SimEngine::run(int threads) {
   result.scenario = scenario_.name;
   result.eval_slots = num_slots;
   result.threads = std::max(1, threads);
+
+  // Engine-level (cross-shard) per-slot stream: transit steering decisions.
+  eval::SlotMetricsSink engine_sink(num_slots, num_links);
+  std::uint64_t engine_checksum = 0xa0761d6478bd642fULL;
 
   std::size_t next_event = 0;
   core::SlotIndex next_replan = 0;
@@ -279,8 +364,21 @@ SimResult SimEngine::run(int threads) {
 
     const bool evacuate = evacuation_pending_;
     evacuation_pending_ = false;
+    const std::map<int, double> partial_evac = std::move(partial_evac_);
+    partial_evac_.clear();
     const core::SlotIndex abs_slot = history_slots_ + s;
     const core::SlotIndex t = s - plan_begin_;  // slot within the plan horizon
+
+    // Deterministic per-call draw for partial-drain evacuation: a pure
+    // function of (seed, call id, slot), so the evacuated subset is
+    // identical at any shard/thread layout.
+    const auto partial_pick = [&](core::CallId id, core::DcId dc) {
+      const auto pit = partial_evac.find(dc.value());
+      return pit != partial_evac.end() &&
+             core::rng_at(scenario_.seed, 0xD7A1, static_cast<std::uint64_t>(id.value()),
+                          static_cast<std::uint64_t>(s))
+                 .chance(pit->second);
+    };
 
     // Phase A+B: per shard, evacuate stranded calls, drain this slot's call
     // events, then account per-slot usage of the shard's active set.
@@ -290,33 +388,65 @@ SimResult SimEngine::run(int threads) {
       sh.converged_this_slot.clear();
 
       if (evacuate) {
+        const auto on_dead_link = [&](core::CountryId country, core::DcId dc) {
+          for (const auto lid : db_->topology().path(country, dc).links)
+            if (dead_links_[static_cast<std::size_t>(lid.value())]) return true;
+          return false;
+        };
+        // Re-target one stranded placement: plan first, nearest live DC
+        // otherwise. A partially drained DC still holds plan weight, but
+        // the chosen evacuation subset must actually leave it.
+        const auto retarget = [&](std::uint32_t idx, const workload::CallConfig& config,
+                                  core::CountryId first_joiner, bool partial, core::DcId from,
+                                  std::uint32_t flag) {
+          const auto picked = sh.plan.pick(config, t, sh.rng);
+          titannext::Assignment target = picked.value_or(sh.controller->fallback(first_joiner));
+          if (partial && target.dc == from) target = sh.controller->fallback(first_joiner, from);
+          if (target.dc != from) {
+            ++sh.forced_migrations;
+            sh.sink.add_forced_migration(s);
+          }
+          sh.checksum = mix_decision(sh.checksum, idx, target.dc, target.path, flag);
+          return target;
+        };
+
         for (auto& [idx, ac] : sh.active) {
           const auto& call = calls[idx];
           bool stranded = drained_dcs_[static_cast<std::size_t>(ac.dc.value())];
+          const bool partial = !stranded && partial_pick(call.id, ac.dc);
+          stranded |= partial;
           if (!stranded && ac.path == net::PathType::kWan) {
             const auto& config = workload_.eval.configs().get(call.config);
-            for (const auto& [country, count] : config.participants) {
-              for (const auto lid : db_->topology().path(country, ac.dc).links)
-                if (dead_links_[static_cast<std::size_t>(lid.value())]) {
-                  stranded = true;
-                  break;
-                }
-              if (stranded) break;
-            }
+            for (const auto& [country, count] : config.participants)
+              if (on_dead_link(country, ac.dc)) {
+                stranded = true;
+                break;
+              }
           }
           if (!stranded) continue;
           const auto& config = workload_.eval.configs().get(call.config);
           const auto reduced = use_reduction ? workload::reduce(config).config : config;
-          const auto picked = sh.plan.pick(reduced, t, sh.rng);
-          const titannext::Assignment target =
-              picked.value_or(sh.controller->fallback(call.first_joiner));
-          if (target.dc != ac.dc) {
-            ++sh.forced_migrations;
-            sh.sink.add_forced_migration(s);
-          }
+          const auto target = retarget(idx, reduced, call.first_joiner, partial, ac.dc, 0x4u);
           ac.dc = target.dc;
           ac.path = target.path;
-          sh.checksum = mix_decision(sh.checksum, idx, ac.dc, ac.path, 0x4u);
+        }
+
+        // Pending calls (arrived, not yet converged) hold an initial
+        // assignment that can equally point at a drained DC or a severed
+        // link; re-target it so the eventual convergence starts from a
+        // live placement. The link check uses the first joiner's path —
+        // the only participant the initial assignment was based on.
+        for (auto& [idx, init] : sh.pending) {
+          const auto& call = calls[idx];
+          auto& assignment = init.assignment;
+          bool stranded = drained_dcs_[static_cast<std::size_t>(assignment.dc.value())];
+          const bool partial = !stranded && partial_pick(call.id, assignment.dc);
+          stranded |= partial;
+          if (!stranded && assignment.path == net::PathType::kWan)
+            stranded = on_dead_link(call.first_joiner, assignment.dc);
+          if (!stranded) continue;
+          assignment = retarget(idx, init.guessed_config, call.first_joiner, partial,
+                                assignment.dc, 0x10u);
         }
       }
 
@@ -325,7 +455,11 @@ SimResult SimEngine::run(int threads) {
         const auto& call = calls[e.call_index];
         switch (e.kind) {
           case workload::CallEventKind::kEnd:
+            // A call can end before it ever converges (delayed convergence,
+            // or a zero-length call whose end orders before its arrival);
+            // drop it from both lifecycle sets.
             sh.active.erase(e.call_index);
+            sh.pending.erase(e.call_index);
             break;
           case workload::CallEventKind::kArrival: {
             ++sh.calls;
@@ -339,6 +473,19 @@ SimResult SimEngine::run(int threads) {
           }
           case workload::CallEventKind::kConvergence: {
             const auto it = sh.pending.find(e.call_index);
+            // Already ended (kEnd drained it this or an earlier slot):
+            // never resurrect the call into the active set.
+            if (it == sh.pending.end()) break;
+            // kEnd = 0 orders before kConvergence at equal slots, so an end
+            // due at or before this slot has already fired — except for a
+            // zero-length call, whose end fired before its *arrival*. Its
+            // pending entry must die here, not graduate.
+            const core::SlotIndex end_slot = std::min<core::SlotIndex>(
+                call.start_slot + call.duration_slots, num_slots);
+            if (end_slot <= s) {
+              sh.pending.erase(it);
+              break;
+            }
             const auto& config = workload_.eval.configs().get(call.config);
             const auto conv = sh.controller->converge(it->second, config, t, sh.rng);
             std::uint32_t flags = 0;
@@ -394,6 +541,7 @@ SimResult SimEngine::run(int threads) {
     // (elasticity-aware) Internet quality at the merged load.
     exec.run([&](int i) {
       auto& sh = shards[static_cast<std::size_t>(i)];
+      sh.transit_steer.clear();
       for (auto& [idx, ac] : sh.active) {
         if (ac.path != net::PathType::kInternet) continue;
         const auto& call = calls[idx];
@@ -408,6 +556,11 @@ SimResult SimEngine::run(int threads) {
           ++sh.route_changes;
           sh.sink.add_route_change(s);
           sh.checksum = mix_decision(sh.checksum, idx, ac.dc, ac.path, 0x8u);
+          // When the damage traces to a congested transit (not the
+          // elasticity knee or a last-mile spike), flag the pair for
+          // Titan's transit-steering response between slots.
+          if (db_->loss().transit_congested(db_->loss().transit_for(country, ac.dc), abs_slot))
+            sh.transit_steer.insert({country.value(), ac.dc.value()});
         }
       }
       const media::MosModel mos_model;
@@ -429,6 +582,24 @@ SimResult SimEngine::run(int threads) {
         sh.sink.add_mos(s, mos_model.expected(e2e, loss));
       }
     });
+
+    // Transit failover (§4.2 finding 6, Titan's steering knob): every pair
+    // whose route failover this slot traced to a congested transit moves to
+    // the DC's next provider. Requests merge in shard order into one
+    // ordered set, and the loss model mutates between slots only, so the
+    // result is bit-identical at any thread count.
+    std::set<std::pair<int, int>> steer;
+    for (const auto& sh : shards)
+      steer.insert(sh.transit_steer.begin(), sh.transit_steer.end());
+    for (const auto& [country, dc] : steer) {
+      db_->loss().fail_over(core::CountryId(country), core::DcId(dc));
+      ++result.transit_failovers;
+      engine_sink.add_transit_failover(s);
+      engine_checksum = core::hash_mix(
+          core::hash_mix(core::hash_mix(engine_checksum, static_cast<std::uint64_t>(s)),
+                         static_cast<std::uint64_t>(country)),
+          static_cast<std::uint64_t>(dc));
+    }
   }
 
   // Deterministic merge in shard index order.
@@ -443,7 +614,24 @@ SimResult SimEngine::run(int threads) {
     result.out_of_plan += sh.out_of_plan;
     result.fallback_assignments += sh.fallbacks;
     checksum = core::hash_mix(checksum, sh.checksum);
+    // Lifecycle audit: anything still active (or pending) whose end (or
+    // convergence) event was due inside the window leaked — its usage
+    // accrued past its lifetime.
+    for (const auto& entry : sh.active) {
+      const auto& call = calls[entry.first];
+      const core::SlotIndex end_slot =
+          std::min<core::SlotIndex>(call.start_slot + call.duration_slots, num_slots);
+      if (end_slot < num_slots) ++result.leaked_calls;
+    }
+    for (const auto& entry : sh.pending) {
+      const auto& call = calls[entry.first];
+      const core::SlotIndex conv_slot = std::min<core::SlotIndex>(
+          call.start_slot + scenario_.convergence_delay_slots, num_slots);
+      if (conv_slot < num_slots) ++result.leaked_calls;
+    }
   }
+  merged.merge(engine_sink);
+  checksum = core::hash_mix(checksum, engine_checksum);
   result.wan = merged.wan_usage();
   result.internet_share = merged.internet_share_overall();
   result.mean_mos = merged.mean_mos_overall();

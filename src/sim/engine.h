@@ -9,12 +9,19 @@
 //   1. fires due network events (mutating the engine's own NetworkDb),
 //   2. re-plans when the replan timer — or a disturbance — demands it,
 //      re-binding every shard's controller to the fresh plan,
-//   3. evacuates active calls stranded on severed links or drained DCs,
-//   4. drains call events (end / arrival / convergence) shard-parallel,
-//   5. accounts per-slot WAN link and Internet pair usage,
+//   3. evacuates active *and pending* calls stranded on severed links or
+//      drained DCs; partial drains (magnitude in (0,1)) evacuate a
+//      deterministic per-call-id subset proportional to the drained share,
+//   4. drains call events (end / arrival / convergence) shard-parallel —
+//      a convergence whose call already ended is dropped, never resurrected,
+//   5. accounts per-slot WAN link and Internet pair usage (active calls;
+//      calls still converging are not yet at full media flow),
 //   6. runs §6.4 route-quality failover against load-dependent Internet
 //      loss/RTT (elasticity knee included); failed-over traffic moves
-//      Internet -> WAN, never the reverse.
+//      Internet -> WAN, never the reverse. Pairs whose failover was caused
+//      by a congested transit are then steered to the DC's next transit
+//      provider (`LossModel::fail_over`, Titan's §4.2-finding-6 knob), so
+//      later calls see a clean Internet path again.
 //
 // Determinism: calls are partitioned across a fixed shard count by call-id
 // hash; each shard owns an RNG stream, a controller, a plan copy (credit
@@ -24,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,8 +50,13 @@ struct SimResult {
   std::int64_t dc_migrations = 0;       // convergence-time inter-DC moves
   std::int64_t route_changes = 0;       // route-quality failovers (Internet -> WAN)
   std::int64_t forced_migrations = 0;   // network-event evacuations
+  std::int64_t transit_failovers = 0;   // pairs steered to an alternate transit
   std::int64_t out_of_plan = 0;         // true config absent from the plan
   std::int64_t fallback_assignments = 0;
+  // Lifecycle invariant check: calls still occupying the active/pending sets
+  // after their end (or convergence) event was due. Always 0 — a nonzero
+  // value means the engine leaked a call and its usage streams are corrupt.
+  std::int64_t leaked_calls = 0;
   int replans = 0;
 
   double plan_seconds = 0.0;      // LP time across replans
@@ -116,6 +129,9 @@ class SimEngine {
   std::vector<bool> dead_links_;   // capacity fully severed
   std::vector<bool> drained_dcs_;  // compute fully drained
   bool evacuation_pending_ = false;
+  // DC -> fraction of its in-flight calls to evacuate in the next wave
+  // (partial drains); consumed by the wave, then cleared.
+  std::map<int, double> partial_evac_;
   std::vector<std::pair<core::SlotIndex, core::LinkId>> severed_links_;
 };
 

@@ -50,10 +50,15 @@ class EventQueue {
 };
 
 enum class NetworkEventKind : std::uint8_t {
-  kFiberCut,      // sever the top-capacity WAN link on the (country, dc) path
-  kLinkScale,     // scale every WAN link on the (country, dc) path
-  kDcDrain,       // scale a DC's usable MP compute (0 = drained)
-  kForecastBias,  // multiply forecasts by `magnitude` while active
+  kFiberCut,       // sever the top-capacity WAN link on the (country, dc) path
+  kLinkScale,      // scale every WAN link on the (country, dc) path
+  kDcDrain,        // scale a DC's usable MP compute (0 = fully drained; a
+                   // magnitude in (0,1) is a partial/rolling drain that also
+                   // proportionally evacuates active calls)
+  kForecastBias,   // multiply forecasts by `magnitude` while active
+  kTransitDegrade, // force congestion on one of the DC's transit ISPs for a
+                   // window; `magnitude` is the added loss fraction (§6.4
+                   // failover drill: pairs steer to an alternate transit)
 };
 
 struct NetworkEvent {
@@ -62,6 +67,10 @@ struct NetworkEvent {
   core::SlotIndex end_slot = -1; // windowed regimes (kForecastBias); -1 = open
   core::CountryId country = core::CountryId::invalid();
   core::DcId dc = core::DcId::invalid();
+  // kTransitDegrade target, resolved once when the engine materializes the
+  // scenario (the BGP-default transit of (country, dc), or the DC's first
+  // transit when no country is named).
+  core::TransitId transit = core::TransitId::invalid();
   double magnitude = 0.0;  // scale / factor, kind-dependent
 };
 

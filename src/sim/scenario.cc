@@ -93,9 +93,95 @@ Scenario flash_crowd() {
   return s;
 }
 
+Scenario transit_degrade_failover() {
+  Scenario s = base_scenario();
+  s.name = "transit-degrade-failover";
+  s.description = "a transit ISP at the Netherlands DC congests for a Tuesday business "
+                  "morning; every homed pair sees >= 1% Internet loss, per-call route "
+                  "failover moves traffic to the WAN and Titan steers the pairs to an "
+                  "alternate transit (§4.2 finding 6, §6.4)";
+  Disturbance degrade;
+  degrade.kind = NetworkEventKind::kTransitDegrade;
+  degrade.day = 1;               // Tuesday
+  degrade.slot_in_day = 18;      // 09:00
+  degrade.duration_slots = 8;    // a four-hour congestion episode
+  degrade.country = "france";    // resolve the transit France is homed onto
+  degrade.dc = "netherlands";
+  degrade.magnitude = 0.03;      // 3% added loss: well past the 1% threshold
+  s.disturbances.push_back(degrade);
+  return s;
+}
+
+Scenario rolling_maintenance() {
+  Scenario s = base_scenario();
+  s.name = "rolling-maintenance";
+  s.description = "rolling half-capacity maintenance across the European DCs, one at a "
+                  "time with restore windows in between; each phase evacuates ~half of "
+                  "the in-flight calls at the DC under maintenance (§4.2 drains)";
+  // Wednesday night into Thursday morning, the classic maintenance slot:
+  // three hours per DC at half capacity, one hour restored between phases.
+  add_rolling_maintenance(s, {"netherlands", "ireland", "uk"}, /*day=*/2,
+                          /*slot_in_day=*/40 /* 20:00 */, /*window_slots=*/6,
+                          /*gap_slots=*/2, /*magnitude=*/0.5);
+  return s;
+}
+
+Scenario cut_then_flash_crowd() {
+  Scenario s = base_scenario();
+  s.name = "cut-then-flash-crowd";
+  s.description = "compound drill: a Tuesday fiber cut severs the France WAN path, then "
+                  "a Wednesday-morning flash crowd triples France volume while the "
+                  "network is still degraded — surge traffic must ride the already "
+                  "surged Internet fractions and the rerouted WAN";
+  Disturbance cut;
+  cut.kind = NetworkEventKind::kFiberCut;
+  cut.day = 1;                // Tuesday
+  cut.slot_in_day = 20;       // 10:00
+  cut.country = "france";
+  cut.dc = "netherlands";
+  cut.magnitude = 0.0;        // severed outright
+  s.disturbances.push_back(cut);
+  SurgeSpec surge;
+  surge.day = 2;              // Wednesday
+  surge.begin_slot_in_day = 18;
+  surge.end_slot_in_day = 26;
+  surge.country = "france";
+  surge.factor = 3.0;
+  s.surges.push_back(surge);
+  Disturbance bias;           // the crowd breaks the forecasts, as in flash-crowd
+  bias.kind = NetworkEventKind::kForecastBias;
+  bias.day = 2;
+  bias.slot_in_day = 18;
+  bias.duration_slots = 8;
+  bias.magnitude = 0.7;
+  s.disturbances.push_back(bias);
+  return s;
+}
+
+void add_rolling_maintenance(Scenario& s, const std::vector<std::string>& dcs, int day,
+                             int slot_in_day, int window_slots, int gap_slots,
+                             double magnitude) {
+  if (window_slots <= 0) throw std::invalid_argument("rolling maintenance window_slots");
+  if (gap_slots < 0) throw std::invalid_argument("rolling maintenance gap_slots");
+  int begin = day * core::kSlotsPerDay + slot_in_day;
+  for (const auto& dc : dcs) {
+    Disturbance drain;
+    drain.kind = NetworkEventKind::kDcDrain;
+    drain.day = begin / core::kSlotsPerDay;
+    drain.slot_in_day = begin % core::kSlotsPerDay;
+    drain.duration_slots = window_slots;
+    drain.dc = dc;
+    drain.magnitude = magnitude;
+    s.disturbances.push_back(drain);
+    begin += window_slots + gap_slots;
+  }
+}
+
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
-      "steady-week", "weekend-transition", "fiber-cut-failover", "dc-drain", "flash-crowd"};
+      "steady-week",    "weekend-transition",       "fiber-cut-failover",
+      "dc-drain",       "flash-crowd",              "transit-degrade-failover",
+      "rolling-maintenance", "cut-then-flash-crowd"};
   return names;
 }
 
@@ -105,6 +191,9 @@ Scenario make_scenario(const std::string& name) {
   if (name == "fiber-cut-failover") return fiber_cut_failover();
   if (name == "dc-drain") return dc_drain();
   if (name == "flash-crowd") return flash_crowd();
+  if (name == "transit-degrade-failover") return transit_degrade_failover();
+  if (name == "rolling-maintenance") return rolling_maintenance();
+  if (name == "cut-then-flash-crowd") return cut_then_flash_crowd();
   throw std::invalid_argument("unknown scenario: " + name);
 }
 
@@ -137,7 +226,8 @@ ScenarioWorkload build_workload(const Scenario& scenario, const geo::World& worl
   // Each surge clones *original* calls only (snapshot taken before any
   // surge), so overlapping surges add rather than compound.
   const std::size_t original_count = calls.size();
-  for (const auto& surge : scenario.surges) {
+  for (std::size_t surge_index = 0; surge_index < scenario.surges.size(); ++surge_index) {
+    const auto& surge = scenario.surges[surge_index];
     const auto region = world.find_country(surge.country);
     if (!region.valid()) throw std::invalid_argument("surge country: " + surge.country);
     const int begin = surge.day * core::kSlotsPerDay + surge.begin_slot_in_day;
@@ -148,7 +238,10 @@ ScenarioWorkload build_workload(const Scenario& scenario, const geo::World& worl
       if (call.first_joiner != region) continue;
       const double extra = surge.factor - 1.0;
       int clones = static_cast<int>(std::floor(extra));
-      core::Rng rng = core::rng_at(scenario.seed, 0xF1a5, call.id.value());
+      // The surge index is part of the key: overlapping surges must make
+      // *independent* fractional-clone decisions per call, not perfectly
+      // correlated ones.
+      core::Rng rng = core::rng_at(scenario.seed, 0xF1a5, surge_index, call.id.value());
       if (rng.chance(extra - clones)) ++clones;
       for (int k = 0; k < clones; ++k) {
         workload::CallRecord clone = call;

@@ -5,8 +5,9 @@
 // fractions, and a schedule of disturbances — so benches, tests, and
 // examples exercise the *same* named situations. The library covers the
 // paper's §8 situations plus the failure drills production rehearses:
-// steady-week, weekend-transition, fiber-cut-failover, dc-drain, and
-// flash-crowd.
+// steady-week, weekend-transition, fiber-cut-failover, dc-drain,
+// flash-crowd, transit-degrade-failover, rolling-maintenance, and the
+// compound cut-then-flash-crowd.
 #pragma once
 
 #include <string>
@@ -24,13 +25,19 @@ struct Disturbance {
   NetworkEventKind kind = NetworkEventKind::kFiberCut;
   int day = 0;
   int slot_in_day = 0;
-  // Window length for kForecastBias (bias applies inside the window) and
-  // kDcDrain (the DC restores when the window closes); -1 = open-ended.
+  // Window length for kForecastBias (bias applies inside the window),
+  // kDcDrain (the DC restores when the window closes), and kTransitDegrade
+  // (the transit recovers when the window closes); -1 = open-ended.
   // Link kinds reject windows: fiber repairs exceed any sim horizon.
   int duration_slots = -1;
   std::string country;      // client country name ("" = unused)
   std::string dc;           // DC name ("" = unused)
-  double magnitude = 0.0;   // kind-dependent scale / factor
+  // Kind-dependent scale / factor. For kDcDrain this is the remaining
+  // compute scale: 0 is a full drain, a value in (0,1) is a *partial*
+  // drain that evacuates a deterministic ~(1 - magnitude) share of the
+  // DC's in-flight calls and shrinks its plan capacity proportionally.
+  // For kTransitDegrade it is the loss fraction the congested transit adds.
+  double magnitude = 0.0;
 };
 
 // A regional traffic surge (flash crowd). Applied to the workload before
@@ -63,6 +70,12 @@ struct Scenario {
   // Plan on ground-truth counts instead of Holt-Winters forecasts (oracle
   // replanning; cheap, used by tests).
   bool oracle_counts = false;
+  // Slots between a call's arrival and its convergence (true config known).
+  // 0 = same slot (the default; the paper's ~5-minute convergence collapsed
+  // onto the 30-minute grid). With a positive delay, calls sit in the
+  // pending state across slot boundaries — and across network events, so
+  // evacuation must cover them too.
+  int convergence_delay_slots = 0;
 
   int shards = 16;
   double titan_fraction_cap = 0.20;
@@ -86,6 +99,17 @@ struct Scenario {
 [[nodiscard]] Scenario fiber_cut_failover();
 [[nodiscard]] Scenario dc_drain();
 [[nodiscard]] Scenario flash_crowd();
+[[nodiscard]] Scenario transit_degrade_failover();
+[[nodiscard]] Scenario rolling_maintenance();
+[[nodiscard]] Scenario cut_then_flash_crowd();
+
+// Appends a rolling-maintenance schedule: each named DC is partially
+// drained to `magnitude` for `window_slots`, one DC at a time, with
+// `gap_slots` of restored operation between phases. Start time is
+// (day, slot_in_day); phases follow back-to-back on the same timeline.
+void add_rolling_maintenance(Scenario& s, const std::vector<std::string>& dcs, int day,
+                             int slot_in_day, int window_slots, int gap_slots,
+                             double magnitude);
 
 [[nodiscard]] const std::vector<std::string>& scenario_names();
 // Throws std::invalid_argument for unknown names.

@@ -14,21 +14,25 @@ void OnlineController::rebind(const PlanInputs& inputs, const OfflinePlan& plan)
 }
 
 Assignment OnlineController::fallback(core::CountryId country) const {
+  return fallback(country, core::DcId::invalid());
+}
+
+Assignment OnlineController::fallback(core::CountryId country, core::DcId exclude) const {
   core::DcId best = core::DcId::invalid();
   double best_rtt = std::numeric_limits<double>::infinity();
-  // Fully drained DCs (scenario maintenance events) take no new calls —
-  // unless everything is drained, in which case the call still has to land
-  // somewhere and the drain filter is dropped (second pass).
-  for (const bool skip_drained : {true, false}) {
+  // Preference order: a live DC other than `exclude`; then the (live)
+  // excluded DC — a partially drained DC beats a fully drained one; only
+  // when everything is drained does the call land anywhere at all.
+  for (int pass = 0; pass < 3 && !best.valid(); ++pass) {
     for (const auto dc : inputs_->dcs()) {
-      if (skip_drained && inputs_->net().dc_compute_scale(dc) <= 0.0) continue;
+      if (pass < 2 && inputs_->net().dc_compute_scale(dc) <= 0.0) continue;
+      if (pass < 1 && dc == exclude) continue;
       const double rtt = inputs_->net().latency().base_rtt_ms(country, dc, net::PathType::kWan);
       if (rtt < best_rtt) {
         best_rtt = rtt;
         best = dc;
       }
     }
-    if (best.valid()) break;
   }
   return Assignment{best, net::PathType::kWan};
 }

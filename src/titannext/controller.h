@@ -72,7 +72,12 @@ class OnlineController {
 
   // Fallback when the plan has nothing for a config: nearest in-scope DC by
   // WAN latency ("assign MP DC closest to the first joiner"), WAN routing.
+  // The `exclude` overload additionally avoids one DC — partial-drain
+  // evacuations must land their chosen subset somewhere *else*, even when
+  // the draining DC still has capacity — unless it is the only *live* DC
+  // left (a partially drained DC still beats a fully drained one).
   [[nodiscard]] Assignment fallback(core::CountryId country) const;
+  [[nodiscard]] Assignment fallback(core::CountryId country, core::DcId exclude) const;
 
  private:
   const PlanInputs* inputs_;

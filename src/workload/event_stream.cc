@@ -4,14 +4,16 @@
 
 namespace titan::workload {
 
-std::vector<CallEvent> build_event_stream(const Trace& trace) {
+std::vector<CallEvent> build_event_stream(const Trace& trace, int convergence_delay_slots) {
   std::vector<CallEvent> events;
   events.reserve(trace.calls().size() * 3);
   for (std::size_t i = 0; i < trace.calls().size(); ++i) {
     const auto& call = trace.calls()[i];
     const auto idx = static_cast<std::uint32_t>(i);
     events.push_back({call.start_slot, CallEventKind::kArrival, idx});
-    events.push_back({call.start_slot, CallEventKind::kConvergence, idx});
+    const core::SlotIndex converge = std::min<core::SlotIndex>(
+        call.start_slot + convergence_delay_slots, trace.num_slots());
+    events.push_back({converge, CallEventKind::kConvergence, idx});
     const core::SlotIndex end =
         std::min<core::SlotIndex>(call.start_slot + call.duration_slots, trace.num_slots());
     events.push_back({end, CallEventKind::kEnd, idx});

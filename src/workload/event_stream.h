@@ -40,7 +40,14 @@ struct CallEvent {
 
 // All events of the trace, sorted by (slot, kind, call index). End events
 // past the trace's last slot are clamped to `trace.num_slots()` so every
-// call ends inside [0, num_slots].
-[[nodiscard]] std::vector<CallEvent> build_event_stream(const Trace& trace);
+// call ends inside [0, num_slots]. `convergence_delay_slots` defers each
+// call's convergence past its arrival slot (default 0: same slot, the
+// paper's "a few minutes in" collapsed onto the 30-minute grid); the sim
+// uses it to model slower convergence, during which a call sits in the
+// pending state with only its initial assignment. A convergence landing at
+// or after the call's end slot is dropped by the engine (the call ended
+// before its true config was ever acted on).
+[[nodiscard]] std::vector<CallEvent> build_event_stream(const Trace& trace,
+                                                        int convergence_delay_slots = 0);
 
 }  // namespace titan::workload

@@ -228,6 +228,45 @@ TEST_F(NetTest, TransitFailoverMovesPairToAnotherIsp) {
   EXPECT_EQ(db_.loss().transit_for(fr, nl), before);
 }
 
+TEST_F(NetTest, ForcedTransitDegradeAddsLossUntilFailOver) {
+  const auto fr = world_.find_country("france");
+  const auto nl = world_.find_dc("netherlands");
+  const auto home = db_.loss().transit_for(fr, nl);
+  ASSERT_FALSE(db_.loss().transit_degraded(home));
+
+  // While degraded, the transit counts as congested in every slot and every
+  // homed pair's loss carries the added floor — past the 1% failover bar.
+  db_.loss().degrade_transit(home, 0.03);
+  EXPECT_TRUE(db_.loss().transit_degraded(home));
+  for (core::SlotIndex s = 0; s < 50; ++s) {
+    EXPECT_TRUE(db_.loss().transit_congested(home, s));
+    EXPECT_GE(db_.loss().slot_loss(fr, nl, PathType::kInternet, s), 0.03);
+  }
+
+  // Titan's §4.2-finding-6 answer: steer the pair to an alternate provider.
+  // The pair recovers immediately even though the transit stays degraded.
+  db_.loss().fail_over(fr, nl);
+  EXPECT_NE(db_.loss().transit_for(fr, nl), home);
+  int clean = 0;
+  for (core::SlotIndex s = 0; s < 50; ++s)
+    clean += db_.loss().slot_loss(fr, nl, PathType::kInternet, s) < 0.03;
+  EXPECT_GT(clean, 40);  // only background episodes and spikes remain
+
+  // Further steering (e.g. a background episode on the alternate) must
+  // never rotate the pair back onto the provider known to be degraded.
+  db_.loss().fail_over(fr, nl);
+  EXPECT_NE(db_.loss().transit_for(fr, nl), home);
+  db_.loss().fail_over(fr, nl);
+  EXPECT_NE(db_.loss().transit_for(fr, nl), home);
+
+  db_.loss().reset_failovers();
+  db_.loss().clear_transit_degrade(home);
+  EXPECT_FALSE(db_.loss().transit_degraded(home));
+  db_.loss().degrade_transit(home, 0.05);
+  db_.loss().reset_degrades();
+  EXPECT_FALSE(db_.loss().transit_degraded(home));
+}
+
 TEST_F(NetTest, JitterSlightlyWorseOnInternet) {
   const auto eu = world_.countries_in(geo::Continent::kEurope);
   const auto nl = world_.find_dc("netherlands");

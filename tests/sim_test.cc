@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "sim/engine.h"
@@ -70,6 +72,23 @@ TEST(EventStreamTest, EndOrdersBeforeArrivalInSameSlot) {
   EXPECT_EQ(q.pop().kind, workload::CallEventKind::kArrival);
   EXPECT_EQ(q.pop().kind, workload::CallEventKind::kConvergence);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventStreamTest, ConvergenceDelayDefersConvergence) {
+  const geo::World world = geo::World::make();
+  workload::TraceOptions topts;
+  topts.weeks = 1;
+  topts.peak_slot_calls = 30.0;
+  const auto trace = workload::TraceGenerator(world).generate(topts);
+  const auto events = workload::build_event_stream(trace, 2);
+
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_FALSE(events[i] < events[i - 1]) << "stream not sorted at " << i;
+  for (const auto& e : events) {
+    if (e.kind != workload::CallEventKind::kConvergence) continue;
+    const auto& call = trace.calls()[e.call_index];
+    EXPECT_EQ(e.slot, std::min(call.start_slot + 2, trace.num_slots()));
+  }
 }
 
 // --- executor -----------------------------------------------------------
@@ -377,6 +396,390 @@ TEST(SimEngineTest, LinkDisturbanceWindowsAreRejected) {
   cut.duration_slots = 8;  // fiber does not heal within a sim
   s.disturbances.push_back(cut);
   EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+}
+
+TEST(SimEngineTest, MalformedDisturbancesAreRejected) {
+  {
+    Scenario s = small_scenario();
+    Disturbance d;
+    d.kind = NetworkEventKind::kTransitDegrade;
+    d.country = "france";  // no dc: nothing to resolve the transit against
+    d.magnitude = 0.03;
+    s.disturbances.push_back(d);
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  {
+    Scenario s = small_scenario();
+    Disturbance d;
+    d.kind = NetworkEventKind::kTransitDegrade;
+    d.dc = "netherlands";
+    d.magnitude = 0.0;  // a degrade that adds no loss is a no-op, reject it
+    s.disturbances.push_back(d);
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  {
+    Scenario s = small_scenario();
+    Disturbance d;
+    d.kind = NetworkEventKind::kDcDrain;
+    d.dc = "netherlands";
+    d.magnitude = 1.5;  // drains shrink capacity; >= 1 is not a drain
+    s.disturbances.push_back(d);
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  {
+    Scenario s = small_scenario();
+    Disturbance d;
+    d.kind = NetworkEventKind::kDcDrain;  // no dc: nothing to drain
+    d.magnitude = 0.5;
+    s.disturbances.push_back(d);
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  {
+    Scenario s = small_scenario();
+    Disturbance d;
+    d.kind = NetworkEventKind::kFiberCut;  // no country/dc: no path to cut
+    s.disturbances.push_back(d);
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+}
+
+// Windowed disturbances synthesize a restore event that resets the target
+// outright, so two overlapping windows on one target would cancel each
+// other mid-flight; the engine rejects them. Disjoint windows (rolling
+// maintenance) and overlaps on different targets stay legal.
+TEST(SimEngineTest, OverlappingWindowsOnOneTargetAreRejected) {
+  auto drain = [](int slot, int duration, const char* dc, double magnitude) {
+    Disturbance d;
+    d.kind = NetworkEventKind::kDcDrain;
+    d.slot_in_day = slot;
+    d.duration_slots = duration;
+    d.dc = dc;
+    d.magnitude = magnitude;
+    return d;
+  };
+  {
+    Scenario s = small_scenario();
+    s.disturbances = {drain(10, 10, "netherlands", 0.5), drain(15, 10, "netherlands", 0.5)};
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  {
+    Scenario s = small_scenario();  // open-ended, then windowed on the same DC
+    s.disturbances = {drain(10, -1, "netherlands", 0.0), drain(20, 5, "netherlands", 0.5)};
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  {
+    Scenario s = small_scenario();  // same slots, different DCs: fine
+    s.disturbances = {drain(10, 10, "netherlands", 0.5), drain(15, 10, "ireland", 0.5)};
+    SimEngine engine(s);
+    EXPECT_EQ(engine.run(2).leaked_calls, 0);
+  }
+  {
+    Scenario s = small_scenario();  // two degrades of one (country, dc) transit
+    Disturbance d;
+    d.kind = NetworkEventKind::kTransitDegrade;
+    d.slot_in_day = 10;
+    d.duration_slots = 10;
+    d.country = "france";
+    d.dc = "netherlands";
+    d.magnitude = 0.03;
+    s.disturbances.push_back(d);
+    d.slot_in_day = 15;
+    s.disturbances.push_back(d);
+    EXPECT_THROW(SimEngine engine(s), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(SimEngine engine(make_scenario("rolling-maintenance")));
+}
+
+// --- call-lifecycle regressions -----------------------------------------
+
+// With a one-slot convergence delay, every one-slot call (the majority
+// shape) has its kEnd and kConvergence due in the same slot — and kEnd
+// orders first. The convergence handler must treat the erased pending
+// entry as "call already over", not dereference pending.end() and
+// resurrect the call into the active set, where it would accrue WAN and
+// Internet usage forever.
+TEST(SimLifecycleTest, SameSlotEndAndConvergenceDoesNotResurrect) {
+  Scenario s = small_scenario();
+  s.name = "same-slot-end-conv";
+  s.convergence_delay_slots = 1;
+
+  SimEngine engine(s);
+  const auto r1 = engine.run(1);
+  const auto r8 = engine.run(8);
+  EXPECT_EQ(r1.leaked_calls, 0);
+  EXPECT_EQ(r8.leaked_calls, 0);
+  EXPECT_EQ(r1.checksum, r8.checksum);
+  EXPECT_GT(r1.calls, 0);
+  // Two-slot calls still converge and carry media for their second slot.
+  EXPECT_GT(r1.wan.sum_of_peaks_mbps, 0.0);
+}
+
+// A delay longer than every call duration means each call ends while still
+// pending: nothing may ever graduate to the active set, so no usage, no
+// migrations, no leaks.
+TEST(SimLifecycleTest, CallsEndingWhilePendingNeverActivate) {
+  Scenario s = small_scenario();
+  s.name = "end-before-convergence";
+  s.convergence_delay_slots = 3;  // generated calls last 1 or 2 slots
+
+  SimEngine engine(s);
+  const auto r = engine.run(2);
+  EXPECT_GT(r.calls, 0);
+  EXPECT_EQ(r.leaked_calls, 0);
+  EXPECT_EQ(r.dc_migrations, 0);
+  EXPECT_EQ(r.route_changes, 0);
+  EXPECT_EQ(r.wan.sum_of_peaks_mbps, 0.0);
+  EXPECT_EQ(r.internet_share, 0.0);
+}
+
+// A drain injected between arrival and convergence: with the convergence
+// delay pushed past the eval window, the active set stays empty for the
+// whole run, so any forced migration can only come from the evacuation
+// wave walking the *pending* set. (Before the fix, pending calls kept
+// initial assignments pointing at the drained DC.)
+TEST(SimLifecycleTest, PendingCallsEvacuateOnDrain) {
+  Scenario s = small_scenario();
+  s.name = "pending-evacuation";
+  s.peak_slot_calls = 80.0;
+  s.convergence_delay_slots = 10000;  // nobody converges inside the window
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 0;
+  drain.slot_in_day = 21;  // mid business morning: arrivals are in flight
+  drain.dc = "netherlands";
+  s.disturbances.push_back(drain);
+
+  SimEngine engine(s);
+  const auto r1 = engine.run(1);
+  const auto r8 = engine.run(8);
+  EXPECT_GT(r1.forced_migrations, 0);
+  EXPECT_EQ(r1.leaked_calls, 0);
+  EXPECT_EQ(r1.checksum, r8.checksum);
+  EXPECT_EQ(r1.forced_migrations, r8.forced_migrations);
+  // Evacuations happen at (or after) the drain slot, never before.
+  const auto& stream = r1.streams.forced_migrations();
+  for (int slot = 0; slot < 21; ++slot) EXPECT_EQ(stream[static_cast<std::size_t>(slot)], 0.0);
+}
+
+// --- overlapping surges -------------------------------------------------
+
+// Two identical overlapping surges must make independent fractional-clone
+// decisions. With the surge index missing from the RNG key, both surges
+// clone exactly the same subset, so per-slot extra volume is exactly twice
+// a single surge's — detectably wrong for a x1.5 surge where each draw is
+// a fair coin per call.
+TEST(ScenarioTest, OverlappingSurgesCloneIndependently) {
+  Scenario base = make_scenario("steady-week");
+  base.training_weeks = 1;
+  base.eval_days = 2;
+  base.peak_slot_calls = 60.0;
+  SurgeSpec surge;
+  surge.day = 1;
+  surge.begin_slot_in_day = 18;
+  surge.end_slot_in_day = 26;
+  surge.country = "france";
+  surge.factor = 1.5;  // fractional: clone with probability one-half
+
+  Scenario one = base;
+  one.surges.push_back(surge);
+  Scenario two = base;
+  two.surges.push_back(surge);
+  two.surges.push_back(surge);
+
+  const geo::World world = geo::World::make();
+  const auto base_wl = build_workload(base, world);
+  const auto one_wl = build_workload(one, world);
+  const auto two_wl = build_workload(two, world);
+
+  const auto region = world.find_country(surge.country);
+  const int begin = surge.day * core::kSlotsPerDay + surge.begin_slot_in_day;
+  const int end = surge.day * core::kSlotsPerDay + surge.end_slot_in_day;
+  auto per_slot = [&](const workload::Trace& t) {
+    std::vector<int> counts(static_cast<std::size_t>(end - begin), 0);
+    for (const auto& c : t.calls())
+      if (c.start_slot >= begin && c.start_slot < end && c.first_joiner == region)
+        ++counts[static_cast<std::size_t>(c.start_slot - begin)];
+    return counts;
+  };
+  const auto calm = per_slot(base_wl.eval);
+  const auto once = per_slot(one_wl.eval);
+  const auto twice = per_slot(two_wl.eval);
+
+  // Both runs add surge volume in the window.
+  int calm_total = 0, once_extra = 0, twice_extra = 0;
+  for (std::size_t i = 0; i < calm.size(); ++i) {
+    calm_total += calm[i];
+    once_extra += once[i] - calm[i];
+    twice_extra += twice[i] - calm[i];
+  }
+  ASSERT_GT(calm_total, 20);
+  EXPECT_NEAR(once_extra, 0.5 * calm_total, 0.30 * calm_total);
+  EXPECT_NEAR(twice_extra, 1.0 * calm_total, 0.30 * calm_total);
+
+  // Independence: correlated draws would make the two-surge extra exactly
+  // double the one-surge extra in *every* slot. Some slot must differ.
+  bool any_slot_differs = false;
+  for (std::size_t i = 0; i < calm.size(); ++i)
+    any_slot_differs |= (twice[i] - calm[i]) != 2 * (once[i] - calm[i]);
+  EXPECT_TRUE(any_slot_differs)
+      << "overlapping surges cloned a perfectly correlated subset";
+}
+
+// --- partial / rolling drains -------------------------------------------
+
+TEST(ScenarioTest, RollingMaintenanceSchedulesSequentialWindows) {
+  const Scenario s = make_scenario("rolling-maintenance");
+  ASSERT_EQ(s.disturbances.size(), 3u);
+  int prev_end = -1;
+  for (const auto& d : s.disturbances) {
+    EXPECT_EQ(d.kind, NetworkEventKind::kDcDrain);
+    EXPECT_DOUBLE_EQ(d.magnitude, 0.5);
+    ASSERT_GT(d.duration_slots, 0);
+    const int begin = d.day * core::kSlotsPerDay + d.slot_in_day;
+    EXPECT_GT(begin, prev_end) << "maintenance phases must not overlap";
+    prev_end = begin + d.duration_slots;
+  }
+  // Each phase drains a different DC.
+  EXPECT_NE(s.disturbances[0].dc, s.disturbances[1].dc);
+  EXPECT_NE(s.disturbances[1].dc, s.disturbances[2].dc);
+}
+
+// A half drain evacuates roughly half the calls a full drain would, since
+// the evacuated subset is a fair per-call draw at the drain magnitude.
+TEST(SimEngineTest, PartialDrainEvacuatesProportionalSubset) {
+  Scenario s = small_scenario();
+  s.name = "partial-drain";
+  s.peak_slot_calls = 150.0;
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 0;
+  drain.slot_in_day = 22;  // 11:00, peak active population
+  drain.dc = "netherlands";
+
+  Scenario full = s;
+  drain.magnitude = 0.0;
+  full.disturbances.push_back(drain);
+  Scenario half = s;
+  half.name = "partial-drain-half";
+  drain.magnitude = 0.5;
+  half.disturbances.push_back(drain);
+
+  const auto rf = SimEngine(full).run(2);
+  const auto rh = SimEngine(half).run(2);
+  ASSERT_GT(rf.forced_migrations, 20);
+  // Binomial(n, 1/2) around half the full evacuation; 4 sigma of slack.
+  const double n = static_cast<double>(rf.forced_migrations);
+  EXPECT_NEAR(static_cast<double>(rh.forced_migrations), 0.5 * n, 4.0 * std::sqrt(0.25 * n));
+  EXPECT_EQ(rh.leaked_calls, 0);
+
+  // The partial drain halves plan capacity but keeps the DC alive: later
+  // arrivals may still land there, so the half-drain run keeps serving
+  // calls (no starvation) and stays deterministic across thread counts.
+  const auto rh8 = SimEngine(half).run(8);
+  EXPECT_EQ(rh.checksum, rh8.checksum);
+}
+
+// --- transit degrade + steering -----------------------------------------
+
+TEST(SimEngineTest, TransitDegradeDrivesFailoverAndRecovery) {
+  Scenario s = small_scenario();
+  s.name = "degrade-small";
+  s.peak_slot_calls = 250.0;  // enough Internet calls on the homed pairs
+  Disturbance degrade;
+  degrade.kind = NetworkEventKind::kTransitDegrade;
+  degrade.day = 0;
+  degrade.slot_in_day = 20;    // 10:00
+  degrade.duration_slots = 8;  // four congested hours
+  degrade.country = "france";
+  degrade.dc = "netherlands";
+  degrade.magnitude = 0.05;  // 5% added loss, far past the 1% failover bar
+  Scenario disturbed = s;
+  disturbed.disturbances.push_back(degrade);
+
+  SimEngine engine(disturbed);
+  const auto r = engine.run(2);
+  const auto calm = SimEngine(s).run(2);
+
+  auto window_sum = [&](const std::vector<double>& v, int begin, int end) {
+    double sum = 0.0;
+    for (int i = begin; i < end; ++i) sum += v[static_cast<std::size_t>(i)];
+    return sum;
+  };
+
+  // Route failovers (Internet -> WAN) fire during the degrade window, and
+  // the engine answers §4.2-finding-6 style: pairs whose failover traced
+  // to the congested transit are steered to an alternate provider — more
+  // steering than background episodes alone produce, starting the moment
+  // the degrade fires.
+  EXPECT_GT(window_sum(r.streams.route_changes(), 20, 28), 0.0);
+  const auto& steer = r.streams.transit_failovers();
+  EXPECT_GT(window_sum(steer, 20, 28), window_sum(calm.streams.transit_failovers(), 20, 28));
+  EXPECT_GT(window_sum(steer, 20, 22), 0.0);
+
+  // Recovery: steering is one-shot per pair, so once the homed pairs with
+  // traffic have moved off the congested transit, the back half of the
+  // window steers no more than the front half (the fire is out).
+  EXPECT_LE(window_sum(steer, 24, 28), window_sum(steer, 20, 24));
+
+  // Determinism holds with the engine-level steering stream in play.
+  const auto r8 = engine.run(8);
+  EXPECT_EQ(r.checksum, r8.checksum);
+  EXPECT_EQ(r.transit_failovers, r8.transit_failovers);
+}
+
+// --- golden checksums ---------------------------------------------------
+
+// Frozen per-scenario checksums at a small fixed volume, asserted at 1, 2,
+// and 8 worker threads: a determinism regression (or any behavioural
+// drift) fails ctest, not just the benches. Regenerate by running this
+// test and copying the "actual" values it prints on mismatch.
+struct GoldenChecksum {
+  const char* name;
+  std::uint64_t checksum;
+};
+
+constexpr GoldenChecksum kGoldenChecksums[] = {
+    {"steady-week", 0x1e8f450611d03ffbULL},
+    {"weekend-transition", 0x6112a0c5774a9047ULL},
+    {"fiber-cut-failover", 0x927d299ee6ab6bcdULL},
+    {"dc-drain", 0xc43014a1596161ceULL},
+    {"flash-crowd", 0xd75872c97ed27935ULL},
+    {"transit-degrade-failover", 0x206f3c9643b6e787ULL},
+    {"rolling-maintenance", 0xa0e599ffd2652f67ULL},
+    {"cut-then-flash-crowd", 0x2bf4cfbfc499a52fULL},
+};
+
+Scenario golden_config(const std::string& name) {
+  Scenario s = make_scenario(name);
+  s.training_weeks = 1;
+  s.peak_slot_calls = 25.0;
+  s.oracle_counts = true;  // skip Holt-Winters: cheap and platform-stable
+  s.shards = 8;
+  s.replan_interval_slots = 12;
+  s.pipeline.scope.timeslots = 12;
+  s.pipeline.scope.max_reduced_configs = 20;
+  return s;
+}
+
+TEST(SimGoldenTest, ChecksumsMatchAtOneTwoAndEightThreads) {
+  const auto& names = scenario_names();
+  ASSERT_EQ(names.size(), std::size(kGoldenChecksums))
+      << "new scenario? add its golden checksum";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_EQ(names[i], kGoldenChecksums[i].name);
+    SimEngine engine(golden_config(names[i]));
+    const auto r1 = engine.run(1);
+    const auto r2 = engine.run(2);
+    const auto r8 = engine.run(8);
+    EXPECT_EQ(r1.checksum, r2.checksum) << names[i];
+    EXPECT_EQ(r1.checksum, r8.checksum) << names[i];
+    EXPECT_EQ(r1.leaked_calls, 0) << names[i];
+    char actual[64];
+    std::snprintf(actual, sizeof actual, "{\"%s\", 0x%016llxULL},", names[i].c_str(),
+                  static_cast<unsigned long long>(r1.checksum));
+    EXPECT_EQ(r1.checksum, kGoldenChecksums[i].checksum)
+        << "golden drifted; updated entry: " << actual;
+  }
 }
 
 }  // namespace

@@ -326,6 +326,33 @@ TEST_F(PlanTest, FallbackIsNearestDc) {
   EXPECT_EQ(fb.path, net::PathType::kWan);
 }
 
+TEST_F(PlanTest, FallbackExcludePrefersLiveDcs) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  OfflinePlan plan(&inputs, solve_plan(inputs, lp_options()));
+  OnlineController controller(inputs, plan);
+  const auto ie = world_->find_country("ireland");
+  const auto ie_dc = world_->find_dc("ireland");
+
+  // Excluding the nearest DC moves the call to the next-best live DC.
+  const auto fb = controller.fallback(ie, ie_dc);
+  EXPECT_TRUE(fb.dc.valid());
+  EXPECT_NE(fb.dc, ie_dc);
+
+  // With every other DC fully drained, the excluded-but-live DC wins over
+  // any drained one (a partial drain beats a dead DC).
+  for (const auto dc : inputs.dcs())
+    if (dc != ie_dc) db_->set_dc_compute_scale(dc, 0.0);
+  EXPECT_EQ(controller.fallback(ie, ie_dc).dc, ie_dc);
+
+  // Everything drained: the call still lands somewhere (nearest overall).
+  db_->set_dc_compute_scale(ie_dc, 0.0);
+  EXPECT_EQ(controller.fallback(ie, ie_dc).dc, ie_dc);
+
+  // The fixture's NetworkDb is suite-shared; restore the scales.
+  for (const auto dc : inputs.dcs()) db_->set_dc_compute_scale(dc, 1.0);
+}
+
 // --- Pipeline / forecasting -----------------------------------------------------
 
 TEST_F(TitanNextTest, ForecastCountsShapes) {
