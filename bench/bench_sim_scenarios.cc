@@ -75,7 +75,10 @@ titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& 
 
 int main(int argc, char** argv) {
   using namespace titan;
-  const bench::Cli cli = bench::parse_cli(argc, argv);
+  // The scenario-aware parser validates --scenario against the library
+  // (exit 2 with the valid list on an unknown name) and serves
+  // --list-scenarios.
+  const bench::Cli cli = bench::parse_cli(argc, argv, sim::scenario_names());
   bench::print_header("Closed-loop scenario simulation", "§8 long-term / stability setup");
 
   std::vector<std::string> names;
@@ -84,13 +87,6 @@ int main(int argc, char** argv) {
   } else if (cli.scenario == "all") {
     names = sim::scenario_names();
   } else {
-    const auto& known = sim::scenario_names();
-    if (std::find(known.begin(), known.end(), cli.scenario) == known.end()) {
-      std::fprintf(stderr, "unknown scenario '%s'; available:", cli.scenario.c_str());
-      for (const auto& n : known) std::fprintf(stderr, " %s", n.c_str());
-      std::fprintf(stderr, " all\n");
-      return 2;
-    }
     names = {cli.scenario};
   }
   std::vector<sim::SimResult> results;

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/table.h"
 #include "geo/geodb.h"
@@ -27,8 +29,17 @@ namespace titan::bench {
 //                 --weeks 2 and is the cheapest smoke-run setting.
 //   --threads N   sim worker threads          (default 1)
 //   --peak X      busiest-slot call volume    (default: per bench)
-//   --scenario S  named scenario              (sim bench only)
-//   --json PATH   machine-readable per-scenario results (sim bench only)
+//   --scenario S  named scenario              (sim benches only)
+//   --json PATH   machine-readable per-scenario results (sim benches only)
+//   --list-scenarios  print the scenario library and exit (sim benches only)
+// Sweep bench (`bench_sim_sweep`) extras:
+//   --seeds N     sweep N consecutive seeds starting at --seed
+//   --scenarios L comma-separated scenario names, or "all"
+//   --sim-threads L  comma list of per-sim thread counts (default "1")
+//   --workers N   sweep worker pool size (default: hardware threads)
+//   --baseline P  baseline JSON to diff against with --check
+//   --check       compare against --baseline; exit 1 on regression
+//   --out P       write the sweep JSON (runs + aggregates)
 // The workload knobs apply to the benches that generate call traces
 // (fig14/15/20, table3/4, sim); pure measurement-study benches accept but
 // do not consume them.
@@ -39,6 +50,14 @@ struct Cli {
   double peak_slot_calls = -1.0;  // < 0: keep the bench's default
   std::string scenario;
   std::string json_path;
+  // Sweep bench only.
+  int seeds = 1;
+  std::string scenarios;    // comma list; "" or "all" = whole library
+  std::string sim_threads;  // comma list; "" = {1}
+  int workers = 0;          // <= 0: hardware threads
+  std::string baseline_path;
+  bool check = false;
+  std::string out_path;
 
   [[nodiscard]] double peak_or(double fallback) const {
     return peak_slot_calls > 0.0 ? peak_slot_calls : fallback;
@@ -46,44 +65,152 @@ struct Cli {
   [[nodiscard]] int training_weeks() const { return weeks > 1 ? weeks - 1 : 1; }
 };
 
-inline Cli parse_cli(int argc, char** argv) {
+// Outcome of parsing an argv. `exit_code` < 0 means "proceed with `cli`";
+// >= 0 means "print `message` and exit with that code" (0 for --help /
+// --list-scenarios, 2 for usage errors). Separated from the exiting
+// wrapper below so tests can invoke the parser.
+struct CliParse {
   Cli cli;
-  for (int i = 1; i < argc; ++i) {
+  int exit_code = -1;
+  std::string message;
+};
+
+// Splits on commas, trimming surrounding whitespace and dropping empty
+// tokens, so "a, b" and "a,b" parse identically.
+inline std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    std::size_t end = comma == std::string::npos ? list.size() : comma;
+    std::size_t from = begin;
+    while (from < end && std::isspace(static_cast<unsigned char>(list[from]))) ++from;
+    while (end > from && std::isspace(static_cast<unsigned char>(list[end - 1]))) --end;
+    if (end > from) out.push_back(list.substr(from, end - from));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+// `known_scenarios` non-empty enables the scenario-aware behaviour: the
+// --scenario / --scenarios values are validated against it (the literal
+// "all" is always accepted), an unknown name fails with the valid list,
+// and --list-scenarios prints the library.
+inline CliParse parse_cli_args(int argc, char** argv,
+                               const std::vector<std::string>& known_scenarios = {}) {
+  CliParse parse;
+  Cli& cli = parse.cli;
+  const char* argv0 = argc > 0 ? argv[0] : "bench";
+
+  const auto fail = [&](std::string message) {
+    parse.exit_code = 2;
+    parse.message = std::move(message);
+  };
+  const auto scenario_list = [&] {
+    std::string names;
+    for (const auto& n : known_scenarios) names += " " + n;
+    return names + " all";
+  };
+  const auto check_scenario = [&](const std::string& name) {
+    if (known_scenarios.empty() || name == "all") return true;
+    if (std::find(known_scenarios.begin(), known_scenarios.end(), name) !=
+        known_scenarios.end())
+      return true;
+    fail("unknown scenario '" + name + "'; available:" + scenario_list());
+    return false;
+  };
+
+  for (int i = 1; i < argc && parse.exit_code < 0; ++i) {
     const auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(2);
+        fail(std::string("missing value for ") + argv[i]);
+        return nullptr;
       }
       return argv[++i];
     };
+    const char* v = nullptr;
     if (is("--seed")) {
-      cli.seed = std::strtoull(value(), nullptr, 10);
+      if ((v = value())) cli.seed = std::strtoull(v, nullptr, 10);
     } else if (is("--weeks")) {
-      cli.weeks = std::atoi(value());
-      if (cli.weeks < 1) {
-        std::fprintf(stderr, "--weeks must be >= 1 (smoke runs train on one week)\n");
-        std::exit(2);
+      if ((v = value())) {
+        cli.weeks = std::atoi(v);
+        if (cli.weeks < 1) fail("--weeks must be >= 1 (smoke runs train on one week)");
       }
     } else if (is("--threads")) {
-      cli.threads = std::atoi(value());
+      if ((v = value())) cli.threads = std::atoi(v);
     } else if (is("--peak")) {
-      cli.peak_slot_calls = std::atof(value());
+      if ((v = value())) cli.peak_slot_calls = std::atof(v);
     } else if (is("--scenario")) {
-      cli.scenario = value();
+      if ((v = value())) {
+        cli.scenario = v;
+        check_scenario(cli.scenario);
+      }
+    } else if (is("--scenarios")) {
+      if ((v = value())) {
+        cli.scenarios = v;
+        const auto names = split_csv(cli.scenarios);
+        for (const auto& name : names) {
+          // "all" only makes sense as the entire value.
+          if (name == "all" && names.size() > 1) {
+            fail("'all' cannot be combined with other --scenarios names");
+            break;
+          }
+          if (!check_scenario(name)) break;
+        }
+      }
     } else if (is("--json")) {
-      cli.json_path = value();
+      if ((v = value())) cli.json_path = v;
+    } else if (is("--seeds")) {
+      if ((v = value())) {
+        cli.seeds = std::atoi(v);
+        if (cli.seeds < 1) fail("--seeds must be >= 1");
+      }
+    } else if (is("--sim-threads")) {
+      if ((v = value())) cli.sim_threads = v;
+    } else if (is("--workers")) {
+      if ((v = value())) cli.workers = std::atoi(v);
+    } else if (is("--baseline")) {
+      if ((v = value())) cli.baseline_path = v;
+    } else if (is("--check")) {
+      cli.check = true;
+    } else if (is("--out")) {
+      if ((v = value())) cli.out_path = v;
+    } else if (is("--list-scenarios")) {
+      if (known_scenarios.empty()) {
+        fail("this bench has no scenario library");
+      } else {
+        parse.exit_code = 0;
+        for (const auto& n : known_scenarios) parse.message += n + "\n";
+      }
     } else if (is("--help") || is("-h")) {
-      std::printf("usage: %s [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]"
-                  " [--json PATH]\n",
-                  argv[0]);
-      std::exit(0);
+      parse.exit_code = 0;
+      parse.message = std::string("usage: ") + argv0 +
+                      " [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]"
+                      " [--json PATH] [--seeds N] [--scenarios A,B|all] [--sim-threads L]"
+                      " [--workers N] [--baseline PATH] [--check] [--out PATH]"
+                      " [--list-scenarios]\n";
     } else {
-      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
-      std::exit(2);
+      fail(std::string("unknown flag ") + argv[i] + " (try --help)");
     }
   }
-  return cli;
+  return parse;
+}
+
+// The exiting wrapper every bench main() uses: prints the parse message
+// (stderr for errors, stdout for --help / --list-scenarios) and exits when
+// the parser asked for it.
+inline Cli parse_cli(int argc, char** argv,
+                     const std::vector<std::string>& known_scenarios = {}) {
+  CliParse parse = parse_cli_args(argc, argv, known_scenarios);
+  if (parse.exit_code >= 0) {
+    std::FILE* out = parse.exit_code == 0 ? stdout : stderr;
+    std::fprintf(out, "%s%s", parse.message.c_str(),
+                 parse.message.empty() || parse.message.back() == '\n' ? "" : "\n");
+    std::exit(parse.exit_code);
+  }
+  return parse.cli;
 }
 
 struct Env {

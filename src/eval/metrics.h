@@ -26,6 +26,10 @@ struct WanUsage {
   double sum_of_peaks_mbps = 0.0;
   // Total WAN bytes over the trace, in gigabytes.
   double total_traffic_gb = 0.0;
+
+  // Bitwise (not approximate): the sim engine promises bit-identical
+  // results across thread counts, and the sweep harness checks it.
+  bool operator==(const WanUsage&) const = default;
 };
 
 // Aggregates per-slot per-link WAN bandwidth from the call assignments.

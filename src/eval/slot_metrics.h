@@ -38,6 +38,10 @@ class SlotMetricsSink {
   // Element-wise accumulation of another sink with identical dimensions.
   void merge(const SlotMetricsSink& other);
 
+  // Bitwise equality over every stream — the check behind the engine's
+  // "identical at any thread count" guarantee.
+  bool operator==(const SlotMetricsSink&) const = default;
+
   // --- finalized views --------------------------------------------------
   // Day-peak summary in the shape of the §7 cost metric.
   [[nodiscard]] WanUsage wan_usage() const;

@@ -81,6 +81,11 @@ struct SimResult {
   [[nodiscard]] double migration_rate() const {
     return calls > 0 ? static_cast<double>(dc_migrations) / static_cast<double>(calls) : 0.0;
   }
+
+  // Bitwise equality over every field, streams included. Callers comparing
+  // runs for determinism must first zero the wall-clock fields (threads,
+  // plan/forecast/wall seconds), which legitimately differ between runs.
+  bool operator==(const SimResult&) const = default;
 };
 
 class SimEngine {

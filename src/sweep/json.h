@@ -1,0 +1,80 @@
+// Minimal JSON value, parser, and writer for the sweep subsystem.
+//
+// The sweep baseline lives in the repository as a JSON file that both the
+// `bench_sim_sweep` binary and CI read back, so the format needs a real
+// round-trip guarantee, not just a printf dump: objects preserve insertion
+// order, numbers are written with enough digits (%.17g) that
+// serialize -> parse -> re-serialize is byte-identical, and parse errors
+// carry positions. Deliberately small — objects, arrays, strings, numbers,
+// booleans, null — because the documents are machine-written; there is no
+// need for (and no dependency on) an external JSON library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace titan::sweep {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  // Typed reads; throw std::invalid_argument on a type mismatch so malformed
+  // baseline files fail with a message instead of reading garbage.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;  // number, checked integral
+  [[nodiscard]] const std::string& as_string() const;
+
+  // Arrays.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  void push_back(Json v);
+
+  // Objects (insertion-ordered).
+  [[nodiscard]] bool has(const std::string& key) const;
+  // Throws std::invalid_argument when the key is absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  void set(std::string key, Json v);
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // Serialization. `indent` < 0 produces a single line; >= 0 pretty-prints
+  // with that many spaces per level. Doubles use %.17g (round-trip exact);
+  // integral values print without a decimal point.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  // Throws std::invalid_argument (with offset) on malformed input or
+  // trailing garbage.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+// %.17g with integral values rendered without an exponent or decimal point;
+// the one double formatter every sweep serializer goes through.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace titan::sweep

@@ -1,0 +1,32 @@
+// SweepResult <-> JSON.
+//
+// The sweep JSON is the contract between `bench_sim_sweep`, the committed
+// regression baseline under bench/baselines/, and CI artifacts, so the
+// mapping is versioned (`schema`) and loss-free: serialize -> parse ->
+// re-serialize is byte-identical (doubles go through %.17g, checksums
+// through fixed-width hex, object keys keep insertion order). Execution
+// knobs (worker count, task shuffle seed) are intentionally NOT part of
+// the document — two sweeps that differ only in how they were scheduled
+// serialize to the same bytes.
+#pragma once
+
+#include <string>
+
+#include "sweep/json.h"
+#include "sweep/sweep.h"
+
+namespace titan::sweep {
+
+inline constexpr int kSweepSchemaVersion = 1;
+
+// `include_runs` = false drops the per-run records (aggregates only), for
+// compact CI artifacts; the committed baseline keeps runs for forensics.
+[[nodiscard]] Json to_json(const SweepResult& result, bool include_runs = true);
+[[nodiscard]] std::string to_json_text(const SweepResult& result, bool include_runs = true);
+
+// Throws std::invalid_argument on malformed documents, unknown schema
+// versions, or metric schemas that do not match this binary's.
+[[nodiscard]] SweepResult from_json(const Json& doc);
+[[nodiscard]] SweepResult from_json_text(const std::string& text);
+
+}  // namespace titan::sweep

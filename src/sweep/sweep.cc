@@ -1,0 +1,220 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace titan::sweep {
+
+const std::vector<std::string>& metric_names() {
+  static const std::vector<std::string> names = {
+      "calls",
+      "replans",
+      "dc_migrations",
+      "migration_rate",
+      "route_changes",
+      "forced_migrations",
+      "transit_failovers",
+      "out_of_plan",
+      "out_of_plan_rate",
+      "fallback_assignments",
+      "leaked_calls",
+      "internet_share",
+      "mean_mos",
+      "wan_sum_of_peaks_mbps",
+      "wan_worst_day_mbps",
+      "wan_total_traffic_gb",
+  };
+  return names;
+}
+
+std::vector<double> metric_values(const sim::SimResult& r) {
+  double worst_day = 0.0;
+  for (const double d : r.wan.per_day_sum_of_peaks_mbps) worst_day = std::max(worst_day, d);
+  return {
+      static_cast<double>(r.calls),
+      static_cast<double>(r.replans),
+      static_cast<double>(r.dc_migrations),
+      r.migration_rate(),
+      static_cast<double>(r.route_changes),
+      static_cast<double>(r.forced_migrations),
+      static_cast<double>(r.transit_failovers),
+      static_cast<double>(r.out_of_plan),
+      r.out_of_plan_rate(),
+      static_cast<double>(r.fallback_assignments),
+      static_cast<double>(r.leaked_calls),
+      r.internet_share,
+      r.mean_mos,
+      r.wan.sum_of_peaks_mbps,
+      worst_day,
+      r.wan.total_traffic_gb,
+  };
+}
+
+MetricStats compute_stats(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("compute_stats: empty sample");
+  MetricStats s;
+  s.count = samples.size();
+  s.mean = core::mean(samples);
+  const auto qs = core::quantiles(samples, {0.5, 0.95});
+  s.p50 = qs[0];
+  s.p95 = qs[1];
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  s.stddev = core::stddev(samples);
+  return s;
+}
+
+sim::Scenario sweep_scenario(const SweepSpec& spec, const std::string& name,
+                             std::uint64_t seed) {
+  sim::Scenario s = sim::make_scenario(name);
+  s.seed = seed;
+  if (spec.peak_slot_calls > 0.0) s.peak_slot_calls = spec.peak_slot_calls;
+  if (spec.training_weeks > 0) s.training_weeks = spec.training_weeks;
+  if (spec.eval_days > 0) s.eval_days = spec.eval_days;
+  if (spec.replan_interval_slots > 0) {
+    s.replan_interval_slots = spec.replan_interval_slots;
+    s.pipeline.scope.timeslots = spec.replan_interval_slots;
+  }
+  if (spec.shards > 0) s.shards = spec.shards;
+  if (spec.max_reduced_configs > 0)
+    s.pipeline.scope.max_reduced_configs = spec.max_reduced_configs;
+  if (spec.oracle_counts) s.oracle_counts = true;
+  return s;
+}
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+  if (spec_.scenarios.empty()) spec_.scenarios = sim::scenario_names();
+  const auto& known = sim::scenario_names();
+  for (const auto& name : spec_.scenarios)
+    if (std::find(known.begin(), known.end(), name) == known.end())
+      throw std::invalid_argument("unknown scenario: " + name);
+  if (spec_.num_seeds < 1) throw std::invalid_argument("sweep needs num_seeds >= 1");
+  if (spec_.sim_threads.empty()) throw std::invalid_argument("sweep needs sim_threads");
+  for (const int t : spec_.sim_threads)
+    if (t < 1) throw std::invalid_argument("sim_threads entries must be >= 1");
+}
+
+SweepResult SweepRunner::run() const {
+  const std::size_t num_scenarios = spec_.scenarios.size();
+  const std::size_t seeds = static_cast<std::size_t>(spec_.num_seeds);
+  const std::size_t variants = spec_.sim_threads.size();
+
+  // One task per (scenario, seed): the task builds the engine once and runs
+  // it at every requested thread count, writing each record into its
+  // canonical slot — execution order can never reorder the output.
+  struct Task {
+    std::size_t scenario_index;
+    std::size_t seed_index;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(num_scenarios * seeds);
+  for (std::size_t sc = 0; sc < num_scenarios; ++sc)
+    for (std::size_t sd = 0; sd < seeds; ++sd) tasks.push_back({sc, sd});
+  if (spec_.task_order_seed != 0) {
+    core::Rng rng(spec_.task_order_seed);
+    for (std::size_t i = tasks.size(); i > 1; --i)
+      std::swap(tasks[i - 1],
+                tasks[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  SweepResult result;
+  result.spec = spec_;
+  // The result's spec echo describes *what* was swept, never how it was
+  // scheduled: normalize the execution knobs so equality (and baseline
+  // comparison) across differently-scheduled sweeps holds, matching the
+  // serialized form, which omits them.
+  result.spec.workers = 0;
+  result.spec.task_order_seed = 0;
+  result.runs.resize(tasks.size() * variants);
+  std::mutex violations_mu;
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (std::size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
+      try {
+        const Task& task = tasks[i];
+        const std::string& name = spec_.scenarios[task.scenario_index];
+        const std::uint64_t seed = spec_.base_seed + task.seed_index;
+        sim::SimEngine engine(sweep_scenario(spec_, name, seed));
+
+        const std::size_t base =
+            (task.scenario_index * seeds + task.seed_index) * variants;
+        std::vector<sim::SimResult> sims;
+        sims.reserve(variants);
+        for (std::size_t v = 0; v < variants; ++v) {
+          sims.push_back(engine.run(spec_.sim_threads[v]));
+          sim::SimResult& r = sims.back();
+          RunRecord& record = result.runs[base + v];
+          record.scenario = name;
+          record.seed = seed;
+          record.threads = spec_.sim_threads[v];
+          record.checksum = r.checksum;
+          record.values = metric_values(r);
+          // Mask the wall-clock fields in place (the record has already
+          // captured everything it needs): what remains must be
+          // bit-identical across thread counts.
+          r.threads = 0;
+          r.plan_seconds = r.forecast_seconds = r.wall_seconds = 0.0;
+        }
+        // The engine's core promise: thread count changes nothing. Compare
+        // the full SimResult (streams included) bit-for-bit.
+        for (std::size_t v = 1; v < variants; ++v) {
+          if (!(sims[0] == sims[v])) {
+            std::lock_guard<std::mutex> lock(violations_mu);
+            result.determinism_violations.push_back(
+                name + " seed " + std::to_string(seed) + ": threads " +
+                std::to_string(spec_.sim_threads[0]) + " vs " +
+                std::to_string(spec_.sim_threads[v]) + " diverged");
+          }
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  int workers = spec_.workers;
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::max(1, std::min<int>(workers, static_cast<int>(tasks.size())));
+  if (workers == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Violations were appended in completion order; canonicalize.
+  std::sort(result.determinism_violations.begin(), result.determinism_violations.end());
+
+  // Aggregate across seeds, per scenario, from the first-variant runs.
+  result.aggregates.reserve(num_scenarios);
+  for (std::size_t sc = 0; sc < num_scenarios; ++sc) {
+    ScenarioAggregate agg;
+    agg.scenario = spec_.scenarios[sc];
+    agg.seeds = spec_.num_seeds;
+    for (std::size_t m = 0; m < metric_names().size(); ++m) {
+      std::vector<double> samples;
+      samples.reserve(seeds);
+      for (std::size_t sd = 0; sd < seeds; ++sd)
+        samples.push_back(result.runs[(sc * seeds + sd) * variants].values[m]);
+      agg.stats.push_back(compute_stats(samples));
+    }
+    result.aggregates.push_back(std::move(agg));
+  }
+  return result;
+}
+
+}  // namespace titan::sweep

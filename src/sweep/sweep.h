@@ -1,0 +1,135 @@
+// Seed x scenario sweep harness.
+//
+// A single (seed, scenario) simulation is one sample; the paper's
+// evaluation (§8) reports *distributions* over weeks of traffic. The sweep
+// layer turns the closed-loop engine into a distribution instrument: a
+// `SweepRunner` fans every (scenario, seed) pair — optionally at several
+// sim thread counts — across a worker pool, extracts a fixed schema of
+// metrics from each `SimResult`, verifies the engine's determinism promise
+// (bit-identical results across thread counts) on every task, and reduces
+// each metric across seeds into mean / p50 / p95 / min / max / stddev.
+//
+// Determinism contract: the sweep output is a pure function of the spec.
+// Worker-pool size and task execution order never change a byte of the
+// result — records land in canonical (scenario, seed, threads) slots and
+// aggregation runs after the pool drains — so a sweep JSON is comparable
+// across machines and committable as a regression baseline (see
+// sweep/baseline.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace titan::sweep {
+
+// What to sweep and how to shrink the scenarios to sweepable cost. A value
+// < 0 (or the scenario default) leaves the named scenario's own setting
+// untouched, so the same struct drives both full-size benches and the tiny
+// configurations tests use.
+struct SweepSpec {
+  std::vector<std::string> scenarios;  // empty = the whole named library
+  std::uint64_t base_seed = 2024;
+  int num_seeds = 8;                  // seeds base_seed .. base_seed + n - 1
+  std::vector<int> sim_threads = {1};  // thread counts each sim runs at
+
+  // Scenario overrides (applied to every scenario in the sweep).
+  double peak_slot_calls = -1.0;
+  int training_weeks = -1;
+  int eval_days = -1;
+  int replan_interval_slots = -1;
+  int shards = -1;
+  int max_reduced_configs = -1;
+  bool oracle_counts = false;  // true: plan on ground truth, skip forecasts
+
+  // Execution knobs — deliberately excluded from serialization: they must
+  // not (and do not) affect the result.
+  int workers = 0;                   // <= 0: one worker per hardware thread
+  std::uint64_t task_order_seed = 0;  // != 0: shuffle task execution order
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+// The SimResult fields a sweep aggregates, in report order. `metric_values`
+// returns one value per `metric_names()` entry. Wall-clock timings are
+// deliberately absent: they are the only nondeterministic fields of a
+// SimResult and would poison baseline comparison.
+[[nodiscard]] const std::vector<std::string>& metric_names();
+[[nodiscard]] std::vector<double> metric_values(const sim::SimResult& r);
+
+// One completed simulation, reduced to the metric schema.
+struct RunRecord {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  int threads = 1;
+  std::uint64_t checksum = 0;
+  std::vector<double> values;  // parallel to metric_names()
+
+  bool operator==(const RunRecord&) const = default;
+};
+
+// Distribution of one metric across seeds.
+struct MetricStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+
+  bool operator==(const MetricStats&) const = default;
+};
+
+// Requires a non-empty sample; the sweep never aggregates zero runs.
+[[nodiscard]] MetricStats compute_stats(const std::vector<double>& samples);
+
+struct ScenarioAggregate {
+  std::string scenario;
+  int seeds = 0;
+  std::vector<MetricStats> stats;  // parallel to metric_names()
+
+  bool operator==(const ScenarioAggregate&) const = default;
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  // Sorted canonically: spec scenario order, then seed, then thread count.
+  std::vector<RunRecord> runs;
+  // One entry per scenario, in spec order. Aggregated across seeds from the
+  // first sim_threads entry's runs (the rest are determinism replicas).
+  std::vector<ScenarioAggregate> aggregates;
+  // Human-readable descriptions of any (scenario, seed) whose results were
+  // NOT bit-identical across sim thread counts. Always empty unless the
+  // engine's core guarantee broke.
+  std::vector<std::string> determinism_violations;
+
+  bool operator==(const SweepResult&) const = default;
+};
+
+class SweepRunner {
+ public:
+  // Resolves and validates the spec up front: unknown scenario names, a
+  // non-positive seed count, or an empty sim_threads list throw
+  // std::invalid_argument before any simulation starts.
+  explicit SweepRunner(SweepSpec spec);
+
+  [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+
+  // Runs the whole sweep. Blocking; thread-safe against nothing (use one
+  // runner per sweep). The result is identical for any `workers` and any
+  // `task_order_seed`.
+  [[nodiscard]] SweepResult run() const;
+
+ private:
+  SweepSpec spec_;
+};
+
+// The scenario with the spec's overrides and seed applied — exposed so
+// benches/tests can reproduce exactly what the sweep simulated.
+[[nodiscard]] sim::Scenario sweep_scenario(const SweepSpec& spec, const std::string& name,
+                                           std::uint64_t seed);
+
+}  // namespace titan::sweep

@@ -1,0 +1,118 @@
+// Tests for the shared bench CLI (bench/common.h): flag parsing, the
+// scenario-aware validation (--scenario/--scenarios against a library,
+// unknown names exit 2 with the valid list), and --list-scenarios. The
+// benches call the exiting wrapper parse_cli(); these tests drive the
+// non-exiting core parse_cli_args() it is built on.
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+#include "sim/scenario.h"
+
+namespace titan::bench {
+namespace {
+
+// argv helper: parse_cli_args wants a mutable char** like main() gets.
+CliParse parse(std::vector<std::string> args,
+               const std::vector<std::string>& scenarios = {}) {
+  args.insert(args.begin(), "bench_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return parse_cli_args(static_cast<int>(argv.size()), argv.data(), scenarios);
+}
+
+TEST(BenchCliTest, ParsesSharedAndSweepFlags) {
+  const CliParse p = parse({"--seed", "7", "--weeks", "3", "--threads", "4", "--peak",
+                            "250", "--seeds", "5", "--scenarios", "steady-week,dc-drain",
+                            "--sim-threads", "1,2,8", "--workers", "6", "--baseline",
+                            "base.json", "--check", "--out", "sweep.json"},
+                           sim::scenario_names());
+  ASSERT_LT(p.exit_code, 0) << p.message;
+  EXPECT_EQ(p.cli.seed, 7u);
+  EXPECT_EQ(p.cli.weeks, 3);
+  EXPECT_EQ(p.cli.training_weeks(), 2);
+  EXPECT_EQ(p.cli.threads, 4);
+  EXPECT_DOUBLE_EQ(p.cli.peak_slot_calls, 250.0);
+  EXPECT_EQ(p.cli.seeds, 5);
+  EXPECT_EQ(p.cli.scenarios, "steady-week,dc-drain");
+  EXPECT_EQ(p.cli.sim_threads, "1,2,8");
+  EXPECT_EQ(p.cli.workers, 6);
+  EXPECT_EQ(p.cli.baseline_path, "base.json");
+  EXPECT_TRUE(p.cli.check);
+  EXPECT_EQ(p.cli.out_path, "sweep.json");
+}
+
+TEST(BenchCliTest, UnknownScenarioExitsTwoWithTheValidList) {
+  const CliParse p = parse({"--scenario", "no-such"}, sim::scenario_names());
+  EXPECT_EQ(p.exit_code, 2);
+  EXPECT_NE(p.message.find("unknown scenario 'no-such'"), std::string::npos) << p.message;
+  // The error names every valid scenario plus the "all" shorthand.
+  for (const auto& name : sim::scenario_names())
+    EXPECT_NE(p.message.find(name), std::string::npos) << p.message;
+  EXPECT_NE(p.message.find("all"), std::string::npos) << p.message;
+}
+
+TEST(BenchCliTest, UnknownNameInScenariosListAlsoExitsTwo) {
+  const CliParse p =
+      parse({"--scenarios", "steady-week,bogus,dc-drain"}, sim::scenario_names());
+  EXPECT_EQ(p.exit_code, 2);
+  EXPECT_NE(p.message.find("unknown scenario 'bogus'"), std::string::npos) << p.message;
+}
+
+TEST(BenchCliTest, AllMixedIntoAScenariosListIsRejected) {
+  // "all" is only meaningful as the entire --scenarios value; combined
+  // with names it would otherwise sail past validation and blow up later
+  // in the sweep runner without the helpful message.
+  const CliParse p = parse({"--scenarios", "steady-week,all"}, sim::scenario_names());
+  EXPECT_EQ(p.exit_code, 2);
+  EXPECT_NE(p.message.find("'all' cannot be combined"), std::string::npos) << p.message;
+  const CliParse alone = parse({"--scenarios", "all"}, sim::scenario_names());
+  EXPECT_LT(alone.exit_code, 0) << alone.message;
+}
+
+TEST(BenchCliTest, KnownScenarioAndAllAreAccepted) {
+  for (const auto& name : sim::scenario_names()) {
+    const CliParse p = parse({"--scenario", name}, sim::scenario_names());
+    EXPECT_LT(p.exit_code, 0) << name << ": " << p.message;
+    EXPECT_EQ(p.cli.scenario, name);
+  }
+  const CliParse all = parse({"--scenario", "all"}, sim::scenario_names());
+  EXPECT_LT(all.exit_code, 0) << all.message;
+  // Without a library, any scenario string passes through unvalidated
+  // (non-sim benches ignore it).
+  const CliParse unchecked = parse({"--scenario", "anything"});
+  EXPECT_LT(unchecked.exit_code, 0) << unchecked.message;
+}
+
+TEST(BenchCliTest, ListScenariosPrintsTheLibraryAndExitsZero) {
+  const CliParse p = parse({"--list-scenarios"}, sim::scenario_names());
+  EXPECT_EQ(p.exit_code, 0);
+  for (const auto& name : sim::scenario_names())
+    EXPECT_NE(p.message.find(name + "\n"), std::string::npos) << p.message;
+  // Without a scenario library the flag is a usage error.
+  const CliParse bare = parse({"--list-scenarios"});
+  EXPECT_EQ(bare.exit_code, 2);
+}
+
+TEST(BenchCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(parse({"--no-such-flag"}).exit_code, 2);
+  EXPECT_EQ(parse({"--seed"}).exit_code, 2);     // missing value
+  EXPECT_EQ(parse({"--weeks", "0"}).exit_code, 2);
+  EXPECT_EQ(parse({"--seeds", "0"}).exit_code, 2);
+  const CliParse help = parse({"--help"});
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.message.find("usage:"), std::string::npos);
+}
+
+TEST(BenchCliTest, SplitCsvHandlesEdgeShapes) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(split_csv(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_csv("a,,b,"), (std::vector<std::string>{"a", "b"}));
+  // Whitespace around tokens is trimmed ("a, b" == "a,b").
+  EXPECT_EQ(split_csv("a, b ,  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("  ,  "), (std::vector<std::string>{}));
+}
+
+}  // namespace
+}  // namespace titan::bench

@@ -1,0 +1,222 @@
+// Negative-path tests for scenario validation: one table-driven case per
+// rejection the engine (and the scenario library) can produce, asserting
+// on the *specific* error text — a regression that swaps two validations,
+// or silently accepts a malformed scenario, fails here even if something
+// still throws. Plus the positive boundary: touching windows are legal
+// because restores order before same-slot disturbances.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace titan::sim {
+namespace {
+
+Scenario tiny() {
+  Scenario s = make_scenario("steady-week");
+  s.training_weeks = 1;
+  s.eval_days = 1;
+  s.peak_slot_calls = 20.0;
+  s.shards = 4;
+  s.oracle_counts = true;
+  s.replan_interval_slots = 24;
+  s.pipeline.scope.timeslots = 24;
+  s.pipeline.scope.max_reduced_configs = 20;
+  return s;
+}
+
+Disturbance make(NetworkEventKind kind, std::string country, std::string dc,
+                 double magnitude = 0.0, int slot_in_day = 10, int duration = -1) {
+  Disturbance d;
+  d.kind = kind;
+  d.slot_in_day = slot_in_day;
+  d.duration_slots = duration;
+  d.country = std::move(country);
+  d.dc = std::move(dc);
+  d.magnitude = magnitude;
+  return d;
+}
+
+struct RejectionCase {
+  const char* label;
+  std::function<void()> build;  // constructs the invalid thing
+  const char* expected_error;   // must appear in the exception text
+};
+
+TEST(ScenarioValidationTest, EveryRejectionNamesTheProblem) {
+  const std::vector<RejectionCase> cases = {
+      {"unknown scenario name",
+       [] { (void)make_scenario("no-such-scenario"); },
+       "unknown scenario: no-such-scenario"},
+
+      {"unknown disturbance country",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kFiberCut, "atlantis", "netherlands")};
+         SimEngine engine(s);
+       },
+       "disturbance country: atlantis"},
+
+      {"unknown disturbance dc",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kFiberCut, "france", "mordor")};
+         SimEngine engine(s);
+       },
+       "disturbance dc: mordor"},
+
+      {"dc drain without a target dc",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kDcDrain, "", "", 0.5)};
+         SimEngine engine(s);
+       },
+       "dc drain requires a dc"},
+
+      {"dc drain magnitude out of range",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kDcDrain, "", "netherlands", 1.5)};
+         SimEngine engine(s);
+       },
+       "dc drain magnitude must be in [0, 1)"},
+
+      {"transit degrade without a target dc",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kTransitDegrade, "france", "", 0.03)};
+         SimEngine engine(s);
+       },
+       "transit degrade requires a dc"},
+
+      {"transit degrade that adds no loss",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kTransitDegrade, "", "netherlands", 0.0)};
+         SimEngine engine(s);
+       },
+       "transit degrade magnitude must be > 0"},
+
+      {"fiber cut without link targets",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kFiberCut, "", "")};
+         SimEngine engine(s);
+       },
+       "link disturbances require a country and a dc"},
+
+      {"link scale with only a country",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kLinkScale, "france", "", 0.5)};
+         SimEngine engine(s);
+       },
+       "link disturbances require a country and a dc"},
+
+      {"fiber cut with a repair window",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {
+             make(NetworkEventKind::kFiberCut, "france", "netherlands", 0.0, 10, 8)};
+         SimEngine engine(s);
+       },
+       "link disturbances do not support duration_slots"},
+
+      {"overlapping drain windows on one dc",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {
+             make(NetworkEventKind::kDcDrain, "", "netherlands", 0.5, 10, 10),
+             make(NetworkEventKind::kDcDrain, "", "netherlands", 0.5, 15, 10)};
+         SimEngine engine(s);
+       },
+       "overlapping dc drain windows on one target"},
+
+      {"windowed drain inside an open-ended drain",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {
+             make(NetworkEventKind::kDcDrain, "", "netherlands", 0.0, 10, -1),
+             make(NetworkEventKind::kDcDrain, "", "netherlands", 0.5, 20, 5)};
+         SimEngine engine(s);
+       },
+       "overlapping dc drain windows on one target"},
+
+      {"overlapping degrade windows on one transit",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {
+             make(NetworkEventKind::kTransitDegrade, "france", "netherlands", 0.03, 10, 10),
+             make(NetworkEventKind::kTransitDegrade, "france", "netherlands", 0.03, 15, 10)};
+         SimEngine engine(s);
+       },
+       "overlapping transit degrade windows on one target"},
+
+      {"surge with an unknown country",
+       [] {
+         Scenario s = tiny();
+         SurgeSpec surge;
+         surge.day = 0;
+         surge.country = "atlantis";
+         s.surges.push_back(surge);
+         (void)build_workload(s, geo::World::make());
+       },
+       "surge country: atlantis"},
+
+      {"rolling maintenance with a non-positive window",
+       [] {
+         Scenario s = tiny();
+         add_rolling_maintenance(s, {"netherlands"}, 0, 10, /*window_slots=*/0,
+                                 /*gap_slots=*/2, 0.5);
+       },
+       "rolling maintenance window_slots"},
+
+      {"rolling maintenance with a negative gap",
+       [] {
+         Scenario s = tiny();
+         add_rolling_maintenance(s, {"netherlands"}, 0, 10, /*window_slots=*/4,
+                                 /*gap_slots=*/-1, 0.5);
+       },
+       "rolling maintenance gap_slots"},
+  };
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.label);
+    try {
+      c.build();
+      ADD_FAILURE() << "expected std::invalid_argument, got no exception";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expected_error), std::string::npos)
+          << "actual error: " << e.what();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "expected std::invalid_argument, got: " << e.what();
+    }
+  }
+}
+
+// The positive boundary of the overlap rule: windows that *touch* ([10,16)
+// then [16,22) on one DC) are legal in either listing order, because the
+// engine orders the first window's restore before the second window's
+// drain at their shared slot. Both orders must also simulate identically.
+TEST(ScenarioValidationTest, TouchingWindowsAreLegalBecauseRestoresOrderFirst) {
+  const auto drain_at = [](int slot_in_day, int duration) {
+    return make(NetworkEventKind::kDcDrain, "", "netherlands", 0.5, slot_in_day, duration);
+  };
+  Scenario forward = tiny();
+  forward.disturbances = {drain_at(10, 6), drain_at(16, 6)};
+  Scenario reversed = tiny();
+  reversed.disturbances = {drain_at(16, 6), drain_at(10, 6)};
+
+  SimEngine forward_engine(forward);
+  SimEngine reversed_engine(reversed);
+  const auto a = forward_engine.run(2);
+  const auto b = reversed_engine.run(2);
+  EXPECT_EQ(a.leaked_calls, 0);
+  EXPECT_EQ(a.checksum, b.checksum) << "listing order changed the simulation";
+}
+
+}  // namespace
+}  // namespace titan::sim

@@ -1,0 +1,345 @@
+// Tests for the seed x scenario sweep harness: the determinism property
+// (bit-identical SimResults across thread counts for every named scenario,
+// and sweep output invariant under task-order shuffling and worker count),
+// distribution statistics, lossless JSON round-trips of per-run and
+// aggregate results, and baseline regression comparison (passing on self,
+// failing on perturbation beyond tolerance).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sweep/baseline.h"
+#include "sweep/json.h"
+#include "sweep/serialize.h"
+#include "sweep/sweep.h"
+
+namespace titan::sweep {
+namespace {
+
+// Sweep-wide overrides that shrink every scenario to ctest cost while still
+// replanning several times (mirrors sim_test's golden configuration).
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.num_seeds = 2;
+  spec.peak_slot_calls = 25.0;
+  spec.training_weeks = 1;
+  spec.shards = 8;
+  spec.replan_interval_slots = 12;
+  spec.max_reduced_configs = 20;
+  spec.oracle_counts = true;  // skip Holt-Winters: cheap and platform-stable
+  return spec;
+}
+
+// --- stats ---------------------------------------------------------------
+
+TEST(SweepStatsTest, ComputeStatsMatchesHandValues) {
+  const auto s = compute_stats({4.0, 1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);       // type-7 interpolation
+  EXPECT_DOUBLE_EQ(s.p95, 3.85);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_THROW((void)compute_stats({}), std::invalid_argument);
+}
+
+TEST(SweepStatsTest, MetricSchemaIsConsistent) {
+  sim::SimResult r;
+  r.calls = 10;
+  r.dc_migrations = 2;
+  const auto values = metric_values(r);
+  ASSERT_EQ(values.size(), metric_names().size());
+  // Spot-check the name -> value pairing for the rate metrics.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (metric_names()[i] == "migration_rate") {
+      EXPECT_DOUBLE_EQ(values[i], 0.2);
+    }
+    if (metric_names()[i] == "calls") {
+      EXPECT_DOUBLE_EQ(values[i], 10.0);
+    }
+  }
+}
+
+// --- spec validation -----------------------------------------------------
+
+TEST(SweepRunnerTest, RejectsBadSpecsUpFront) {
+  {
+    SweepSpec spec = small_spec();
+    spec.scenarios = {"no-such-scenario"};
+    EXPECT_THROW(SweepRunner runner(spec), std::invalid_argument);
+  }
+  {
+    SweepSpec spec = small_spec();
+    spec.num_seeds = 0;
+    EXPECT_THROW(SweepRunner runner(spec), std::invalid_argument);
+  }
+  {
+    SweepSpec spec = small_spec();
+    spec.sim_threads = {};
+    EXPECT_THROW(SweepRunner runner(spec), std::invalid_argument);
+  }
+  {
+    SweepSpec spec = small_spec();
+    spec.sim_threads = {1, 0};
+    EXPECT_THROW(SweepRunner runner(spec), std::invalid_argument);
+  }
+}
+
+TEST(SweepRunnerTest, EmptyScenarioListResolvesToWholeLibrary) {
+  const SweepRunner runner(small_spec());
+  EXPECT_EQ(runner.spec().scenarios, sim::scenario_names());
+}
+
+// --- the determinism property, engine level ------------------------------
+
+// For every named scenario, the full SimResult — counters, WAN usage, and
+// every per-slot stream — is bit-identical at 1, 2, and 8 worker threads.
+// Stronger than the golden-checksum test: the checksum only fingerprints
+// assignment decisions; this compares everything the engine reports.
+TEST(SweepDeterminismTest, SimResultBitIdenticalAcrossThreadCountsForEveryScenario) {
+  const SweepSpec spec = small_spec();
+  for (const auto& name : sim::scenario_names()) {
+    sim::SimEngine engine(sweep_scenario(spec, name, spec.base_seed));
+    sim::SimResult r1 = engine.run(1);
+    sim::SimResult r2 = engine.run(2);
+    sim::SimResult r8 = engine.run(8);
+    ASSERT_GT(r1.calls, 0) << name;
+    for (sim::SimResult* r : {&r1, &r2, &r8}) {
+      // Mask the only legitimately varying fields before the bitwise compare.
+      r->threads = 0;
+      r->plan_seconds = r->forecast_seconds = r->wall_seconds = 0.0;
+    }
+    EXPECT_TRUE(r1 == r2) << name << ": threads 1 vs 2 diverged";
+    EXPECT_TRUE(r1 == r8) << name << ": threads 1 vs 8 diverged";
+  }
+}
+
+// --- the determinism property, sweep level -------------------------------
+
+// One sweep over the whole library at sim_threads {1, 2, 8}: the runner's
+// internal audit must find no divergence, and the thread-count replicas of
+// each (scenario, seed) must carry identical metrics and checksums.
+TEST(SweepDeterminismTest, SweepAuditsThreadInvarianceForEveryScenario) {
+  SweepSpec spec = small_spec();
+  spec.num_seeds = 1;
+  spec.sim_threads = {1, 2, 8};
+  const SweepResult result = SweepRunner(spec).run();
+
+  EXPECT_TRUE(result.determinism_violations.empty());
+  ASSERT_EQ(result.runs.size(), sim::scenario_names().size() * 3);
+  for (std::size_t i = 0; i < result.runs.size(); i += 3) {
+    for (std::size_t v = 1; v < 3; ++v) {
+      EXPECT_EQ(result.runs[i].checksum, result.runs[i + v].checksum)
+          << result.runs[i].scenario;
+      EXPECT_EQ(result.runs[i].values, result.runs[i + v].values) << result.runs[i].scenario;
+    }
+  }
+}
+
+// Two invocations with shuffled task order and different worker-pool sizes
+// must serialize to the exact same bytes: execution schedule is not data.
+TEST(SweepDeterminismTest, ShuffledTaskOrderAndWorkerCountProduceIdenticalResults) {
+  SweepSpec canonical = small_spec();
+  canonical.scenarios = {"steady-week", "dc-drain", "flash-crowd"};
+  canonical.workers = 1;
+  canonical.task_order_seed = 0;
+
+  SweepSpec shuffled = canonical;
+  shuffled.workers = 4;
+  shuffled.task_order_seed = 0xC0FFEE;
+
+  const SweepResult a = SweepRunner(canonical).run();
+  const SweepResult b = SweepRunner(shuffled).run();
+  EXPECT_TRUE(a.runs == b.runs);
+  EXPECT_TRUE(a.aggregates == b.aggregates);
+  EXPECT_EQ(to_json_text(a), to_json_text(b));
+  // Whole-struct equality: the result's spec echo normalizes the
+  // execution knobs, so differently-scheduled sweeps compare equal — and
+  // in particular compare_to_baseline never sees a spec mismatch from a
+  // worker-count difference (the CI check passes --workers).
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(compare_to_baseline(a, b, default_tolerances()).empty());
+}
+
+// --- aggregation over seeds ----------------------------------------------
+
+TEST(SweepRunnerTest, AggregatesReduceAcrossSeeds) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week"};
+  spec.num_seeds = 3;
+  const SweepResult result = SweepRunner(spec).run();
+
+  ASSERT_EQ(result.runs.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(result.runs[static_cast<std::size_t>(i)].seed,
+              spec.base_seed + static_cast<std::uint64_t>(i));
+  // Different seeds, different workloads: call counts must actually vary.
+  EXPECT_NE(result.runs[0].checksum, result.runs[1].checksum);
+
+  ASSERT_EQ(result.aggregates.size(), 1u);
+  const auto& agg = result.aggregates[0];
+  EXPECT_EQ(agg.scenario, "steady-week");
+  EXPECT_EQ(agg.seeds, 3);
+  ASSERT_EQ(agg.stats.size(), metric_names().size());
+  for (std::size_t m = 0; m < metric_names().size(); ++m) {
+    const auto& s = agg.stats[m];
+    EXPECT_EQ(s.count, 3u) << metric_names()[m];
+    EXPECT_LE(s.min, s.p50) << metric_names()[m];
+    EXPECT_LE(s.p50, s.p95) << metric_names()[m];
+    EXPECT_LE(s.p95, s.max) << metric_names()[m];
+    EXPECT_GE(s.mean, s.min) << metric_names()[m];
+    EXPECT_LE(s.mean, s.max) << metric_names()[m];
+    // Re-derive the stats from the runs: must agree exactly.
+    std::vector<double> samples;
+    for (const auto& run : result.runs) samples.push_back(run.values[m]);
+    EXPECT_TRUE(s == compute_stats(samples)) << metric_names()[m];
+  }
+}
+
+// --- JSON round-trips (guards the baseline file format) ------------------
+
+TEST(SweepJsonTest, ValueRoundTripIsLossless) {
+  const std::string text =
+      "{\"a\": [1, 2.5, -3e-2, true, false, null], \"s\": \"q\\\"\\\\\\n\\u0007end\","
+      " \"nested\": {\"k\": 0.1234567890123456789}}";
+  const Json parsed = Json::parse(text);
+  // parse -> dump -> parse -> dump stabilizes after the first dump.
+  const std::string once = parsed.dump();
+  const std::string twice = Json::parse(once).dump();
+  EXPECT_EQ(once, twice);
+  EXPECT_TRUE(parsed == Json::parse(once));
+  // 0.1 is not representable; 17 significant digits must reconstruct it.
+  EXPECT_DOUBLE_EQ(Json::parse(Json::number(0.1).dump()).as_number(), 0.1);
+
+  EXPECT_THROW((void)Json::parse("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1, 2] trailing"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1,}"), std::invalid_argument);
+  // Surrogate escapes would decode to invalid UTF-8; the parser fails loud.
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\\ude00\""), std::invalid_argument);
+}
+
+TEST(SweepJsonTest, SweepResultRoundTripIsLossless) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week", "weekend-transition"};
+  spec.sim_threads = {1, 2};
+  const SweepResult result = SweepRunner(spec).run();
+
+  // Struct-level: parse(serialize(x)) == x, spec and violations included.
+  const std::string text = to_json_text(result);
+  const SweepResult parsed = from_json_text(text);
+  EXPECT_TRUE(parsed == result);
+
+  // Byte-level: serialize -> parse -> re-serialize is the identity.
+  EXPECT_EQ(to_json_text(parsed), text);
+
+  // Aggregate-only documents (CI artifacts) round-trip the same way.
+  const std::string aggregate_text = to_json_text(result, /*include_runs=*/false);
+  const SweepResult aggregate_parsed = from_json_text(aggregate_text);
+  EXPECT_TRUE(aggregate_parsed.runs.empty());
+  EXPECT_TRUE(aggregate_parsed.aggregates == result.aggregates);
+  EXPECT_EQ(to_json_text(aggregate_parsed, /*include_runs=*/false), aggregate_text);
+}
+
+// Seeds are full uint64 values; JSON numbers would corrupt them past 2^53,
+// so they travel as decimal strings and survive exactly.
+TEST(SweepJsonTest, FullRangeSeedsRoundTripExactly) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week"};
+  spec.num_seeds = 1;
+  spec.base_seed = 18446744073709551615ULL;  // 2^64 - 1
+  const SweepResult result = SweepRunner(spec).run();
+  const SweepResult parsed = from_json_text(to_json_text(result));
+  EXPECT_EQ(parsed.spec.base_seed, spec.base_seed);
+  ASSERT_EQ(parsed.runs.size(), 1u);
+  EXPECT_EQ(parsed.runs[0].seed, spec.base_seed);
+  EXPECT_TRUE(parsed == result);
+}
+
+TEST(SweepJsonTest, SchemaAndMetricMismatchesAreRejected) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week"};
+  const SweepResult result = SweepRunner(spec).run();
+  Json doc = to_json(result);
+
+  Json bad_schema = doc;
+  bad_schema.set("schema", Json::number(99));
+  EXPECT_THROW((void)from_json(bad_schema), std::invalid_argument);
+
+  Json bad_metrics = doc;
+  Json metrics = Json::array();
+  metrics.push_back(Json::string("not-a-metric"));
+  bad_metrics.set("metrics", std::move(metrics));
+  EXPECT_THROW((void)from_json(bad_metrics), std::invalid_argument);
+}
+
+// --- baseline comparison -------------------------------------------------
+
+TEST(SweepBaselineTest, SelfComparePassesAndPerturbationFails) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week", "dc-drain"};
+  const SweepResult result = SweepRunner(spec).run();
+  const Tolerances tol = default_tolerances();
+
+  // A sweep compared against itself can never regress.
+  EXPECT_TRUE(compare_to_baseline(result, result, tol).empty());
+
+  // Perturb one metric's mean past its tolerance: exactly that (scenario,
+  // metric, stat) must be flagged.
+  const auto& names = metric_names();
+  const std::size_t mos =
+      static_cast<std::size_t>(std::find(names.begin(), names.end(), "mean_mos") -
+                               names.begin());
+  ASSERT_LT(mos, names.size());
+  SweepResult perturbed = result;
+  perturbed.aggregates[1].stats[mos].mean *= 1.10;  // +10% vs 5% tolerance
+  const auto regressions = compare_to_baseline(perturbed, result, tol);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].scenario, "dc-drain");
+  EXPECT_EQ(regressions[0].metric, "mean_mos");
+  EXPECT_EQ(regressions[0].stat, "mean");
+  EXPECT_FALSE(regressions[0].describe().empty());
+
+  // A perturbation inside the tolerance stays green.
+  SweepResult nudged = result;
+  nudged.aggregates[1].stats[mos].mean *= 1.01;  // +1%, within 5%
+  EXPECT_TRUE(compare_to_baseline(nudged, result, tol).empty());
+}
+
+TEST(SweepBaselineTest, LeakedCallsHaveZeroSlack) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week"};
+  const SweepResult result = SweepRunner(spec).run();
+  const auto& names = metric_names();
+  const std::size_t leaked =
+      static_cast<std::size_t>(std::find(names.begin(), names.end(), "leaked_calls") -
+                               names.begin());
+  ASSERT_LT(leaked, names.size());
+  EXPECT_DOUBLE_EQ(result.aggregates[0].stats[leaked].mean, 0.0);
+
+  SweepResult leaky = result;
+  leaky.aggregates[0].stats[leaked].mean = 0.5;  // even a fractional mean leak
+  const auto regressions = compare_to_baseline(leaky, result, default_tolerances());
+  ASSERT_FALSE(regressions.empty());
+  EXPECT_EQ(regressions[0].metric, "leaked_calls");
+}
+
+TEST(SweepBaselineTest, IncomparableSpecsThrow) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week"};
+  const SweepResult result = SweepRunner(spec).run();
+
+  SweepResult other = result;
+  other.spec.num_seeds = result.spec.num_seeds + 1;
+  EXPECT_THROW((void)compare_to_baseline(result, other, default_tolerances()),
+               std::invalid_argument);
+
+  SweepResult different_peak = result;
+  different_peak.spec.peak_slot_calls = 999.0;
+  EXPECT_THROW((void)compare_to_baseline(result, different_peak, default_tolerances()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace titan::sweep
