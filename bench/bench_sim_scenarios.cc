@@ -105,13 +105,18 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cli.seed), cli.threads);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
+      const auto region_count = [&r](geo::Continent region) {
+        return static_cast<long long>(r.calls_by_region[static_cast<std::size_t>(region)]);
+      };
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"checksum\": \"%016llx\", \"calls\": %lld, "
                    "\"replans\": %d, \"dc_migrations\": %lld, \"route_changes\": %lld, "
                    "\"transit_failovers\": %lld, \"forced_migrations\": %lld, "
                    "\"out_of_plan\": %lld, \"leaked_calls\": %lld, "
                    "\"internet_share\": %.6f, \"mean_mos\": %.4f, "
-                   "\"wan_sum_of_peaks_mbps\": %.3f}%s\n",
+                   "\"wan_sum_of_peaks_mbps\": %.3f, "
+                   "\"calls_na\": %lld, \"calls_eu\": %lld, \"calls_asia\": %lld, "
+                   "\"wan_gb_na\": %.3f, \"wan_gb_eu\": %.3f, \"wan_gb_asia\": %.3f}%s\n",
                    r.scenario.c_str(), static_cast<unsigned long long>(r.checksum),
                    static_cast<long long>(r.calls), r.replans,
                    static_cast<long long>(r.dc_migrations),
@@ -120,7 +125,12 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r.forced_migrations),
                    static_cast<long long>(r.out_of_plan),
                    static_cast<long long>(r.leaked_calls), r.internet_share, r.mean_mos,
-                   r.wan.sum_of_peaks_mbps, i + 1 < results.size() ? "," : "");
+                   r.wan.sum_of_peaks_mbps, region_count(geo::Continent::kNorthAmerica),
+                   region_count(geo::Continent::kEurope), region_count(geo::Continent::kAsia),
+                   r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)],
+                   r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)],
+                   r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kAsia)],
+                   i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -21,6 +21,10 @@ SlotMetricsSink::SlotMetricsSink(int num_slots, int num_links)
   participants_.assign(n, 0.0);
   mos_sum_.assign(n, 0.0);
   mos_count_.assign(n, 0.0);
+  const auto rn = static_cast<std::size_t>(geo::kNumContinents) * n;
+  region_arrivals_.assign(rn, 0.0);
+  region_active_calls_.assign(rn, 0.0);
+  region_wan_mbps_.assign(rn, 0.0);
 }
 
 void SlotMetricsSink::add_wan_mbps(core::SlotIndex s, core::LinkId link, double mbps) {
@@ -55,6 +59,16 @@ void SlotMetricsSink::add_mos(core::SlotIndex s, double mos) {
   mos_sum_[static_cast<std::size_t>(s)] += mos;
   mos_count_[static_cast<std::size_t>(s)] += 1.0;
 }
+void SlotMetricsSink::add_region_arrival(core::SlotIndex s, geo::Continent region) {
+  region_arrivals_[region_cell(s, region)] += 1.0;
+}
+void SlotMetricsSink::add_region_active_call(core::SlotIndex s, geo::Continent region) {
+  region_active_calls_[region_cell(s, region)] += 1.0;
+}
+void SlotMetricsSink::add_region_wan_mbps(core::SlotIndex s, geo::Continent region,
+                                          double mbps) {
+  region_wan_mbps_[region_cell(s, region)] += mbps;
+}
 
 namespace {
 void add_into(std::vector<double>& a, const std::vector<double>& b) {
@@ -76,6 +90,36 @@ void SlotMetricsSink::merge(const SlotMetricsSink& other) {
   add_into(participants_, other.participants_);
   add_into(mos_sum_, other.mos_sum_);
   add_into(mos_count_, other.mos_count_);
+  add_into(region_arrivals_, other.region_arrivals_);
+  add_into(region_active_calls_, other.region_active_calls_);
+  add_into(region_wan_mbps_, other.region_wan_mbps_);
+}
+
+std::vector<double> SlotMetricsSink::region_slice(const std::vector<double>& stream,
+                                                  geo::Continent region) const {
+  const auto begin = stream.begin() + static_cast<std::ptrdiff_t>(region_cell(0, region));
+  return {begin, begin + num_slots_};
+}
+
+std::vector<double> SlotMetricsSink::region_arrivals(geo::Continent region) const {
+  return region_slice(region_arrivals_, region);
+}
+std::vector<double> SlotMetricsSink::region_active_calls(geo::Continent region) const {
+  return region_slice(region_active_calls_, region);
+}
+std::vector<double> SlotMetricsSink::region_wan_mbps(geo::Continent region) const {
+  return region_slice(region_wan_mbps_, region);
+}
+
+double SlotMetricsSink::region_arrivals_total(geo::Continent region) const {
+  double total = 0.0;
+  for (int s = 0; s < num_slots_; ++s) total += region_arrivals_[region_cell(s, region)];
+  return total;
+}
+double SlotMetricsSink::region_wan_mbps_total(geo::Continent region) const {
+  double total = 0.0;
+  for (int s = 0; s < num_slots_; ++s) total += region_wan_mbps_[region_cell(s, region)];
+  return total;
 }
 
 WanUsage SlotMetricsSink::wan_usage() const {

@@ -3,7 +3,10 @@
 // The static evaluators in eval/metrics.h summarize a finished trace; the
 // simulator instead emits metrics *as slots elapse*: per-slot per-link WAN
 // bandwidth, Internet offload bandwidth, arrivals, migrations, out-of-plan
-// convergences, the Internet participant share, and a MOS proxy. Sinks are
+// convergences, the Internet participant share, and a MOS proxy — plus
+// per-continent slices (arrivals by the first joiner's continent; in-flight
+// calls and offered WAN bandwidth by the serving DC's continent) so
+// cross-region load shifts are assertable per slot. Sinks are
 // accumulated per shard during a simulation and merged in shard order, so
 // the totals are bit-identical regardless of worker-thread count, then
 // finalized into the same WanUsage shape the §7/§8 benches report.
@@ -14,6 +17,7 @@
 #include "core/ids.h"
 #include "core/timegrid.h"
 #include "eval/metrics.h"
+#include "geo/world.h"
 
 namespace titan::eval {
 
@@ -34,6 +38,13 @@ class SlotMetricsSink {
   void add_out_of_plan(core::SlotIndex s);
   void add_participants(core::SlotIndex s, int internet, int total);
   void add_mos(core::SlotIndex s, double mos);
+  // Per-continent slices. Arrivals are sliced by the *first joiner's*
+  // continent (where demand originates); in-flight calls and offered WAN
+  // bandwidth by the *serving DC's* continent (where load lands) — the
+  // pair that makes a cross-region load shift measurable.
+  void add_region_arrival(core::SlotIndex s, geo::Continent region);
+  void add_region_active_call(core::SlotIndex s, geo::Continent region);
+  void add_region_wan_mbps(core::SlotIndex s, geo::Continent region, double mbps);
 
   // Element-wise accumulation of another sink with identical dimensions.
   void merge(const SlotMetricsSink& other);
@@ -72,11 +83,27 @@ class SlotMetricsSink {
   }
   [[nodiscard]] const std::vector<double>& out_of_plan() const { return out_of_plan_; }
 
+  // Per-slot copies of one continent's slice.
+  [[nodiscard]] std::vector<double> region_arrivals(geo::Continent region) const;
+  [[nodiscard]] std::vector<double> region_active_calls(geo::Continent region) const;
+  [[nodiscard]] std::vector<double> region_wan_mbps(geo::Continent region) const;
+  // Whole-window totals of a continent's slice.
+  [[nodiscard]] double region_arrivals_total(geo::Continent region) const;
+  [[nodiscard]] double region_wan_mbps_total(geo::Continent region) const;
+
  private:
   [[nodiscard]] std::size_t cell(core::SlotIndex s, core::LinkId link) const {
     return static_cast<std::size_t>(s) * static_cast<std::size_t>(num_links_) +
            static_cast<std::size_t>(link.value());
   }
+  // Region streams are stored contiguously per continent so slicing one
+  // continent out is a plain subrange copy.
+  [[nodiscard]] std::size_t region_cell(core::SlotIndex s, geo::Continent region) const {
+    return static_cast<std::size_t>(region) * static_cast<std::size_t>(num_slots_) +
+           static_cast<std::size_t>(s);
+  }
+  [[nodiscard]] std::vector<double> region_slice(const std::vector<double>& stream,
+                                                 geo::Continent region) const;
 
   int num_slots_ = 0;
   int num_links_ = 0;
@@ -92,6 +119,10 @@ class SlotMetricsSink {
   std::vector<double> participants_;
   std::vector<double> mos_sum_;
   std::vector<double> mos_count_;
+  // [continent * num_slots + slot]
+  std::vector<double> region_arrivals_;
+  std::vector<double> region_active_calls_;
+  std::vector<double> region_wan_mbps_;
 };
 
 }  // namespace titan::eval

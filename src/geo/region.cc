@@ -1,0 +1,49 @@
+#include "geo/region.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace titan::geo {
+
+bool RegionSet::contains(Continent c) const {
+  return std::find(continents_.begin(), continents_.end(), c) != continents_.end();
+}
+
+std::string RegionSet::name() const {
+  std::string out;
+  for (const Continent c : continents_) {
+    if (!out.empty()) out += '+';
+    out += continent_name(c);
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+void RegionSet::validate() const {
+  if (continents_.empty())
+    throw std::invalid_argument("plan scope: empty region set");
+  for (std::size_t i = 0; i < continents_.size(); ++i)
+    for (std::size_t j = i + 1; j < continents_.size(); ++j)
+      if (continents_[i] == continents_[j])
+        throw std::invalid_argument("plan scope: duplicate continent in region set: " +
+                                    continent_name(continents_[i]));
+}
+
+std::vector<core::CountryId> countries_in(const World& world, const RegionSet& regions) {
+  std::vector<core::CountryId> out;
+  for (const Continent c : regions.continents()) {
+    const auto part = world.countries_in(c);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<core::DcId> dcs_in(const World& world, const RegionSet& regions) {
+  std::vector<core::DcId> out;
+  for (const Continent c : regions.continents()) {
+    const auto part = world.dcs_in(c);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace titan::geo

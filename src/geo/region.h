@@ -1,0 +1,56 @@
+// Region sets: plan scopes spanning one or more continents.
+//
+// The paper's production deployment plans Europe, but its world is global —
+// the NA–EU and EU–Asia corridor priors in net/latency_model.cc exist
+// precisely because calls cross continents. `RegionSet` is the scope type
+// every layer shares (titannext::PlanScope, workload::TraceOptions,
+// policies::PolicyContext, titan_sys::TitanSystem): an ordered list of
+// continents with a non-explicit single-continent constructor, so code
+// written against the old one-continent API keeps compiling and — for a
+// single-continent set — behaves byte-identically.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "geo/world.h"
+
+namespace titan::geo {
+
+class RegionSet {
+ public:
+  RegionSet() = default;
+  // Implicit: a bare Continent is the single-region scope it always was.
+  RegionSet(Continent c) : continents_{c} {}
+  RegionSet(std::initializer_list<Continent> cs) : continents_(cs) {}
+  explicit RegionSet(std::vector<Continent> cs) : continents_(std::move(cs)) {}
+
+  [[nodiscard]] const std::vector<Continent>& continents() const { return continents_; }
+  [[nodiscard]] bool contains(Continent c) const;
+  [[nodiscard]] bool empty() const { return continents_.empty(); }
+  [[nodiscard]] std::size_t size() const { return continents_.size(); }
+  [[nodiscard]] bool single() const { return continents_.size() == 1; }
+  // Display name, e.g. "Europe" or "North America+Europe".
+  [[nodiscard]] std::string name() const;
+
+  // Scope validation, shared by PlanInputs, the sim engine, and workload
+  // generation. Throws std::invalid_argument naming the problem: a plan
+  // scope must name at least one continent, exactly once each.
+  void validate() const;
+
+  bool operator==(const RegionSet&) const = default;
+
+ private:
+  std::vector<Continent> continents_;  // in listed order
+};
+
+// Countries / DCs across the whole set, concatenated in region listing
+// order. For a single-region set these are exactly World::countries_in /
+// World::dcs_in — same ids, same order.
+[[nodiscard]] std::vector<core::CountryId> countries_in(const World& world,
+                                                        const RegionSet& regions);
+[[nodiscard]] std::vector<core::DcId> dcs_in(const World& world, const RegionSet& regions);
+
+}  // namespace titan::geo

@@ -28,6 +28,11 @@ enum class Continent {
   kOceania,
 };
 
+// Number of Continent enumerators; sizes per-region metric arrays.
+inline constexpr int kNumContinents = 6;
+static_assert(kNumContinents == static_cast<int>(Continent::kOceania) + 1,
+              "kNumContinents must cover every Continent enumerator");
+
 [[nodiscard]] std::string continent_name(Continent c);
 
 struct Country {

@@ -2,13 +2,14 @@
 
 namespace titan::policies {
 
-PolicyContext PolicyContext::make(const net::NetworkDb& net, geo::Continent continent,
+PolicyContext PolicyContext::make(const net::NetworkDb& net, const geo::RegionSet& regions,
                                   double uniform_fraction) {
+  regions.validate();
   PolicyContext ctx;
   ctx.net = &net;
-  ctx.continent = continent;
-  ctx.dcs = net.world().dcs_in(continent);
-  for (const auto c : net.world().countries_in(continent)) {
+  ctx.regions = regions;
+  ctx.dcs = geo::dcs_in(net.world(), regions);
+  for (const auto c : geo::countries_in(net.world(), regions)) {
     const double f = net.loss().internet_unusable(c) ? 0.0 : uniform_fraction;
     for (const auto d : ctx.dcs) ctx.internet_fractions[{c.value(), d.value()}] = f;
   }

@@ -14,6 +14,7 @@
 
 #include "core/ids.h"
 #include "core/rng.h"
+#include "geo/region.h"
 #include "net/network_db.h"
 #include "workload/callgen.h"
 
@@ -39,7 +40,7 @@ struct PolicyRun {
 // the evaluation week.
 struct PolicyContext {
   const net::NetworkDb* net = nullptr;
-  geo::Continent continent = geo::Continent::kEurope;
+  geo::RegionSet regions = geo::Continent::kEurope;
   std::vector<core::DcId> dcs;
   // Safe Internet fraction per (country id, dc id) as learnt by Titan.
   std::map<std::pair<int, int>, double> internet_fractions;
@@ -50,9 +51,10 @@ struct PolicyContext {
   }
   [[nodiscard]] double dc_cores(core::DcId d) const { return net->world().dc(d).cores; }
 
-  // Builds the standard context for a continent with uniform Titan
-  // fractions (pairs with unusable Internet get 0).
-  static PolicyContext make(const net::NetworkDb& net, geo::Continent continent,
+  // Builds the standard context for a region set (a bare Continent
+  // converts) with uniform Titan fractions (pairs with unusable Internet
+  // get 0).
+  static PolicyContext make(const net::NetworkDb& net, const geo::RegionSet& regions,
                             double uniform_fraction = 0.20);
 };
 

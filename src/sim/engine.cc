@@ -66,9 +66,12 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
   scenario_.pipeline.scope.timeslots =
       std::max(scenario_.pipeline.scope.timeslots, scenario_.replan_interval_slots);
 
+  scenario_.pipeline.scope.regions.validate();
   world_ = std::make_unique<geo::World>(geo::World::make());
   workload_ = build_workload(scenario_, *world_);
   history_slots_ = scenario_.history_slots();
+  for (const auto& c : world_->countries()) country_region_.push_back(c.continent);
+  for (const auto& d : world_->dcs()) dc_region_.push_back(d.continent);
 
   // A clean network must exist before disturbances resolve: kTransitDegrade
   // pins its target to the pair's *BGP-default* transit, read off the
@@ -97,13 +100,20 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
     e.slot = d.day * core::kSlotsPerDay + d.slot_in_day;
     e.end_slot = d.duration_slots > 0 ? e.slot + d.duration_slots : -1;
     e.magnitude = d.magnitude;
+    // Targets must exist *and* sit inside the plan scope: a disturbance on
+    // an out-of-scope country or DC would silently simulate nothing.
+    const auto& regions = scenario_.pipeline.scope.regions;
     if (!d.country.empty()) {
       e.country = world_->find_country(d.country);
       if (!e.country.valid()) throw std::invalid_argument("disturbance country: " + d.country);
+      if (!regions.contains(world_->country(e.country).continent))
+        throw std::invalid_argument("disturbance country outside plan scope: " + d.country);
     }
     if (!d.dc.empty()) {
       e.dc = world_->find_dc(d.dc);
       if (!e.dc.valid()) throw std::invalid_argument("disturbance dc: " + d.dc);
+      if (!regions.contains(world_->dc(e.dc).continent))
+        throw std::invalid_argument("disturbance dc outside plan scope: " + d.dc);
     }
     if (e.kind == NetworkEventKind::kForecastBias) {
       forecast_biases_.push_back(e);  // a modeling regime, not a fired event
@@ -192,10 +202,11 @@ void SimEngine::reset_network() {
   severed_links_.clear();
 
   fractions_.clear();
-  const auto continent = scenario_.pipeline.scope.continent;
-  for (const auto c : world_->countries_in(continent)) {
+  const auto& regions = scenario_.pipeline.scope.regions;
+  const auto scope_dcs = geo::dcs_in(*world_, regions);
+  for (const auto c : geo::countries_in(*world_, regions)) {
     const double f = db_->loss().internet_unusable(c) ? 0.0 : scenario_.titan_fraction_cap;
-    for (const auto d : world_->dcs_in(continent)) fractions_[{c.value(), d.value()}] = f;
+    for (const auto d : scope_dcs) fractions_[{c.value(), d.value()}] = f;
   }
 
   current_plan_ = titannext::DayPlan{};
@@ -210,10 +221,11 @@ void SimEngine::apply_network_event(const NetworkEvent& event) {
       // crossed the severed link get a surged Internet fraction, so the
       // next replan moves their traffic off the crippled segment. Affected
       // pairs must be collected from the *pre-reroute* paths.
-      const auto continent = scenario_.pipeline.scope.continent;
-      for (const auto c : world_->countries_in(continent)) {
+      const auto& regions = scenario_.pipeline.scope.regions;
+      const auto scope_dcs = geo::dcs_in(*world_, regions);
+      for (const auto c : geo::countries_in(*world_, regions)) {
         if (db_->loss().internet_unusable(c)) continue;
-        for (const auto d : world_->dcs_in(continent)) {
+        for (const auto d : scope_dcs) {
           const auto& path = db_->topology().path(c, d).links;
           if (std::find(path.begin(), path.end(), link) == path.end()) continue;
           auto& f = fractions_[{c.value(), d.value()}];
@@ -464,6 +476,8 @@ SimResult SimEngine::run(int threads) {
           case workload::CallEventKind::kArrival: {
             ++sh.calls;
             sh.sink.add_arrival(s);
+            sh.sink.add_region_arrival(
+                s, country_region_[static_cast<std::size_t>(call.first_joiner.value())]);
             const auto& config = workload_.eval.configs().get(call.config);
             auto initial =
                 sh.controller->assign_initial(call.first_joiner, config.media, t, sh.rng);
@@ -515,6 +529,8 @@ SimResult SimEngine::run(int threads) {
       for (const auto& [idx, ac] : sh.active) {
         const auto& call = calls[idx];
         const auto& config = workload_.eval.configs().get(call.config);
+        const auto dc_region = dc_region_[static_cast<std::size_t>(ac.dc.value())];
+        sh.sink.add_region_active_call(s, dc_region);
         int total = 0;
         for (const auto& [country, count] : config.participants) {
           total += count;
@@ -522,6 +538,9 @@ SimResult SimEngine::run(int threads) {
           if (ac.path == net::PathType::kWan) {
             for (const auto lid : db_->topology().path(country, ac.dc).links)
               sh.sink.add_wan_mbps(s, lid, bw);
+            // Offered (per-pair, not per-link) WAN bandwidth, sliced by
+            // where the hosting DC sits.
+            sh.sink.add_region_wan_mbps(s, dc_region, bw);
           } else {
             sh.internet_load[{country.value(), ac.dc.value()}] += bw;
             sh.sink.add_internet_mbps(s, bw);
@@ -635,6 +654,13 @@ SimResult SimEngine::run(int threads) {
   result.wan = merged.wan_usage();
   result.internet_share = merged.internet_share_overall();
   result.mean_mos = merged.mean_mos_overall();
+  for (int r = 0; r < geo::kNumContinents; ++r) {
+    const auto region = static_cast<geo::Continent>(r);
+    result.calls_by_region[static_cast<std::size_t>(r)] =
+        static_cast<std::int64_t>(merged.region_arrivals_total(region));
+    result.wan_gb_by_region[static_cast<std::size_t>(r)] =
+        merged.region_wan_mbps_total(region) * core::kSlotSeconds / 8.0 / 1000.0;
+  }
   result.streams = std::move(merged);
   result.checksum = checksum;
   result.severed_links = severed_links_;

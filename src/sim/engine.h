@@ -30,6 +30,7 @@
 // thread count.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,6 +66,13 @@ struct SimResult {
 
   double internet_share = 0.0;  // participant-weighted
   double mean_mos = 0.0;        // MOS proxy over converged calls
+
+  // Per-continent slices (indexed by geo::Continent): arrivals by the first
+  // joiner's continent, and WAN traffic (GB over the window) by the serving
+  // DC's continent. Regions outside the plan scope stay 0; a cross-region
+  // load shift moves wan_gb between entries.
+  std::array<std::int64_t, geo::kNumContinents> calls_by_region{};
+  std::array<double, geo::kNumContinents> wan_gb_by_region{};
 
   eval::WanUsage wan;            // day-peak cost metric over the sim window
   eval::SlotMetricsSink streams; // full per-slot streams
@@ -118,6 +126,9 @@ class SimEngine {
   std::unique_ptr<net::NetworkDb> db_;
   ScenarioWorkload workload_;
   std::map<std::pair<int, int>, double> fractions_;
+  // Continent lookup tables for the hot per-slot accounting loops.
+  std::vector<geo::Continent> country_region_;  // by country id
+  std::vector<geo::Continent> dc_region_;       // by dc id
   std::vector<NetworkEvent> events_;  // sorted by slot
   // Active-counts history ++ realized eval counts, for forecasting.
   std::vector<std::vector<double>> combined_counts_;

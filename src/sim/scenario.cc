@@ -158,6 +158,94 @@ Scenario cut_then_flash_crowd() {
   return s;
 }
 
+Scenario na_steady_week() {
+  Scenario s = base_scenario();
+  s.name = "na-steady-week";
+  s.description = "one undisturbed North American evaluation week with daily replans — the "
+                  "European steady-week drill transplanted onto the NA countries and the "
+                  "eight NA DCs";
+  s.pipeline.scope.regions = geo::Continent::kNorthAmerica;
+  // 8 DCs vs Europe's 5: a slightly tighter reduced set keeps the LP at
+  // the European scenarios' column count (simplex time is superlinear).
+  s.pipeline.scope.max_reduced_configs = 40;
+  return s;
+}
+
+Scenario asia_flash_crowd() {
+  Scenario s = base_scenario();
+  s.name = "asia-flash-crowd";
+  s.description = "a Tuesday-morning regional event triples India call volume for four "
+                  "hours across the Asian scope; forecasts trained on calm history "
+                  "under-provision";
+  s.pipeline.scope.regions = geo::Continent::kAsia;
+  SurgeSpec surge;
+  surge.day = 1;  // Tuesday
+  surge.begin_slot_in_day = 18;
+  surge.end_slot_in_day = 26;
+  surge.country = "india";
+  surge.factor = 3.0;
+  s.surges.push_back(surge);
+  Disturbance bias;  // the crowd breaks the forecasts, as in flash-crowd
+  bias.kind = NetworkEventKind::kForecastBias;
+  bias.day = 1;
+  bias.slot_in_day = 18;
+  bias.duration_slots = 8;
+  bias.magnitude = 0.7;
+  s.disturbances.push_back(bias);
+  return s;
+}
+
+Scenario global_steady_week() {
+  Scenario s = base_scenario();
+  s.name = "global-steady-week";
+  s.description = "one undisturbed week across all three paper regions (NA + Europe + "
+                  "Asia, 18 DCs) with cross-continent corridor calls in the mix — the "
+                  "paper's global world planned as one scope";
+  s.pipeline.scope.regions = {geo::Continent::kNorthAmerica, geo::Continent::kEurope,
+                              geo::Continent::kAsia};
+  s.cross_region_fraction = 0.15;
+  // 18 DCs more than triple the European scope's LP columns and simplex
+  // time grows superlinearly with them, so the global scope trades plan
+  // granularity for tractability: a 12-hour horizon with 12-hour replans
+  // and a tighter reduced set — same column count as the European daily
+  // plan (same trade as the sweep harness's reduced-LP default).
+  s.replan_interval_slots = core::kSlotsPerDay / 2;
+  s.pipeline.scope.timeslots = core::kSlotsPerDay / 2;
+  s.pipeline.scope.max_reduced_configs = 25;
+  return s;
+}
+
+Scenario na_cut_shifts_to_eu() {
+  Scenario s = base_scenario();
+  s.name = "na-cut-shifts-to-eu";
+  s.description = "a catastrophic Wednesday event takes every North American DC offline "
+                  "for four hours; their in-flight calls evacuate across the Atlantic and "
+                  "replans serve the whole NA+EU scope from Europe until the region "
+                  "restores — the cross-region load shift is visible in the per-region "
+                  "slot metrics";
+  s.pipeline.scope.regions = {geo::Continent::kNorthAmerica, geo::Continent::kEurope};
+  s.cross_region_fraction = 0.10;
+  // 13 DCs: the same horizon/reduced-set trade as global-steady-week.
+  s.replan_interval_slots = core::kSlotsPerDay / 2;
+  s.pipeline.scope.timeslots = core::kSlotsPerDay / 2;
+  s.pipeline.scope.max_reduced_configs = 25;
+  // Europe alone must be able to absorb the NA outage: EU holds ~36% of the
+  // scope's provisioned cores, so 3x headroom keeps the LP feasible with the
+  // whole NA fleet at zero capacity.
+  s.pipeline.scope.compute_headroom = 3.0;
+  for (const char* dc : {"us1", "us2", "us3", "us4", "us5", "us6", "us7", "canada"}) {
+    Disturbance drain;
+    drain.kind = NetworkEventKind::kDcDrain;
+    drain.day = 2;           // Wednesday
+    drain.slot_in_day = 18;  // 09:00
+    drain.duration_slots = 8;
+    drain.dc = dc;
+    drain.magnitude = 0.0;  // the region goes dark
+    s.disturbances.push_back(drain);
+  }
+  return s;
+}
+
 void add_rolling_maintenance(Scenario& s, const std::vector<std::string>& dcs, int day,
                              int slot_in_day, int window_slots, int gap_slots,
                              double magnitude) {
@@ -181,7 +269,9 @@ const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
       "steady-week",    "weekend-transition",       "fiber-cut-failover",
       "dc-drain",       "flash-crowd",              "transit-degrade-failover",
-      "rolling-maintenance", "cut-then-flash-crowd"};
+      "rolling-maintenance", "cut-then-flash-crowd",
+      "na-steady-week", "asia-flash-crowd",         "global-steady-week",
+      "na-cut-shifts-to-eu"};
   return names;
 }
 
@@ -194,6 +284,10 @@ Scenario make_scenario(const std::string& name) {
   if (name == "transit-degrade-failover") return transit_degrade_failover();
   if (name == "rolling-maintenance") return rolling_maintenance();
   if (name == "cut-then-flash-crowd") return cut_then_flash_crowd();
+  if (name == "na-steady-week") return na_steady_week();
+  if (name == "asia-flash-crowd") return asia_flash_crowd();
+  if (name == "global-steady-week") return global_steady_week();
+  if (name == "na-cut-shifts-to-eu") return na_cut_shifts_to_eu();
   throw std::invalid_argument("unknown scenario: " + name);
 }
 
@@ -205,7 +299,8 @@ ScenarioWorkload build_workload(const Scenario& scenario, const geo::World& worl
   topts.weeks = (total_slots + core::kSlotsPerWeek - 1) / core::kSlotsPerWeek;
   topts.peak_slot_calls = scenario.peak_slot_calls;
   topts.weekend_factor = scenario.weekend_factor;
-  topts.continent = scenario.pipeline.scope.continent;
+  topts.regions = scenario.pipeline.scope.regions;
+  topts.cross_region_fraction = scenario.cross_region_fraction;
   const auto full = workload::TraceGenerator(world).generate(topts);
 
   ScenarioWorkload out;
@@ -230,6 +325,8 @@ ScenarioWorkload build_workload(const Scenario& scenario, const geo::World& worl
     const auto& surge = scenario.surges[surge_index];
     const auto region = world.find_country(surge.country);
     if (!region.valid()) throw std::invalid_argument("surge country: " + surge.country);
+    if (!scenario.pipeline.scope.regions.contains(world.country(region).continent))
+      throw std::invalid_argument("surge country outside plan scope: " + surge.country);
     const int begin = surge.day * core::kSlotsPerDay + surge.begin_slot_in_day;
     const int end = surge.day * core::kSlotsPerDay + surge.end_slot_in_day;
     for (std::size_t i = 0; i < original_count; ++i) {

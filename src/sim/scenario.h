@@ -7,7 +7,11 @@
 // paper's §8 situations plus the failure drills production rehearses:
 // steady-week, weekend-transition, fiber-cut-failover, dc-drain,
 // flash-crowd, transit-degrade-failover, rolling-maintenance, and the
-// compound cut-then-flash-crowd.
+// compound cut-then-flash-crowd — and the multi-region family opened by
+// the region-set PlanScope: na-steady-week, asia-flash-crowd,
+// global-steady-week (all three paper regions, cross-continent calls),
+// and na-cut-shifts-to-eu (a regional outage whose load lands across
+// the Atlantic).
 #pragma once
 
 #include <string>
@@ -63,6 +67,10 @@ struct Scenario {
   int eval_offset_days = 0;
   double peak_slot_calls = 150.0;
   double weekend_factor = 0.25;
+  // Fraction of multi-participant calls spanning two continents of the
+  // plan scope (workload::TraceOptions::cross_region_fraction). Must lie
+  // in [0, 1]; only meaningful for multi-region scopes.
+  double cross_region_fraction = 0.0;
 
   // Closed-loop control: the offline LP re-plans every `replan_interval`
   // slots (production: every slot; the long benches use daily replans).
@@ -102,6 +110,11 @@ struct Scenario {
 [[nodiscard]] Scenario transit_degrade_failover();
 [[nodiscard]] Scenario rolling_maintenance();
 [[nodiscard]] Scenario cut_then_flash_crowd();
+// Multi-region family (region-set PlanScope).
+[[nodiscard]] Scenario na_steady_week();
+[[nodiscard]] Scenario asia_flash_crowd();
+[[nodiscard]] Scenario global_steady_week();
+[[nodiscard]] Scenario na_cut_shifts_to_eu();
 
 // Appends a rolling-maintenance schedule: each named DC is partially
 // drained to `magnitude` for `window_slots`, one DC at a time, with

@@ -17,7 +17,10 @@
 
 namespace titan::sweep {
 
-inline constexpr int kSweepSchemaVersion = 1;
+// v2: per-region metric slices (calls_na/eu/asia, wan_gb_na/eu/asia) joined
+// the metric schema when PlanScope grew multi-region support; v1 baselines
+// must be regenerated, not compared.
+inline constexpr int kSweepSchemaVersion = 2;
 
 // `include_runs` = false drops the per-run records (aggregates only), for
 // compact CI artifacts; the committed baseline keeps runs for forensics.

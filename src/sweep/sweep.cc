@@ -30,6 +30,15 @@ const std::vector<std::string>& metric_names() {
       "wan_sum_of_peaks_mbps",
       "wan_worst_day_mbps",
       "wan_total_traffic_gb",
+      // Per-region slices for the three planning regions (schema v2):
+      // arrivals by the first joiner's continent, WAN GB by the serving
+      // DC's continent. Out-of-scope regions report 0.
+      "calls_na",
+      "calls_eu",
+      "calls_asia",
+      "wan_gb_na",
+      "wan_gb_eu",
+      "wan_gb_asia",
   };
   return names;
 }
@@ -54,6 +63,13 @@ std::vector<double> metric_values(const sim::SimResult& r) {
       r.wan.sum_of_peaks_mbps,
       worst_day,
       r.wan.total_traffic_gb,
+      static_cast<double>(
+          r.calls_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)]),
+      static_cast<double>(r.calls_by_region[static_cast<std::size_t>(geo::Continent::kEurope)]),
+      static_cast<double>(r.calls_by_region[static_cast<std::size_t>(geo::Continent::kAsia)]),
+      r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)],
+      r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)],
+      r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kAsia)],
   };
 }
 
@@ -83,8 +99,11 @@ sim::Scenario sweep_scenario(const SweepSpec& spec, const std::string& name,
     s.pipeline.scope.timeslots = spec.replan_interval_slots;
   }
   if (spec.shards > 0) s.shards = spec.shards;
+  // A cap, not a replacement: scenarios whose own default is already
+  // tighter (the multi-region scopes trade LP size for DC count) keep it.
   if (spec.max_reduced_configs > 0)
-    s.pipeline.scope.max_reduced_configs = spec.max_reduced_configs;
+    s.pipeline.scope.max_reduced_configs =
+        std::min(s.pipeline.scope.max_reduced_configs, spec.max_reduced_configs);
   if (spec.oracle_counts) s.oracle_counts = true;
   return s;
 }

@@ -41,6 +41,8 @@ struct SweepSpec {
   int eval_days = -1;
   int replan_interval_slots = -1;
   int shards = -1;
+  // Cap (not replacement) on the scenario's reduced-config budget: a
+  // scenario whose own default is tighter keeps it.
   int max_reduced_configs = -1;
   bool oracle_counts = false;  // true: plan on ground truth, skip forecasts
 

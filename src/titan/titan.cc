@@ -4,11 +4,12 @@
 
 namespace titan::titan_sys {
 
-TitanSystem::TitanSystem(net::NetworkDb& net, geo::Continent continent,
+TitanSystem::TitanSystem(net::NetworkDb& net, const geo::RegionSet& regions,
                          const TitanOptions& options)
     : net_(&net), options_(options), rng_(options.seed) {
-  const auto countries = net.world().countries_in(continent);
-  const auto dcs = net.world().dcs_in(continent);
+  regions.validate();
+  const auto countries = geo::countries_in(net.world(), regions);
+  const auto dcs = geo::dcs_in(net.world(), regions);
   for (const auto c : countries) {
     for (const auto d : dcs) {
       const bool allowed = !net.loss().internet_unusable(c);

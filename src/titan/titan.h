@@ -18,6 +18,7 @@
 
 #include "core/ids.h"
 #include "core/rng.h"
+#include "geo/region.h"
 #include "media/relay_sim.h"
 #include "net/network_db.h"
 #include "titan/ramp.h"
@@ -40,8 +41,10 @@ struct TitanOptions {
 
 class TitanSystem {
  public:
-  // Manages all (client country in `continent`, DC in `continent`) pairs.
-  TitanSystem(net::NetworkDb& net, geo::Continent continent, const TitanOptions& options = {});
+  // Manages all (client country in scope, DC in scope) pairs across the
+  // region set; a bare Continent converts (Europe in production).
+  TitanSystem(net::NetworkDb& net, const geo::RegionSet& regions,
+              const TitanOptions& options = {});
 
   // Routing decision for a new participant (random per the pair fraction).
   [[nodiscard]] net::PathType assign_path(core::CountryId country, core::DcId dc,

@@ -8,7 +8,8 @@ namespace titan::titannext {
 PlanInputs::PlanInputs(const net::NetworkDb& net, const PlanScope& scope,
                        const std::map<std::pair<int, int>, double>& fractions)
     : net_(&net), scope_(scope), fractions_(fractions) {
-  dcs_ = net.world().dcs_in(scope.continent);
+  scope_.regions.validate();
+  dcs_ = geo::dcs_in(net.world(), scope_.regions);
 }
 
 void PlanInputs::set_demand(const workload::ConfigRegistry& registry,

@@ -5,8 +5,9 @@
 // oracle evaluation, Holt-Winters forecasts in §8's practical evaluation,
 // (c) per-DC Internet path capacities as learnt by Titan, and (d) the WAN
 // topology (link set + per-pair paths) and latency tables. `PlanInputs`
-// materializes all of it in LP-ready form, with a scope restricted to one
-// continent (Europe in the paper's evaluation).
+// materializes all of it in LP-ready form, with a scope restricted to a
+// region set (a single continent — Europe — in the paper's evaluation;
+// multi-continent scopes plan cross-region serving and corridors).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "core/ids.h"
 #include "core/timegrid.h"
 #include "core/units.h"
+#include "geo/region.h"
 #include "net/network_db.h"
 #include "workload/call_config.h"
 #include "workload/callgen.h"
@@ -29,7 +31,11 @@ struct ReducedDemand {
 };
 
 struct PlanScope {
-  geo::Continent continent = geo::Continent::kEurope;
+  // Continents whose countries and DCs are in plan scope. A bare Continent
+  // converts implicitly, so `scope.regions = geo::Continent::kEurope` keeps
+  // working; multi-region scopes list several (validated: non-empty, no
+  // duplicates) and make cross-continent serving available to the LP.
+  geo::RegionSet regions = geo::Continent::kEurope;
   int timeslots = core::kSlotsPerDay;  // planning horizon (24h of 30-min slots)
   // Keep only the top-K reduced configs by volume (the paper predicts the
   // top 3,000 call configs covering 90+% of calls; our scaled world needs

@@ -24,13 +24,35 @@ Trace TraceGenerator::generate(const TraceOptions& options) const {
   core::Rng rng(options.seed);
 
   // Countries eligible as participants.
-  const auto countries = world_->countries_in(options.continent);
+  options.regions.validate();
+  if (options.cross_region_fraction < 0.0 || options.cross_region_fraction > 1.0)
+    throw std::invalid_argument("cross_region_fraction must be in [0, 1]");
+  const auto countries = geo::countries_in(*world_, options.regions);
 
   // Neighbour table for international calls: a country's partners are drawn
-  // from the continent weighted by call volume (gravity-ish).
+  // from its own continent weighted by call volume (gravity-ish). For a
+  // single-region scope that is the whole weight table — the pre-region-set
+  // behaviour, draw for draw. Multi-region scopes additionally keep an
+  // away-pool per continent for cross-region calls.
   std::vector<double> volume_weights(world_->countries().size(), 0.0);
   for (const auto c : countries)
     volume_weights[static_cast<std::size_t>(c.value())] = world_->country(c).call_volume;
+  const bool multi = options.regions.size() > 1;
+  std::vector<std::vector<double>> home_weights;  // [continent]: partners on it
+  std::vector<std::vector<double>> away_weights;  // [continent]: partners off it
+  if (multi) {
+    home_weights.assign(static_cast<std::size_t>(geo::kNumContinents),
+                        std::vector<double>(world_->countries().size(), 0.0));
+    away_weights = home_weights;
+    for (const auto c : countries) {
+      const auto& country = world_->country(c);
+      for (int r = 0; r < geo::kNumContinents; ++r) {
+        auto& pool = r == static_cast<int>(country.continent) ? home_weights : away_weights;
+        pool[static_cast<std::size_t>(r)][static_cast<std::size_t>(c.value())] =
+            country.call_volume;
+      }
+    }
+  }
 
   std::int64_t next_call_id = 0;
   for (core::SlotIndex slot = 0; slot < trace.num_slots_; ++slot) {
@@ -53,19 +75,32 @@ Trace TraceGenerator::generate(const TraceOptions& options) const {
              rng.chance(options.participant_decay))
         ++n_participants;
 
-      if (rng.chance(options.intra_country_fraction) || n_participants == 1) {
+      const auto home_region = static_cast<std::size_t>(world_->country(home).continent);
+      const auto& intl_weights = multi ? home_weights[home_region] : volume_weights;
+      const bool cross = multi && n_participants >= 2 && options.cross_region_fraction > 0.0 &&
+                         rng.chance(options.cross_region_fraction);
+      if (cross) {
+        // Cross-region call: the far side sits on another continent of the
+        // scope (the NA–EU / EU–Asia corridor traffic the paper's global
+        // world implies).
+        const core::CountryId other =
+            core::CountryId(static_cast<int>(rng.weighted_pick(away_weights[home_region])));
+        const int first = std::max(1, n_participants / 2);
+        config.participants = {{home, first}, {other, n_participants - first}};
+        config.canonicalize();
+      } else if (rng.chance(options.intra_country_fraction) || n_participants == 1) {
         config.participants = {{home, n_participants}};
       } else {
         // International: split across 2 (sometimes 3) countries.
         core::CountryId other = home;
         while (other == home)
-          other = core::CountryId(static_cast<int>(rng.weighted_pick(volume_weights)));
+          other = core::CountryId(static_cast<int>(rng.weighted_pick(intl_weights)));
         const int first = std::max(1, n_participants / 2);
         config.participants = {{home, first}, {other, n_participants - first}};
         if (n_participants >= 3 && rng.chance(0.2)) {
           core::CountryId third = home;
           while (third == home || third == other)
-            third = core::CountryId(static_cast<int>(rng.weighted_pick(volume_weights)));
+            third = core::CountryId(static_cast<int>(rng.weighted_pick(intl_weights)));
           // Move one participant to the third country.
           if (config.participants[1].second > 1) {
             --config.participants[1].second;

@@ -16,6 +16,7 @@
 #include "core/ids.h"
 #include "core/rng.h"
 #include "core/timegrid.h"
+#include "geo/region.h"
 #include "geo/world.h"
 #include "workload/call_config.h"
 
@@ -43,9 +44,14 @@ struct TraceOptions {
   // Media mix.
   double audio_share = 0.45;
   double video_share = 0.40;  // remainder is screen-share
-  // Restrict participants to this continent (the §7/§8 evaluation uses
-  // Europe-contained calls).
-  geo::Continent continent = geo::Continent::kEurope;
+  // Restrict participants to these continents (the §7/§8 evaluation uses
+  // Europe-contained calls; multi-region scopes span several).
+  geo::RegionSet regions = geo::Continent::kEurope;
+  // Fraction of multi-participant calls whose participants span *two*
+  // continents of the region set (NA–EU, EU–Asia corridor calls). Only
+  // meaningful for multi-region scopes; a single-region trace is generated
+  // by exactly the pre-region-set code path, byte for byte.
+  double cross_region_fraction = 0.0;
 };
 
 class Trace {

@@ -181,6 +181,67 @@ TEST(ScenarioValidationTest, EveryRejectionNamesTheProblem) {
                                  /*gap_slots=*/-1, 0.5);
        },
        "rolling maintenance gap_slots"},
+
+      {"empty region set",
+       [] {
+         Scenario s = tiny();
+         s.pipeline.scope.regions = geo::RegionSet();
+         SimEngine engine(s);
+       },
+       "plan scope: empty region set"},
+
+      {"duplicate continent in the region set",
+       [] {
+         Scenario s = tiny();
+         s.pipeline.scope.regions = {geo::Continent::kEurope, geo::Continent::kAsia,
+                                     geo::Continent::kEurope};
+         SimEngine engine(s);
+       },
+       "plan scope: duplicate continent in region set: Europe"},
+
+      {"cross_region_fraction above 1",
+       [] {
+         Scenario s = tiny();
+         s.pipeline.scope.regions = {geo::Continent::kEurope, geo::Continent::kAsia};
+         s.cross_region_fraction = 1.5;
+         SimEngine engine(s);
+       },
+       "cross_region_fraction must be in [0, 1]"},
+
+      {"negative cross_region_fraction",
+       [] {
+         Scenario s = tiny();
+         s.cross_region_fraction = -0.1;
+         SimEngine engine(s);
+       },
+       "cross_region_fraction must be in [0, 1]"},
+
+      {"disturbance dc outside the plan scope",
+       [] {
+         Scenario s = tiny();  // Europe scope; Hong Kong is an Asian DC
+         s.disturbances = {make(NetworkEventKind::kDcDrain, "", "hongkong", 0.5)};
+         SimEngine engine(s);
+       },
+       "disturbance dc outside plan scope: hongkong"},
+
+      {"disturbance country outside the plan scope",
+       [] {
+         Scenario s = tiny();
+         s.disturbances = {make(NetworkEventKind::kFiberCut, "us", "netherlands")};
+         SimEngine engine(s);
+       },
+       "disturbance country outside plan scope: us"},
+
+      {"surge country outside the plan scope",
+       [] {
+         Scenario s = tiny();
+         SurgeSpec surge;
+         surge.day = 0;
+         surge.country = "japan";
+         s.surges.push_back(surge);
+         (void)build_workload(s, geo::World::make());
+       },
+       "surge country outside plan scope: japan"},
   };
 
   for (const auto& c : cases) {

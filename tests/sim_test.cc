@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <numeric>
+#include <set>
 
 #include "sim/engine.h"
 #include "sim/executor.h"
@@ -727,6 +728,138 @@ TEST(SimEngineTest, TransitDegradeDrivesFailoverAndRecovery) {
   EXPECT_EQ(r.transit_failovers, r8.transit_failovers);
 }
 
+// --- multi-region scopes ------------------------------------------------
+
+// The cross_region_fraction knob: among the multi-participant calls of the
+// global scope, roughly the requested share spans two continents; a
+// single-region scope emits none.
+TEST(ScenarioTest, GlobalScopeEmitsCrossRegionCalls) {
+  const geo::World world = geo::World::make();
+  Scenario global = make_scenario("global-steady-week");
+  global.training_weeks = 1;
+  global.eval_days = 3;
+  global.peak_slot_calls = 80.0;
+  ASSERT_DOUBLE_EQ(global.cross_region_fraction, 0.15);
+
+  const auto spans_continents = [&](const workload::CallConfig& config) {
+    std::set<geo::Continent> continents;
+    for (const auto& [country, count] : config.participants)
+      continents.insert(world.country(country).continent);
+    return continents.size() > 1;
+  };
+  const auto count_cross = [&](const workload::Trace& trace, std::size_t& multi,
+                               std::size_t& cross) {
+    for (const auto& call : trace.calls()) {
+      const auto& config = trace.configs().get(call.config);
+      int participants = 0;
+      for (const auto& [country, count] : config.participants) participants += count;
+      if (participants < 2) continue;
+      ++multi;
+      cross += spans_continents(config);
+    }
+  };
+
+  std::size_t multi = 0, cross = 0;
+  count_cross(build_workload(global, world).eval, multi, cross);
+  ASSERT_GT(multi, 500u);
+  EXPECT_NEAR(static_cast<double>(cross) / static_cast<double>(multi),
+              global.cross_region_fraction, 0.04);
+
+  // The single-region library scenarios stay continent-contained.
+  std::size_t eu_multi = 0, eu_cross = 0;
+  Scenario eu = small_scenario();
+  count_cross(build_workload(eu, geo::World::make()).eval, eu_multi, eu_cross);
+  ASSERT_GT(eu_multi, 0u);
+  EXPECT_EQ(eu_cross, 0u);
+}
+
+// Region slices partition the totals: a single-region scenario books every
+// arrival and every WAN byte to its one continent; the global scope books
+// arrivals to exactly the three planning regions.
+TEST(SimEngineTest, RegionSlicesPartitionTotals) {
+  SimEngine engine(small_scenario());
+  const auto r = engine.run(2);
+  EXPECT_EQ(r.calls_by_region[static_cast<std::size_t>(geo::Continent::kEurope)], r.calls);
+  EXPECT_GT(r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)], 0.0);
+  for (int region = 0; region < geo::kNumContinents; ++region) {
+    if (region == static_cast<int>(geo::Continent::kEurope)) continue;
+    EXPECT_EQ(r.calls_by_region[static_cast<std::size_t>(region)], 0);
+    EXPECT_EQ(r.wan_gb_by_region[static_cast<std::size_t>(region)], 0.0);
+  }
+
+  Scenario global = make_scenario("global-steady-week");
+  global.training_weeks = 1;
+  global.eval_days = 1;
+  global.peak_slot_calls = 40.0;
+  global.shards = 8;
+  global.oracle_counts = true;
+  global.replan_interval_slots = 12;
+  global.pipeline.scope.timeslots = 12;
+  global.pipeline.scope.max_reduced_configs = 20;
+  const auto g = SimEngine(global).run(2);
+  std::int64_t total = 0;
+  for (const auto n : g.calls_by_region) total += n;
+  EXPECT_EQ(total, g.calls);
+  for (const auto region : {geo::Continent::kNorthAmerica, geo::Continent::kEurope,
+                            geo::Continent::kAsia})
+    EXPECT_GT(g.calls_by_region[static_cast<std::size_t>(region)], 0)
+        << geo::continent_name(region);
+  EXPECT_EQ(g.calls_by_region[static_cast<std::size_t>(geo::Continent::kAfrica)], 0);
+}
+
+// The headline multi-region behaviour: when the NA fleet goes dark, its
+// in-flight calls land on European DCs — EU in-flight strictly exceeds the
+// undisturbed control run's during the cut window, NA in-flight drops to
+// zero, and everything restores afterwards. Asserted on the per-region
+// slot metrics, not eyeballed in bench output.
+TEST(SimEngineTest, NaCutShiftsServingLoadToEurope) {
+  Scenario s = make_scenario("na-cut-shifts-to-eu");
+  s.training_weeks = 1;
+  s.eval_days = 4;  // the outage spans day 2, slots 18..26
+  s.peak_slot_calls = 60.0;
+  s.shards = 8;
+  s.oracle_counts = true;
+  s.replan_interval_slots = 12;
+  s.pipeline.scope.timeslots = 12;
+  s.pipeline.scope.max_reduced_configs = 20;
+
+  Scenario control = s;
+  control.disturbances.clear();
+
+  SimEngine engine(s);
+  const auto cut = engine.run(2);
+  const auto calm = SimEngine(control).run(2);
+  EXPECT_EQ(cut.leaked_calls, 0);
+  EXPECT_GT(cut.forced_migrations, 0);
+
+  const int begin = 2 * core::kSlotsPerDay + 18;
+  const int end = 2 * core::kSlotsPerDay + 26;
+  const auto eu_cut = cut.streams.region_active_calls(geo::Continent::kEurope);
+  const auto eu_calm = calm.streams.region_active_calls(geo::Continent::kEurope);
+  const auto na_cut = cut.streams.region_active_calls(geo::Continent::kNorthAmerica);
+  double eu_cut_window = 0.0, eu_calm_window = 0.0;
+  for (int slot = begin; slot < end; ++slot) {
+    eu_cut_window += eu_cut[static_cast<std::size_t>(slot)];
+    eu_calm_window += eu_calm[static_cast<std::size_t>(slot)];
+    // Every NA DC is fully drained: nothing can be *hosted* in NA.
+    EXPECT_EQ(na_cut[static_cast<std::size_t>(slot)], 0.0) << "slot " << slot;
+  }
+  EXPECT_GT(eu_cut_window, eu_calm_window)
+      << "the NA outage must shift in-flight calls onto European DCs";
+
+  // The WAN GB slice tells the same story over the whole window.
+  EXPECT_GT(cut.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)],
+            calm.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)]);
+  EXPECT_LT(cut.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)],
+            calm.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)]);
+
+  // After the restore the NA fleet serves again.
+  double na_after = 0.0;
+  for (int slot = end; slot < cut.eval_slots; ++slot)
+    na_after += na_cut[static_cast<std::size_t>(slot)];
+  EXPECT_GT(na_after, 0.0);
+}
+
 // --- golden checksums ---------------------------------------------------
 
 // Frozen per-scenario checksums at a small fixed volume, asserted at 1, 2,
@@ -747,6 +880,10 @@ constexpr GoldenChecksum kGoldenChecksums[] = {
     {"transit-degrade-failover", 0x206f3c9643b6e787ULL},
     {"rolling-maintenance", 0xa0e599ffd2652f67ULL},
     {"cut-then-flash-crowd", 0x2bf4cfbfc499a52fULL},
+    {"na-steady-week", 0x1e31f842c2df7e55ULL},
+    {"asia-flash-crowd", 0x35971ddebaf306f6ULL},
+    {"global-steady-week", 0x56fcdf123b8e1e3bULL},
+    {"na-cut-shifts-to-eu", 0xb1ae350f177e6452ULL},
 };
 
 Scenario golden_config(const std::string& name) {
@@ -779,6 +916,29 @@ TEST(SimGoldenTest, ChecksumsMatchAtOneTwoAndEightThreads) {
                   static_cast<unsigned long long>(r1.checksum));
     EXPECT_EQ(r1.checksum, kGoldenChecksums[i].checksum)
         << "golden drifted; updated entry: " << actual;
+  }
+}
+
+// Backward compatibility of the region-set refactor: a single-continent
+// Europe scope built explicitly through the new RegionSet API (vector
+// constructor, not the implicit Continent conversion the scenario defaults
+// use) reproduces the exact pre-refactor checksums for all eight original
+// scenarios. The values are the same frozen goldens — committed before
+// PlanScope grew regions — so any byte of drift in the single-region path
+// fails here.
+TEST(SimGoldenTest, EuropeRegionSetScopeReproducesPreRefactorChecksums) {
+  constexpr std::size_t kPreRefactorScenarios = 8;
+  ASSERT_GE(std::size(kGoldenChecksums), kPreRefactorScenarios);
+  for (std::size_t i = 0; i < kPreRefactorScenarios; ++i) {
+    Scenario s = golden_config(kGoldenChecksums[i].name);
+    s.pipeline.scope.regions =
+        geo::RegionSet(std::vector<geo::Continent>{geo::Continent::kEurope});
+    ASSERT_TRUE(s.pipeline.scope.regions.single());
+    ASSERT_TRUE(s.pipeline.scope.regions.contains(geo::Continent::kEurope));
+    SimEngine engine(s);
+    EXPECT_EQ(engine.run(2).checksum, kGoldenChecksums[i].checksum)
+        << kGoldenChecksums[i].name
+        << ": the region-set scope changed single-continent behaviour";
   }
 }
 
