@@ -31,6 +31,8 @@ namespace titan::bench {
 //   --peak X      busiest-slot call volume    (default: per bench)
 //   --scenario S  named scenario              (sim benches only)
 //   --json PATH   machine-readable per-scenario results (sim benches only)
+//   --replan-json PATH  per-scenario cold-vs-warm replan-latency report
+//                 from the rolling-horizon drill (bench_sim_scenarios only)
 //   --list-scenarios  print the scenario library and exit (sim benches only)
 // Sweep bench (`bench_sim_sweep`) extras:
 //   --seeds N     sweep N consecutive seeds starting at --seed
@@ -50,6 +52,7 @@ struct Cli {
   double peak_slot_calls = -1.0;  // < 0: keep the bench's default
   std::string scenario;
   std::string json_path;
+  std::string replan_json_path;
   // Sweep bench only.
   int seeds = 1;
   std::string scenarios;    // comma list; "" or "all" = whole library
@@ -162,6 +165,8 @@ inline CliParse parse_cli_args(int argc, char** argv,
       }
     } else if (is("--json")) {
       if ((v = value())) cli.json_path = v;
+    } else if (is("--replan-json")) {
+      if ((v = value())) cli.replan_json_path = v;
     } else if (is("--seeds")) {
       if ((v = value())) {
         cli.seeds = std::atoi(v);
@@ -188,7 +193,8 @@ inline CliParse parse_cli_args(int argc, char** argv,
       parse.exit_code = 0;
       parse.message = std::string("usage: ") + argv0 +
                       " [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]"
-                      " [--json PATH] [--seeds N] [--scenarios A,B|all] [--sim-threads L]"
+                      " [--json PATH] [--replan-json PATH] [--seeds N] [--scenarios A,B|all]"
+                      " [--sim-threads L]"
                       " [--workers N] [--baseline PATH] [--check] [--out PATH]"
                       " [--list-scenarios]\n";
     } else {

@@ -7,7 +7,11 @@
 namespace titan::lp {
 
 bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis,
-                        double pivot_tolerance) {
+                        double pivot_tolerance, Deficiency* deficiency) {
+  if (deficiency != nullptr) {
+    deficiency->positions.clear();
+    deficiency->rows.clear();
+  }
   m_ = a.rows();
   assert(static_cast<int>(basis.size()) == m_);
   l_col_ptr_.assign(1, 0);
@@ -111,12 +115,22 @@ bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis,
       }
     }
     if (pivot < 0) {
-      // Singular: clean up workspace and bail.
+      // Singular: clean up the workspace, then either bail (strict mode) or
+      // — in diagnosis mode — record the failed basis position and skip the
+      // column, factoring on through the independent remainder. The skipped
+      // LU slot gets inert placeholders; the caller never solves with a
+      // deficient factorization.
       for (const int r : touched) {
         work[static_cast<std::size_t>(r)] = 0.0;
         in_stack[static_cast<std::size_t>(r)] = 0;
       }
-      return false;
+      if (deficiency == nullptr) return false;
+      deficiency->positions.push_back(col_order_[static_cast<std::size_t>(j)]);
+      u_col_ptr_.push_back(static_cast<int>(u_rows_.size()));
+      l_col_ptr_.push_back(static_cast<int>(l_rows_.size()));
+      u_diag_[static_cast<std::size_t>(j)] = 1.0;
+      pivot_row_of_[static_cast<std::size_t>(j)] = -1;
+      continue;
     }
     const double d = work[static_cast<std::size_t>(pivot)];
 
@@ -141,6 +155,12 @@ bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis,
     u_diag_[static_cast<std::size_t>(j)] = d;
     pivot_row_of_[static_cast<std::size_t>(j)] = pivot;
     row_perm_[static_cast<std::size_t>(pivot)] = j;
+  }
+  if (deficiency != nullptr && deficiency->any()) {
+    for (int r = 0; r < m_; ++r)
+      if (row_perm_[static_cast<std::size_t>(r)] < 0) deficiency->rows.push_back(r);
+    std::sort(deficiency->positions.begin(), deficiency->positions.end());
+    return false;
   }
   return true;
 }

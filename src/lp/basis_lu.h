@@ -18,9 +18,25 @@ namespace titan::lp {
 
 class BasisLu {
  public:
+  // Structural-rank diagnosis of a failed factorization: the basis
+  // positions whose columns found no pivot (each was in the span of the
+  // columns factored before it) and the rows left unpivoted, both in
+  // ascending order and of equal length. A warm-start caller repairs the
+  // candidate basis by replacing each failed position with the unit
+  // (slack/artificial) column of an unpivoted row, then refactorizes.
+  struct Deficiency {
+    std::vector<int> positions;
+    std::vector<int> rows;
+    [[nodiscard]] bool any() const { return !positions.empty(); }
+  };
+
   // Factorizes B = A(:, basis). Returns false when numerically singular.
+  // With `deficiency`, a singular basis does not abort: the maximal
+  // independent column subset is factored, the failures are reported, and
+  // the return is still false (the factorization itself is NOT usable for
+  // solves in that case — refactorize after repairing).
   bool factorize(const SparseMatrix& a, const std::vector<int>& basis,
-                 double pivot_tolerance = 1e-10);
+                 double pivot_tolerance = 1e-10, Deficiency* deficiency = nullptr);
 
   // Solves B * x = b. `x` enters holding b (dense, length m) and exits
   // holding the solution *in basis-position coordinates*: x[k] multiplies

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 
 #include "lp/basis_lu.h"
 
@@ -29,7 +30,9 @@ struct Tableau {
   std::vector<double> rhs;    // original rhs
   int n_structural = 0;
   int n_total = 0;
-  std::vector<bool> artificial;  // per column
+  std::vector<bool> artificial;    // per column
+  std::vector<int> slack_of;       // per row; -1 for equality rows
+  std::vector<int> artificial_of;  // per row; -1 when the slack is feasible
 };
 
 Tableau build_tableau(const LpModel& model) {
@@ -38,6 +41,8 @@ Tableau build_tableau(const LpModel& model) {
   const int n = model.num_variables();
   t.n_structural = n;
   t.rhs = model.rhs();
+  t.slack_of.assign(static_cast<std::size_t>(m), -1);
+  t.artificial_of.assign(static_cast<std::size_t>(m), -1);
 
   std::vector<SparseMatrix::Triplet> trips;
   const SparseMatrix structural = model.matrix();
@@ -48,17 +53,16 @@ Tableau build_tableau(const LpModel& model) {
   t.cost = model.costs();
   int col = n;
   // Slack / surplus columns.
-  std::vector<int> slack_col(static_cast<std::size_t>(m), -1);
   for (int i = 0; i < m; ++i) {
     const Sense s = model.senses()[static_cast<std::size_t>(i)];
     if (s == Sense::kLe) {
       trips.push_back({i, col, 1.0});
-      slack_col[static_cast<std::size_t>(i)] = col;
+      t.slack_of[static_cast<std::size_t>(i)] = col;
       t.cost.push_back(0.0);
       ++col;
     } else if (s == Sense::kGe) {
       trips.push_back({i, col, -1.0});
-      slack_col[static_cast<std::size_t>(i)] = col;
+      t.slack_of[static_cast<std::size_t>(i)] = col;
       t.cost.push_back(0.0);
       ++col;
     }
@@ -70,51 +74,86 @@ Tableau build_tableau(const LpModel& model) {
     const bool slack_feasible = (s == Sense::kLe && b >= 0.0) || (s == Sense::kGe && b <= 0.0);
     if (!slack_feasible) {
       trips.push_back({i, col, b >= 0.0 ? 1.0 : -1.0});
+      t.artificial_of[static_cast<std::size_t>(i)] = col;
       t.cost.push_back(0.0);
       ++col;
     }
   }
   t.n_total = col;
   t.artificial.assign(static_cast<std::size_t>(col), false);
+  for (const int j : t.artificial_of)
+    if (j >= 0) t.artificial[static_cast<std::size_t>(j)] = true;
   t.a = SparseMatrix::from_triplets(m, col, std::move(trips));
   return t;
 }
 
-}  // namespace
-
-Solution solve(const LpModel& model, const SolveOptions& options) {
-  const auto t_start = std::chrono::steady_clock::now();
-  Solution sol;
-  const int m = model.num_constraints();
-
-  Tableau t = build_tableau(model);
-
-  // Initial basis: feasible slack where possible, else the artificial
-  // allocated for the row (columns after slacks, in row order).
+// Maps a model-relative Basis onto this tableau's columns. Rejects (returns
+// nullopt) on a row-count mismatch, an entry naming a column the model does
+// not have, or a duplicated column — the dimension-mismatch fallbacks of
+// the warm-start contract.
+std::optional<std::vector<int>> map_warm_basis(const Tableau& t, int m, const Basis& warm) {
+  if (static_cast<int>(warm.entries.size()) != m) return std::nullopt;
   std::vector<int> basis(static_cast<std::size_t>(m), -1);
-  {
-    // Recover per-row slack/artificial columns by scanning unit-ish columns.
-    // Build from the same construction order as build_tableau.
-    int col = model.num_variables();
-    std::vector<int> slack_of(static_cast<std::size_t>(m), -1);
-    for (int i = 0; i < m; ++i) {
-      const Sense s = model.senses()[static_cast<std::size_t>(i)];
-      if (s != Sense::kEq) slack_of[static_cast<std::size_t>(i)] = col++;
+  std::vector<bool> used(static_cast<std::size_t>(t.n_total), false);
+  for (int i = 0; i < m; ++i) {
+    const BasisEntry& e = warm.entries[static_cast<std::size_t>(i)];
+    int col = -1;
+    switch (e.kind) {
+      case BasisEntry::Kind::kStructural:
+        if (e.index >= 0 && e.index < t.n_structural) col = e.index;
+        break;
+      case BasisEntry::Kind::kSlack:
+        if (e.index >= 0 && e.index < m) col = t.slack_of[static_cast<std::size_t>(e.index)];
+        break;
+      case BasisEntry::Kind::kArtificial:
+        if (e.index >= 0 && e.index < m)
+          col = t.artificial_of[static_cast<std::size_t>(e.index)];
+        break;
     }
-    for (int i = 0; i < m; ++i) {
-      const Sense s = model.senses()[static_cast<std::size_t>(i)];
-      const double b = t.rhs[static_cast<std::size_t>(i)];
-      const bool slack_feasible =
-          (s == Sense::kLe && b >= 0.0) || (s == Sense::kGe && b <= 0.0);
-      if (slack_feasible) {
-        basis[static_cast<std::size_t>(i)] = slack_of[static_cast<std::size_t>(i)];
-      } else {
-        basis[static_cast<std::size_t>(i)] = col;
-        t.artificial[static_cast<std::size_t>(col)] = true;
-        ++col;
-      }
-    }
+    if (col < 0 || used[static_cast<std::size_t>(col)]) return std::nullopt;
+    used[static_cast<std::size_t>(col)] = true;
+    basis[static_cast<std::size_t>(i)] = col;
   }
+  return basis;
+}
+
+// The inverse of map_warm_basis: the final tableau basis back in
+// model-relative terms, for the caller to seed the next solve with.
+Basis export_basis(const Tableau& t, const std::vector<int>& basis) {
+  // Column -> owning row for the non-structural columns.
+  std::vector<int> row_of(static_cast<std::size_t>(t.n_total), -1);
+  for (std::size_t i = 0; i < t.slack_of.size(); ++i) {
+    if (t.slack_of[i] >= 0) row_of[static_cast<std::size_t>(t.slack_of[i])] = static_cast<int>(i);
+    if (t.artificial_of[i] >= 0)
+      row_of[static_cast<std::size_t>(t.artificial_of[i])] = static_cast<int>(i);
+  }
+  Basis out;
+  out.entries.reserve(basis.size());
+  for (const int j : basis) {
+    BasisEntry e;
+    if (j < t.n_structural) {
+      e.kind = BasisEntry::Kind::kStructural;
+      e.index = j;
+    } else {
+      e.kind = t.artificial[static_cast<std::size_t>(j)] ? BasisEntry::Kind::kArtificial
+                                                         : BasisEntry::Kind::kSlack;
+      e.index = row_of[static_cast<std::size_t>(j)];
+    }
+    out.entries.push_back(e);
+  }
+  return out;
+}
+
+// Runs the simplex from `basis`. Cold starts (warm == false) begin with the
+// canonical slack/artificial basis and run phase 1 when artificials are
+// present; warm starts skip phase 1 but *gate* on the seeded basis being
+// factorizable and primal-feasible, reporting kNumericalFailure otherwise
+// so the caller can rerun cold.
+Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> basis, bool warm,
+                    const SolveOptions& options) {
+  Solution sol;
+  sol.warm_started = warm;
+  const int m = model.num_constraints();
 
   std::vector<bool> in_basis(static_cast<std::size_t>(t.n_total), false);
   for (const int j : basis) in_basis[static_cast<std::size_t>(j)] = true;
@@ -128,6 +167,32 @@ Solution solve(const LpModel& model, const SolveOptions& options) {
   // Basic values x_B = B^{-1} b.
   std::vector<double> xb = t.rhs;
   lu.ftran(xb);
+
+  // Gate a warm seed on how much repair it needs. Two kinds of primal
+  // damage survive a basis transfer: hot artificials (rows the transfer
+  // never covered — the fresh tail of a rolling horizon) and negative
+  // basic values (rhs drift, e.g. a transferred link-peak variable sitting
+  // below the shifted window's new peak). Both are repairable by the
+  // restoration pass below, but only worth it in bounded quantity: past
+  // options.warm_repair_limit of the rows, the repair work exceeds what a
+  // cold phase 1 would cost (measured on the plan LPs), so reject and let
+  // the caller cold-solve.
+  int artificials_hot = 0;
+  int negative_rows = 0;
+  if (warm) {
+    for (int i = 0; i < m; ++i) {
+      const double v = xb[static_cast<std::size_t>(i)];
+      if (v < -options.feasibility_tol)
+        ++negative_rows;
+      else if (t.artificial[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])] &&
+               v > 1e-6)
+        ++artificials_hot;
+    }
+    if (artificials_hot + negative_rows > options.warm_repair_limit * m) {
+      sol.status = SolveStatus::kNumericalFailure;
+      return sol;
+    }
+  }
 
   // Phase costs.
   std::vector<double> phase1_cost(static_cast<std::size_t>(t.n_total), 0.0);
@@ -233,10 +298,117 @@ Solution solve(const LpModel& model, const SolveOptions& options) {
     }
   };
 
-  // ---- Phase 1.
+  // Feasibility restoration for warm seeds: a composite phase 1 that
+  // minimizes total primal infeasibility — basic artificials above zero
+  // (cost +1) and negative basic values (cost -1) — with the piecewise
+  // cost recomputed every iteration. The ratio test admits both blocker
+  // kinds: a nonnegative basic dropping to zero, and a negative basic
+  // *rising* to zero. Runs only on the warm path (the cold pivot sequence
+  // stays byte-for-byte what it always was); any stall or numerical issue
+  // reports failure and the caller falls back to a cold solve.
+  auto run_restoration = [&](int& iteration_counter) -> bool {
+    std::vector<double> cb(static_cast<std::size_t>(m));
+    std::vector<double> y(static_cast<std::size_t>(m));
+    std::vector<double> alpha(static_cast<std::size_t>(m));
+    const int cap = std::min(options.max_iterations, iteration_counter + 2 * m + 100);
+    // Same cyclic partial pricing as run_phase: scan a window per
+    // iteration, remember the cursor; a full fruitless sweep proves there
+    // is no improving column.
+    int scan_cursor = 0;
+    const int window = std::max(512, t.n_total / 16);
+    while (true) {
+      bool infeasible = false;
+      for (int i = 0; i < m; ++i) {
+        const int j = basis[static_cast<std::size_t>(i)];
+        const double v = xb[static_cast<std::size_t>(i)];
+        double c = 0.0;
+        if (t.artificial[static_cast<std::size_t>(j)] && v > 1e-6) {
+          c = 1.0;
+          infeasible = true;
+        } else if (v < -options.feasibility_tol) {
+          c = -1.0;
+          infeasible = true;
+        }
+        cb[static_cast<std::size_t>(i)] = c;
+      }
+      if (!infeasible) return true;
+      if (iteration_counter >= cap) return false;
+
+      y = cb;
+      lu.btran(y);
+      int entering = -1;
+      double best = -options.optimality_tol;
+      int scanned = 0;
+      while (scanned < t.n_total) {
+        const int stop = std::min(scan_cursor + window, t.n_total);
+        for (int j = scan_cursor; j < stop; ++j) {
+          if (in_basis[static_cast<std::size_t>(j)] || t.artificial[static_cast<std::size_t>(j)])
+            continue;
+          const double dj = -t.a.dot_column(j, y);
+          if (dj < best) {
+            best = dj;
+            entering = j;
+          }
+        }
+        scanned += stop - scan_cursor;
+        scan_cursor = stop == t.n_total ? 0 : stop;
+        if (entering >= 0) break;
+      }
+      if (entering < 0) return false;  // stalled while still infeasible
+
+      std::fill(alpha.begin(), alpha.end(), 0.0);
+      t.a.axpy_column(entering, 1.0, alpha);
+      lu.ftran(alpha);
+
+      int leaving = -1;
+      double theta = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m; ++i) {
+        const double ai = alpha[static_cast<std::size_t>(i)];
+        const double v = xb[static_cast<std::size_t>(i)];
+        double cand = -1.0;
+        if (v >= -options.feasibility_tol && ai > options.pivot_tol)
+          cand = std::max(0.0, v) / ai;
+        else if (v < -options.feasibility_tol && ai < -options.pivot_tol)
+          cand = v / ai;  // negative basic rising to zero
+        if (cand >= 0.0 && cand < theta) {
+          theta = cand;
+          leaving = i;
+        }
+      }
+      if (leaving < 0) return false;
+
+      for (int i = 0; i < m; ++i)
+        xb[static_cast<std::size_t>(i)] -= theta * alpha[static_cast<std::size_t>(i)];
+      xb[static_cast<std::size_t>(leaving)] = theta;
+      in_basis[static_cast<std::size_t>(basis[static_cast<std::size_t>(leaving)])] = false;
+      in_basis[static_cast<std::size_t>(entering)] = true;
+      basis[static_cast<std::size_t>(leaving)] = entering;
+      ++iteration_counter;
+
+      const bool updated = lu.update(leaving, alpha, options.pivot_tol);
+      if (!updated || lu.eta_count() >= options.refactor_interval) {
+        if (!lu.factorize(t.a, basis, options.pivot_tol)) return false;
+        xb = t.rhs;
+        lu.ftran(xb);
+      }
+    }
+  };
+
+  // ---- Phase 1. Warm seeds never run the classic artificial phase 1:
+  // a clean seed skips straight to phase 2, a damaged one runs the
+  // restoration pass (whose iterations are accounted as phase-1 work).
+  if (warm && (artificials_hot > 0 || negative_rows > 0)) {
+    if (!run_restoration(sol.phase1_iterations)) {
+      sol.iterations += sol.phase1_iterations;
+      sol.status = SolveStatus::kNumericalFailure;
+      return sol;
+    }
+    sol.iterations += sol.phase1_iterations;
+  }
   bool need_phase1 = false;
-  for (const int j : basis)
-    if (t.artificial[static_cast<std::size_t>(j)]) need_phase1 = true;
+  if (!warm)
+    for (const int j : basis)
+      if (t.artificial[static_cast<std::size_t>(j)]) need_phase1 = true;
   if (need_phase1) {
     const SolveStatus s1 = run_phase(phase1_cost, /*block_artificials=*/false,
                                      sol.phase1_iterations);
@@ -264,6 +436,20 @@ Solution solve(const LpModel& model, const SolveOptions& options) {
     return sol;
   }
 
+  // An artificial that stayed basic at zero through phase 2 can drift
+  // positive during later pivots (the ratio test only guards basics from
+  // going *negative*), which would mean the "optimal" point violates the
+  // artificial's row. Refuse to report such a point: a warm solve falls
+  // back to the cold path, a cold solve fails loudly rather than hand the
+  // caller a plan that silently under-serves an equality row.
+  for (int i = 0; i < m; ++i) {
+    if (t.artificial[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])] &&
+        xb[static_cast<std::size_t>(i)] > 1e-6) {
+      sol.status = SolveStatus::kNumericalFailure;
+      return sol;
+    }
+  }
+
   // Extract structural solution.
   sol.x.assign(static_cast<std::size_t>(t.n_structural), 0.0);
   for (int i = 0; i < m; ++i) {
@@ -273,12 +459,83 @@ Solution solve(const LpModel& model, const SolveOptions& options) {
   }
   sol.objective = model.objective_value(sol.x);
   sol.status = SolveStatus::kOptimal;
+  sol.basis = export_basis(t, basis);
+  return sol;
+}
+
+// Cold initial basis: feasible slack where possible, else the artificial
+// allocated for the row.
+std::vector<int> cold_basis(const Tableau& t, int m) {
+  std::vector<int> basis(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const int slack = t.slack_of[static_cast<std::size_t>(i)];
+    const int artificial = t.artificial_of[static_cast<std::size_t>(i)];
+    basis[static_cast<std::size_t>(i)] = artificial >= 0 ? artificial : slack;
+  }
+  return basis;
+}
+
+}  // namespace
+
+Solution solve(const LpModel& model, const SolveOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const Tableau t = build_tableau(model);
+  const int m = model.num_constraints();
+
+  Solution sol = solve_from(model, t, cold_basis(t, m), /*warm=*/false, options);
   sol.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
   if (options.verbose)
-    std::printf("[lp] %d rows, %d cols, %d iters (%d phase1), obj=%.6g, %.2fs\n", m,
-                t.n_total, sol.iterations, sol.phase1_iterations, sol.objective,
-                sol.solve_seconds);
+    std::printf("[lp] %d rows, %d cols, %d iters (%d phase1), obj=%.6g, %.2fs\n", m, t.n_total,
+                sol.iterations, sol.phase1_iterations, sol.objective, sol.solve_seconds);
+  return sol;
+}
+
+Solution solve(const LpModel& model, const Basis& warm, const SolveOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const Tableau t = build_tableau(model);
+  const int m = model.num_constraints();
+
+  Solution sol;
+  sol.status = SolveStatus::kNumericalFailure;
+  if (auto mapped = map_warm_basis(t, m, warm)) {
+    // Structural-rank repair: a transferred basis can be singular when the
+    // entries that used to pivot some rows did not survive the transfer
+    // (which rows those are is invisible at the label level). Diagnose with
+    // the LU, swap each failed position for the slack/artificial of an
+    // unpivoted row, and retry; two rounds cover the cascade where a repair
+    // unblocks a previously-masked dependency.
+    for (int round = 0; round < 2; ++round) {
+      BasisLu probe;
+      BasisLu::Deficiency def;
+      if (probe.factorize(t.a, *mapped, options.pivot_tol, &def) || !def.any()) break;
+      bool repaired = true;
+      for (std::size_t k = 0; k < def.positions.size() && repaired; ++k) {
+        const int row = def.rows[k];
+        const int unit = t.slack_of[static_cast<std::size_t>(row)] >= 0
+                             ? t.slack_of[static_cast<std::size_t>(row)]
+                             : t.artificial_of[static_cast<std::size_t>(row)];
+        repaired = unit >= 0;
+        if (repaired) (*mapped)[static_cast<std::size_t>(def.positions[k])] = unit;
+      }
+      if (!repaired) break;
+    }
+    sol = solve_from(model, t, std::move(*mapped), /*warm=*/true, options);
+  }
+  // Any warm failure — unmappable basis, singular factorization, infeasible
+  // seed, or numerical trouble mid-phase-2 — falls back to the cold path,
+  // reusing the tableau already built above.
+  if (sol.status == SolveStatus::kNumericalFailure) {
+    sol = solve_from(model, t, cold_basis(t, m), /*warm=*/false, options);
+    sol.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+    return sol;
+  }
+  sol.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  if (options.verbose)
+    std::printf("[lp] warm: %d rows, %d cols, %d iters, obj=%.6g, %.2fs\n", m, t.n_total,
+                sol.iterations, sol.objective, sol.solve_seconds);
   return sol;
 }
 

@@ -10,6 +10,7 @@
 // degenerate stalls.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,35 @@ struct SolveOptions {
   double feasibility_tol = 1e-7;  // basic-value / ratio-test tolerance
   double pivot_tol = 1e-9;
   int bland_trigger = 40;  // consecutive degenerate iterations before Bland
+  // Warm-start repair budget: a seeded basis may carry basic artificials
+  // above zero (rows the seed never covered — e.g. the fresh tail of a
+  // rolling replan horizon); phase 1 run *from the seed* repairs them. When
+  // more than this fraction of rows is hot the seed has transferred too
+  // little to pay off — measured on the plan LPs, majority-fresh repairs
+  // cost multiples of a cold solve — so the solver falls back cold instead.
+  double warm_repair_limit = 0.1;
   bool verbose = false;
+};
+
+// One simplex-basis member, in model-relative terms: either a structural
+// column (by column index) or the slack/surplus or artificial column owned
+// by a constraint row (by row index). Encoding by *meaning* rather than by
+// computational-form column number lets a basis survive a model rebuild
+// whose row/column identities are preserved — the warm-start contract
+// documented in docs/solver.md.
+struct BasisEntry {
+  enum class Kind : std::uint8_t { kStructural, kSlack, kArtificial };
+  Kind kind = Kind::kSlack;
+  int index = 0;  // kStructural: column; kSlack/kArtificial: owning row
+  friend bool operator==(const BasisEntry&, const BasisEntry&) = default;
+};
+
+// A full basis: exactly one entry per constraint row of the model it was
+// extracted from (the entry order carries no meaning — a basis is a set).
+struct Basis {
+  std::vector<BasisEntry> entries;
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  friend bool operator==(const Basis&, const Basis&) = default;
 };
 
 struct Solution {
@@ -38,8 +67,20 @@ struct Solution {
   int iterations = 0;
   int phase1_iterations = 0;
   double solve_seconds = 0.0;
+  Basis basis;                // final basis, filled when status == kOptimal
+  bool warm_started = false;  // solved from a caller basis (phase 1 skipped)
 };
 
 [[nodiscard]] Solution solve(const LpModel& model, const SolveOptions& options = {});
+
+// Warm-started solve: seeds the simplex with `warm` (a Solution::basis from
+// an earlier solve of a structurally compatible model). When the seeded
+// basis maps onto this model, factorizes, and is primal-feasible, phase 1
+// is skipped entirely and phase 2 runs from it; on a dimension mismatch, a
+// singular factorization, an infeasible seed, or a numerical failure
+// mid-solve, the call transparently falls back to the cold path — the
+// result is always as trustworthy as solve() without a basis.
+[[nodiscard]] Solution solve(const LpModel& model, const Basis& warm,
+                             const SolveOptions& options = {});
 
 }  // namespace titan::lp

@@ -211,6 +211,7 @@ void SimEngine::reset_network() {
 
   current_plan_ = titannext::DayPlan{};
   plan_begin_ = 0;
+  warm_cache_ = titannext::WarmStartCache{};
 }
 
 void SimEngine::apply_network_event(const NetworkEvent& event) {
@@ -279,7 +280,7 @@ void SimEngine::apply_network_event(const NetworkEvent& event) {
   }
 }
 
-void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
+void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards, bool forced) {
   const int horizon = scenario_.pipeline.scope.timeslots;
   const int now = history_slots_ + slot;
 
@@ -310,9 +311,20 @@ void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
     }
   }
 
-  // A fresh pipeline per replan picks up fraction surges and drains.
+  // A fresh pipeline per replan picks up fraction surges and drains. The
+  // warm cache seeds each solve from its predecessor's basis shifted to
+  // this horizon's start; with disjoint windows nothing transfers and the
+  // solve is the byte-identical cold path (see docs/solver.md). A forced
+  // replan reacts to a network change — the cached basis was priced
+  // against the old loads/capacities — so it drops the cache and
+  // cold-solves, which also keeps disturbance timing from deciding
+  // whether a transfer happens at the library's disjoint cadence.
   const titannext::TitanNextPipeline pipeline(*db_, fractions_, scenario_.pipeline);
-  titannext::DayPlan day = pipeline.plan_from_counts(workload_.eval, counts, forecast_seconds);
+  if (forced) warm_cache_.last = titannext::PlanBasisContext{};
+  warm_cache_.next_plan_begin = slot;
+  titannext::DayPlan day =
+      pipeline.plan_from_counts(workload_.eval, counts, forecast_seconds,
+                                scenario_.warm_replans ? &warm_cache_ : nullptr);
 
   titannext::ControllerOptions copts;
   copts.use_reduction = scenario_.pipeline.use_reduction;
@@ -367,10 +379,14 @@ SimResult SimEngine::run(int threads) {
       ++next_event;
     }
     if (s >= next_replan || force_replan) {
-      replan(s, shards);
+      replan(s, shards, force_replan);
       result.plan_seconds += current_plan_.lp_seconds;
       result.forecast_seconds += current_plan_.forecast_seconds;
       ++result.replans;
+      result.replan_stats.push_back({s, current_plan_.lp_iterations,
+                                     current_plan_.lp_phase1_iterations,
+                                     current_plan_.lp_warm_started, current_plan_.lp_attempts,
+                                     current_plan_.lp_seconds});
       next_replan = s + scenario_.replan_interval_slots;
     }
 

@@ -42,6 +42,21 @@
 
 namespace titan::sim {
 
+// Per-replan LP statistics: how much simplex work one pass of the replan
+// loop cost and whether it ran warm (seeded from the previous basis) or
+// cold. Iteration counts are deterministic; `solve_seconds` is wall clock
+// and must be zeroed (SimResult::zero_wallclock) before bitwise compares.
+struct ReplanStat {
+  core::SlotIndex slot = 0;      // eval slot the replan fired at
+  int iterations = 0;            // simplex iterations of the accepted solve
+  int phase1_iterations = 0;     // phase-1 share (for warm solves: the
+                                 // feasibility-restoration iterations)
+  bool warm_started = false;
+  int attempts = 1;              // headroom-relaxation attempts consumed
+  double solve_seconds = 0.0;
+  bool operator==(const ReplanStat&) const = default;
+};
+
 struct SimResult {
   std::string scenario;
   int eval_slots = 0;
@@ -59,6 +74,9 @@ struct SimResult {
   // value means the engine leaked a call and its usage streams are corrupt.
   std::int64_t leaked_calls = 0;
   int replans = 0;
+  // One entry per replan, in firing order (replan_stats.size() == replans):
+  // the replan-latency surface of the warm-start loop.
+  std::vector<ReplanStat> replan_stats;
 
   double plan_seconds = 0.0;      // LP time across replans
   double forecast_seconds = 0.0;  // forecasting time across replans
@@ -92,8 +110,17 @@ struct SimResult {
 
   // Bitwise equality over every field, streams included. Callers comparing
   // runs for determinism must first zero the wall-clock fields (threads,
-  // plan/forecast/wall seconds), which legitimately differ between runs.
+  // plan/forecast/wall seconds and the per-replan solve seconds), which
+  // legitimately differ between runs — zero_wallclock() does exactly that.
   bool operator==(const SimResult&) const = default;
+
+  // Masks every nondeterministic (wall-clock) field so two runs of the same
+  // (scenario, seed) compare bit-identical regardless of thread count.
+  void zero_wallclock() {
+    threads = 0;
+    plan_seconds = forecast_seconds = wall_seconds = 0.0;
+    for (auto& r : replan_stats) r.solve_seconds = 0.0;
+  }
 };
 
 class SimEngine {
@@ -119,7 +146,11 @@ class SimEngine {
 
   void reset_network();
   void apply_network_event(const NetworkEvent& event);
-  void replan(core::SlotIndex slot, std::vector<Shard>& shards);
+  // `forced` marks a disturbance-driven replan: the network just changed
+  // under the previous plan, so the warm cache (whose basis was priced
+  // against the old topology/capacities) is dropped and the solve runs
+  // cold, re-seeding the cache for subsequent scheduled replans.
+  void replan(core::SlotIndex slot, std::vector<Shard>& shards, bool forced);
 
   Scenario scenario_;
   std::unique_ptr<geo::World> world_;
@@ -142,6 +173,9 @@ class SimEngine {
   // Per-run mutable state.
   titannext::DayPlan current_plan_;
   core::SlotIndex plan_begin_ = 0;
+  // Rolling basis cache feeding warm-started replans (reset per run so
+  // consecutive runs of one engine stay identical).
+  titannext::WarmStartCache warm_cache_;
   std::vector<bool> dead_links_;   // capacity fully severed
   std::vector<bool> drained_dcs_;  // compute fully drained
   bool evacuation_pending_ = false;

@@ -78,6 +78,17 @@ struct Scenario {
   // Plan on ground-truth counts instead of Holt-Winters forecasts (oracle
   // replanning; cheap, used by tests).
   bool oracle_counts = false;
+  // Warm-start every replan after the first from the previous plan's
+  // simplex basis (titannext::WarmStartCache). At the library's default
+  // cadence (replan interval == horizon) consecutive plan windows are
+  // disjoint, nothing transfers, and every solve is the byte-identical
+  // cold path — the golden checksums pin this. At a rolling cadence
+  // (interval < horizon) the overlap transfers and replans get measurably
+  // cheaper; the warm plan is equally optimal (same objective) but may be
+  // a different vertex of the optimal face than the cold solve would pick,
+  // so runs are only comparable within one warm_replans setting. Benches
+  // flip this off to measure the cold baseline.
+  bool warm_replans = true;
   // Slots between a call's arrival and its convergence (true config known).
   // 0 = same slot (the default; the paper's ~5-minute convergence collapsed
   // onto the 30-minute grid). With a positive delay, calls sit in the

@@ -20,7 +20,11 @@ namespace titan::sweep {
 // v2: per-region metric slices (calls_na/eu/asia, wan_gb_na/eu/asia) joined
 // the metric schema when PlanScope grew multi-region support; v1 baselines
 // must be regenerated, not compared.
-inline constexpr int kSweepSchemaVersion = 2;
+// v3: replan-latency metrics of the warm-start loop (replan_iterations,
+// replan_phase1_iterations, warm_replans) plus plan_solve_seconds — the LP
+// time `Solution::solve_seconds` always measured but the sweep never
+// surfaced. Earlier baselines must be regenerated, not compared.
+inline constexpr int kSweepSchemaVersion = 3;
 
 // `include_runs` = false drops the per-run records (aggregates only), for
 // compact CI artifacts; the committed baseline keeps runs for forensics.

@@ -39,6 +39,15 @@ const std::vector<std::string>& metric_names() {
       "wan_gb_na",
       "wan_gb_eu",
       "wan_gb_asia",
+      // Replan-latency surface of the warm-start loop (schema v3). The
+      // iteration counts are deterministic; plan_solve_seconds is the one
+      // wall-clock metric in the schema — reported for observability, and
+      // exempted from baseline comparison (infinite tolerance), since
+      // timings are machine-dependent.
+      "replan_iterations",
+      "replan_phase1_iterations",
+      "warm_replans",
+      "plan_solve_seconds",
   };
   return names;
 }
@@ -46,6 +55,12 @@ const std::vector<std::string>& metric_names() {
 std::vector<double> metric_values(const sim::SimResult& r) {
   double worst_day = 0.0;
   for (const double d : r.wan.per_day_sum_of_peaks_mbps) worst_day = std::max(worst_day, d);
+  std::int64_t replan_iterations = 0, replan_phase1 = 0, warm_replans = 0;
+  for (const auto& stat : r.replan_stats) {
+    replan_iterations += stat.iterations;
+    replan_phase1 += stat.phase1_iterations;
+    warm_replans += stat.warm_started ? 1 : 0;
+  }
   return {
       static_cast<double>(r.calls),
       static_cast<double>(r.replans),
@@ -70,7 +85,31 @@ std::vector<double> metric_values(const sim::SimResult& r) {
       r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)],
       r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)],
       r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kAsia)],
+      static_cast<double>(replan_iterations),
+      static_cast<double>(replan_phase1),
+      static_cast<double>(warm_replans),
+      r.plan_seconds,
   };
+}
+
+const std::vector<std::size_t>& timing_metric_indices() {
+  static const std::vector<std::size_t> indices = [] {
+    std::vector<std::size_t> out;
+    const auto& names = metric_names();
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == "plan_solve_seconds") out.push_back(i);
+    return out;
+  }();
+  return indices;
+}
+
+void mask_timing_metrics(SweepResult& result) {
+  for (auto& run : result.runs)
+    for (const std::size_t m : timing_metric_indices())
+      if (m < run.values.size()) run.values[m] = 0.0;
+  for (auto& agg : result.aggregates)
+    for (const std::size_t m : timing_metric_indices())
+      if (m < agg.stats.size()) agg.stats[m] = MetricStats{};
 }
 
 MetricStats compute_stats(const std::vector<double>& samples) {
@@ -181,8 +220,7 @@ SweepResult SweepRunner::run() const {
           // Mask the wall-clock fields in place (the record has already
           // captured everything it needs): what remains must be
           // bit-identical across thread counts.
-          r.threads = 0;
-          r.plan_seconds = r.forecast_seconds = r.wall_seconds = 0.0;
+          r.zero_wallclock();
         }
         // The engine's core promise: thread count changes nothing. Compare
         // the full SimResult (streams included) bit-for-bit.

@@ -9,12 +9,15 @@
 // (bit-identical results across thread counts) on every task, and reduces
 // each metric across seeds into mean / p50 / p95 / min / max / stddev.
 //
-// Determinism contract: the sweep output is a pure function of the spec.
-// Worker-pool size and task execution order never change a byte of the
-// result — records land in canonical (scenario, seed, threads) slots and
-// aggregation runs after the pool drains — so a sweep JSON is comparable
-// across machines and committable as a regression baseline (see
-// sweep/baseline.h).
+// Determinism contract: every metric except the explicitly-marked timing
+// entries (timing_metric_indices(); schema v3's plan_solve_seconds) is a
+// pure function of the spec. Worker-pool size and task execution order
+// never change a byte of those — records land in canonical (scenario,
+// seed, threads) slots and aggregation runs after the pool drains — so a
+// sweep JSON is comparable across machines and committable as a
+// regression baseline (see sweep/baseline.h; the baseline check grants
+// the timing metrics unbounded tolerance, and mask_timing_metrics puts
+// two sweeps into fully byte-comparable form).
 #pragma once
 
 #include <cstdint>
@@ -55,11 +58,19 @@ struct SweepSpec {
 };
 
 // The SimResult fields a sweep aggregates, in report order. `metric_values`
-// returns one value per `metric_names()` entry. Wall-clock timings are
-// deliberately absent: they are the only nondeterministic fields of a
-// SimResult and would poison baseline comparison.
+// returns one value per `metric_names()` entry. Every metric is a pure
+// function of the spec except the explicitly-marked timing metrics below
+// (schema v3 carries plan_solve_seconds for replan-latency observability);
+// comparison surfaces — the determinism audits, byte-equality of
+// differently-scheduled sweeps — mask those first, and the baseline check
+// grants them unbounded tolerance.
 [[nodiscard]] const std::vector<std::string>& metric_names();
 [[nodiscard]] std::vector<double> metric_values(const sim::SimResult& r);
+
+// Indices into metric_names() of the wall-clock metrics (currently just
+// plan_solve_seconds): the only schema entries that are NOT deterministic
+// in the spec.
+[[nodiscard]] const std::vector<std::size_t>& timing_metric_indices();
 
 // One completed simulation, reduced to the metric schema.
 struct RunRecord {
@@ -110,6 +121,10 @@ struct SweepResult {
 
   bool operator==(const SweepResult&) const = default;
 };
+
+// Zeroes the timing metrics of every run record and aggregate in place,
+// putting two differently-scheduled sweeps into byte-comparable form.
+void mask_timing_metrics(SweepResult& result);
 
 class SweepRunner {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
 namespace titan::titannext {
 
@@ -22,6 +23,35 @@ struct Layout {
 // Per (config, dc): WAN bandwidth contributed to each in-scope link by one
 // assigned unit.
 using LinkLoads = std::vector<std::pair<int, double>>;  // (link index, Mbps)
+
+// Row layout mirror of build_model's construction order: C1 demand rows
+// (slot-major, config inner), C2 compute rows, C3 Internet rows, the single
+// optional C4 e2e row, then C5 per-(slot, link) peak rows. remap_basis
+// depends on this matching build_model exactly — extend both together.
+struct RowLayout {
+  int timeslots, configs, dcs, links;
+  bool e2e;
+  [[nodiscard]] int c1(int t, int c) const { return t * configs + c; }
+  [[nodiscard]] int c2(int t, int m) const { return timeslots * configs + t * dcs + m; }
+  [[nodiscard]] int c3(int t, int m) const {
+    return timeslots * (configs + dcs) + t * dcs + m;
+  }
+  [[nodiscard]] int e2e_row() const { return timeslots * (configs + 2 * dcs); }
+  [[nodiscard]] int c5(int t, int l) const {
+    return timeslots * (configs + 2 * dcs) + (e2e ? 1 : 0) + t * links + l;
+  }
+  [[nodiscard]] int rows() const {
+    return timeslots * (configs + 2 * dcs) + (e2e ? 1 : 0) + timeslots * links;
+  }
+};
+
+// Whether build_model will emit the C4 row for these inputs.
+bool has_e2e_row(const PlanInputs& inputs, const LpBuildOptions& options) {
+  if (options.e2e_bound_ms <= 0.0) return false;
+  double total_units = 0.0;
+  for (const auto& d : inputs.demands()) total_units += d.total_units;
+  return total_units > 0.0;
+}
 
 }  // namespace
 
@@ -107,24 +137,23 @@ lp::LpModel build_model(const PlanInputs& inputs, const LpBuildOptions& options)
                               demands[static_cast<std::size_t>(c)].config.network_mbps());
     }
 
-  // C4: bound on the demand-weighted average of max-E2E latency.
-  if (options.e2e_bound_ms > 0.0) {
+  // C4: bound on the demand-weighted average of max-E2E latency. The
+  // presence condition is shared with remap_basis through has_e2e_row so
+  // the row layouts cannot drift apart.
+  if (has_e2e_row(inputs, options)) {
     double total_units = 0.0;
     for (const auto& d : demands) total_units += d.total_units;
-    if (total_units > 0.0) {
-      const int row =
-          model.add_constraint(lp::Sense::kLe, options.e2e_bound_ms * total_units);
-      for (int t = 0; t < lay.timeslots; ++t)
-        for (int c = 0; c < lay.configs; ++c)
-          for (int m = 0; m < lay.dcs; ++m)
-            for (int p = 0; p < 2; ++p) {
-              const auto path = p == 0 ? net::PathType::kWan : net::PathType::kInternet;
-              model.add_coefficient(
-                  row, lay.x(t, c, m, p),
-                  inputs.max_e2e_ms(demands[static_cast<std::size_t>(c)].config,
-                                    dcs[static_cast<std::size_t>(m)], path));
-            }
-    }
+    const int row = model.add_constraint(lp::Sense::kLe, options.e2e_bound_ms * total_units);
+    for (int t = 0; t < lay.timeslots; ++t)
+      for (int c = 0; c < lay.configs; ++c)
+        for (int m = 0; m < lay.dcs; ++m)
+          for (int p = 0; p < 2; ++p) {
+            const auto path = p == 0 ? net::PathType::kWan : net::PathType::kInternet;
+            model.add_coefficient(
+                row, lay.x(t, c, m, p),
+                inputs.max_e2e_ms(demands[static_cast<std::size_t>(c)].config,
+                                  dcs[static_cast<std::size_t>(m)], path));
+          }
   }
 
   // C5: per-link peak definition, y_l >= slot WAN usage.
@@ -146,7 +175,166 @@ lp::LpModel build_model(const PlanInputs& inputs, const LpBuildOptions& options)
   return model;
 }
 
-LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options) {
+std::optional<lp::Basis> remap_basis(const PlanBasisContext& prev, const PlanInputs& inputs,
+                                     const LpBuildOptions& options, int shift_slots) {
+  if (!prev.valid() || prev.timeslots != inputs.scope().timeslots) return std::nullopt;
+  // The windows must overlap: slot t of the old horizon is slot t - shift
+  // of the new one, so shift >= T means nothing transfers (and a negative
+  // shift would mean time ran backwards — a caller bug; refuse).
+  if (shift_slots < 0 || shift_slots >= prev.timeslots) return std::nullopt;
+  const auto& demands = inputs.demands();
+  const auto& dcs = inputs.dcs();
+  const auto& links = inputs.links();
+  const int T = prev.timeslots;
+  const int c_old = static_cast<int>(prev.shapes.size());
+  const int m_old = static_cast<int>(prev.dcs.size());
+  const int l_old = static_cast<int>(prev.links.size());
+  if (c_old == 0 || m_old == 0) return std::nullopt;
+
+  const Layout old_lay{T, c_old, m_old};
+  const Layout new_lay{T, static_cast<int>(demands.size()), static_cast<int>(dcs.size())};
+  const RowLayout old_rows{T, c_old, m_old, l_old, prev.e2e_row};
+  const RowLayout new_rows{T, new_lay.configs, new_lay.dcs, static_cast<int>(links.size()),
+                           has_e2e_row(inputs, options)};
+  if (static_cast<int>(prev.basis.entries.size()) != old_rows.rows()) return std::nullopt;
+
+  // Label translation tables old index -> new index (-1 = label vanished).
+  std::vector<int> shape_map(static_cast<std::size_t>(c_old), -1);
+  for (int c = 0; c < c_old; ++c)
+    shape_map[static_cast<std::size_t>(c)] =
+        inputs.demand_index(prev.shapes[static_cast<std::size_t>(c)]);
+  std::vector<int> dc_map(static_cast<std::size_t>(m_old), -1);
+  for (int m = 0; m < m_old; ++m)
+    for (std::size_t i = 0; i < dcs.size(); ++i)
+      if (dcs[i] == prev.dcs[static_cast<std::size_t>(m)]) {
+        dc_map[static_cast<std::size_t>(m)] = static_cast<int>(i);
+        break;
+      }
+  std::map<int, int> link_map;
+  for (std::size_t i = 0; i < links.size(); ++i) link_map[links[i].value()] = static_cast<int>(i);
+  const auto map_link = [&](int l) {
+    const auto it = link_map.find(prev.links[static_cast<std::size_t>(l)].value());
+    return it == link_map.end() ? -1 : it->second;
+  };
+
+  // Horizon-relative slot translation: old slot t is new slot t - shift;
+  // slots before the new window vanish.
+  const auto map_slot = [&](int t) { return t - shift_slots; };
+
+  // Old row index -> new row index by label (-1 = vanished).
+  const auto map_row = [&](int r) -> int {
+    if (r < 0 || r >= old_rows.rows()) return -1;
+    if (r < T * c_old) {
+      const int t = map_slot(r / c_old);
+      const int c = shape_map[static_cast<std::size_t>(r % c_old)];
+      return (t < 0 || c < 0) ? -1 : new_rows.c1(t, c);
+    }
+    r -= T * c_old;
+    if (r < 2 * T * m_old) {
+      const bool internet = r >= T * m_old;
+      if (internet) r -= T * m_old;
+      const int t = map_slot(r / m_old);
+      const int m = dc_map[static_cast<std::size_t>(r % m_old)];
+      if (t < 0 || m < 0) return -1;
+      return internet ? new_rows.c3(t, m) : new_rows.c2(t, m);
+    }
+    r -= 2 * T * m_old;
+    if (prev.e2e_row && r == 0) return new_rows.e2e ? new_rows.e2e_row() : -1;
+    if (prev.e2e_row) r -= 1;
+    const int t = map_slot(r / l_old);
+    const int l = map_link(r % l_old);
+    return (t < 0 || l < 0) ? -1 : new_rows.c5(t, l);
+  };
+
+  // Translate every surviving entry; collect the set of claimed rows so the
+  // completion step below can fill the holes with slacks/artificials.
+  std::vector<lp::BasisEntry> mapped;
+  mapped.reserve(prev.basis.entries.size());
+  std::set<std::pair<int, int>> seen;  // (kind, index) duplicates guard
+  std::vector<bool> row_claimed(static_cast<std::size_t>(new_rows.rows()), false);
+  const int num_x_old = old_lay.num_x();
+  for (const auto& e : prev.basis.entries) {
+    lp::BasisEntry out = e;
+    if (e.kind == lp::BasisEntry::Kind::kStructural) {
+      if (e.index < num_x_old) {
+        int rest = e.index;
+        const int p = rest % 2;
+        rest /= 2;
+        const int m = dc_map[static_cast<std::size_t>(rest % m_old)];
+        rest /= m_old;
+        const int c = shape_map[static_cast<std::size_t>(rest % c_old)];
+        const int t = map_slot(rest / c_old);
+        if (t < 0 || c < 0 || m < 0) continue;
+        out.index = new_lay.x(t, c, m, p);
+      } else {
+        if (e.index >= num_x_old + l_old) return std::nullopt;  // corrupt snapshot
+        const int l = map_link(e.index - num_x_old);
+        if (l < 0) continue;
+        out.index = new_lay.num_x() + l;
+      }
+    } else {
+      const int r = map_row(e.index);
+      if (r < 0) continue;
+      out.index = r;
+      row_claimed[static_cast<std::size_t>(r)] = true;
+    }
+    if (!seen.insert({static_cast<int>(out.kind), out.index}).second) return std::nullopt;
+    mapped.push_back(out);
+  }
+
+
+  // Completion: the dropped entries' columns pivoted rows that either
+  // vanished with them (balanced — nothing to do) or still exist and now
+  // need a unit column. The rows that *demonstrably* lost their pivot are
+  // the fresh-label ones — C1 rows of shapes the old plan never had (their
+  // serving columns were never basic) and C5 rows of links no old path used
+  // (no survivor touches them, so they would be all-zero in the basis).
+  // Fill those first; top up any remaining budget over unclaimed rows in
+  // row order. C1 rows are equalities (artificial — basic at the row's
+  // demand, which is what the warm phase-1 repair in lp::solve drives out),
+  // everything else is <= (slack).
+  std::vector<bool> label_is_fresh(static_cast<std::size_t>(new_rows.rows()), true);
+  for (int r = 0; r < old_rows.rows(); ++r) {
+    const int nr = map_row(r);
+    if (nr >= 0) label_is_fresh[static_cast<std::size_t>(nr)] = false;
+  }
+  int fresh_unclaimed = 0;
+  for (int r = 0; r < new_rows.rows(); ++r)
+    if (label_is_fresh[static_cast<std::size_t>(r)] && !row_claimed[static_cast<std::size_t>(r)])
+      ++fresh_unclaimed;
+  // Make room: every fresh row *must* get its unit column, so when the
+  // survivors plus the fresh fills would overflow the row count, trim
+  // survivors from the back (freed slack/artificial rows rejoin the
+  // fillable pool; the structural-rank repair in lp::solve re-seats
+  // whatever the trim destabilized).
+  const int budget = new_rows.rows() - fresh_unclaimed;
+  if (budget < 0) return std::nullopt;
+  while (static_cast<int>(mapped.size()) > budget) {
+    const lp::BasisEntry& victim = mapped.back();
+    if (victim.kind != lp::BasisEntry::Kind::kStructural)
+      row_claimed[static_cast<std::size_t>(victim.index)] = false;
+    mapped.pop_back();
+  }
+  const auto fill_row = [&](int r) {
+    lp::BasisEntry fill;
+    fill.kind = r < T * new_lay.configs ? lp::BasisEntry::Kind::kArtificial
+                                        : lp::BasisEntry::Kind::kSlack;
+    fill.index = r;
+    mapped.push_back(fill);
+    row_claimed[static_cast<std::size_t>(r)] = true;
+  };
+  for (int r = 0; r < new_rows.rows(); ++r)
+    if (label_is_fresh[static_cast<std::size_t>(r)] && !row_claimed[static_cast<std::size_t>(r)])
+      fill_row(r);
+  for (int r = 0; r < new_rows.rows() && static_cast<int>(mapped.size()) < new_rows.rows();
+       ++r)
+    if (!row_claimed[static_cast<std::size_t>(r)]) fill_row(r);
+  if (static_cast<int>(mapped.size()) != new_rows.rows()) return std::nullopt;
+  return lp::Basis{std::move(mapped)};
+}
+
+LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
+                        WarmStartCache* warm) {
   LpPlanResult result;
   const auto& demands = inputs.demands();
   const auto& dcs = inputs.dcs();
@@ -154,12 +342,32 @@ LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options)
                    static_cast<int>(dcs.size())};
 
   const lp::LpModel model = build_model(inputs, options);
-  const lp::Solution sol = lp::solve(model, options.solver);
+  std::optional<lp::Basis> seed;
+  if (warm != nullptr)
+    seed = remap_basis(warm->last, inputs, options,
+                       warm->next_plan_begin - warm->last.plan_begin);
+  const lp::Solution sol =
+      seed ? lp::solve(model, *seed, options.solver) : lp::solve(model, options.solver);
   result.status = sol.status;
   result.objective = sol.objective;
   result.solve_seconds = sol.solve_seconds;
   result.iterations = sol.iterations;
+  result.phase1_iterations = sol.phase1_iterations;
+  result.warm_started = sol.warm_started;
   if (sol.status != lp::SolveStatus::kOptimal) return result;
+
+  // Snapshot the fresh basis + model identity for the next replan.
+  if (warm != nullptr) {
+    warm->last.basis = sol.basis;
+    warm->last.shapes.clear();
+    warm->last.shapes.reserve(demands.size());
+    for (const auto& d : demands) warm->last.shapes.push_back(d.config);
+    warm->last.dcs = dcs;
+    warm->last.links = inputs.links();
+    warm->last.timeslots = inputs.scope().timeslots;
+    warm->last.e2e_row = has_e2e_row(inputs, options);
+    warm->last.plan_begin = warm->next_plan_begin;
+  }
 
   result.weights.assign(static_cast<std::size_t>(lay.timeslots),
                         std::vector<AssignmentWeights>(demands.size()));

@@ -15,6 +15,7 @@
 // C4 — per the paper, LF keeps the same constraint set otherwise.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "lp/model.h"
@@ -52,14 +53,72 @@ struct LpPlanResult {
   double objective = 0.0;
   double solve_seconds = 0.0;
   int iterations = 0;
+  int phase1_iterations = 0;
+  bool warm_started = false;  // seeded from the previous replan's basis
   // weights[t][demand_idx]
   std::vector<std::vector<AssignmentWeights>> weights;
   // Realized sum over links of peak WAN bandwidth of the fractional plan.
   double sum_of_wan_peaks_mbps = 0.0;
 };
 
-// Builds and solves the plan LP over the inputs.
-[[nodiscard]] LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options);
+// Identity snapshot of a solved plan LP plus its final simplex basis. The
+// model layout is a pure function of (timeslots, demand order, DC order,
+// link order, e2e-row presence); snapshotting those labels lets the basis
+// be re-expressed against a *rebuilt* model of the same PlanScope even when
+// a later forecast reorders or truncates the demand set — columns and rows
+// are matched by meaning ((slot, reduced shape, DC, path) for assignment
+// variables, link id for peak variables and rows), not by index.
+struct PlanBasisContext {
+  lp::Basis basis;
+  std::vector<workload::CallConfig> shapes;  // demand shapes, model order
+  std::vector<core::DcId> dcs;
+  std::vector<core::LinkId> links;
+  int timeslots = 0;
+  bool e2e_row = false;  // whether the C4 row existed
+  // Absolute slot the plan horizon started at. A later replan of the same
+  // scope maps slot labels *through time*: horizon-relative slot t of this
+  // plan is slot t - shift of the next one (shift = difference of the two
+  // begins), so only the overlapping window transfers. Disjoint windows
+  // (replan interval == horizon, the test cadence) transfer nothing and
+  // deliberately fall back to a cold solve.
+  core::SlotIndex plan_begin = 0;
+  [[nodiscard]] bool valid() const { return !basis.empty(); }
+};
+
+// Rolling warm-start state for one replan loop (i.e. one PlanScope).
+// `solve_plan` consumes `last` to seed the simplex and overwrites it with
+// the fresh basis after every optimal solve. The replan loop sets
+// `next_plan_begin` to the new horizon's absolute start slot before each
+// solve; callers re-solving one fixed window can leave both begins at 0.
+struct WarmStartCache {
+  PlanBasisContext last;
+  core::SlotIndex next_plan_begin = 0;
+};
+
+// Re-expresses `prev`'s basis against the model build_model(inputs,
+// options) produces, with the horizon window advanced by `shift_slots`
+// (0 = re-solving the same window). Surviving labels — overlapping slots,
+// shapes still in the demand set, links still on a path, same DCs — carry
+// their entries over; everything else (the fresh tail of the horizon, new
+// shapes/links) is completed with slacks/artificials that lp::solve's
+// structural-rank repair and warm phase 1 then resolve. Returns nullopt
+// when nothing can transfer (disjoint windows, changed horizon length).
+// The result is only a *candidate*: lp::solve still gates on factorization
+// and basic feasibility and cold-solves otherwise.
+[[nodiscard]] std::optional<lp::Basis> remap_basis(const PlanBasisContext& prev,
+                                                   const PlanInputs& inputs,
+                                                   const LpBuildOptions& options,
+                                                   int shift_slots = 0);
+
+// Builds and solves the plan LP over the inputs. With a cache, the solve is
+// seeded from the cache's previous basis (warm start) and the cache is
+// updated with the new basis on success. A transferred seed reaches the
+// same objective as a cold solve but may stop at a different vertex of the
+// optimal face; when nothing transfers (disjoint windows, failed gates)
+// the solve IS the cold path, byte for byte. See docs/solver.md,
+// "Warm-start lifecycle".
+[[nodiscard]] LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
+                                      WarmStartCache* warm = nullptr);
 
 // Exposed for tests: just build the model (variable layout documented in
 // the .cc file).

@@ -51,7 +51,8 @@ TitanNextPipeline::TitanNextPipeline(const net::NetworkDb& net,
 
 DayPlan TitanNextPipeline::plan_from_counts(const workload::Trace& trace,
                                             const std::vector<std::vector<double>>& counts,
-                                            double forecast_seconds) const {
+                                            double forecast_seconds,
+                                            WarmStartCache* warm) const {
   DayPlan day;
   day.forecast_seconds = forecast_seconds;
 
@@ -64,8 +65,12 @@ DayPlan TitanNextPipeline::plan_from_counts(const workload::Trace& trace,
   for (int attempt = 0; attempt < 3; ++attempt) {
     day.inputs = std::make_unique<PlanInputs>(*net_, scope, fractions_);
     day.inputs->set_demand(trace.configs(), counts, options_.use_reduction);
-    LpPlanResult result = solve_plan(*day.inputs, lp);
+    LpPlanResult result = solve_plan(*day.inputs, lp, warm);
     day.lp_seconds += result.solve_seconds;
+    day.lp_iterations = result.iterations;
+    day.lp_phase1_iterations = result.phase1_iterations;
+    day.lp_warm_started = result.warm_started;
+    day.lp_attempts = attempt + 1;
     if (result.status != lp::SolveStatus::kInfeasible) {
       day.plan = OfflinePlan(day.inputs.get(), std::move(result));
       return day;

@@ -33,7 +33,12 @@ struct DayPlan {
   std::unique_ptr<PlanInputs> inputs;
   OfflinePlan plan;
   double forecast_seconds = 0.0;
-  double lp_seconds = 0.0;
+  double lp_seconds = 0.0;       // across all solve attempts
+  int lp_iterations = 0;          // simplex iterations of the accepted solve
+  int lp_phase1_iterations = 0;   // phase-1 share (for warm-started solves:
+                                  // the feasibility-restoration iterations)
+  bool lp_warm_started = false;   // accepted solve was seeded from a cached basis
+  int lp_attempts = 0;            // headroom-relaxation attempts consumed
   [[nodiscard]] bool valid() const { return plan.valid(); }
 };
 
@@ -66,10 +71,13 @@ class TitanNextPipeline {
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 
   // Plans directly from per-(config, horizon-slot) counts; `trace` only
-  // supplies the config registry.
+  // supplies the config registry. With a warm-start cache the LP solve is
+  // seeded from the previous plan's basis (and the cache refreshed) —
+  // a replan loop passes one cache across its whole lifetime.
   [[nodiscard]] DayPlan plan_from_counts(const workload::Trace& trace,
                                          const std::vector<std::vector<double>>& counts,
-                                         double forecast_seconds) const;
+                                         double forecast_seconds,
+                                         WarmStartCache* warm = nullptr) const;
 
  private:
   const net::NetworkDb* net_;

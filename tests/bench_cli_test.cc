@@ -42,6 +42,13 @@ TEST(BenchCliTest, ParsesSharedAndSweepFlags) {
   EXPECT_EQ(p.cli.out_path, "sweep.json");
 }
 
+TEST(BenchCliTest, ParsesReplanJsonPath) {
+  const CliParse p = parse({"--replan-json", "replan.json"}, sim::scenario_names());
+  ASSERT_LT(p.exit_code, 0) << p.message;
+  EXPECT_EQ(p.cli.replan_json_path, "replan.json");
+  EXPECT_TRUE(p.cli.json_path.empty());
+}
+
 TEST(BenchCliTest, UnknownScenarioExitsTwoWithTheValidList) {
   const CliParse p = parse({"--scenario", "no-such"}, sim::scenario_names());
   EXPECT_EQ(p.exit_code, 2);

@@ -340,6 +340,137 @@ TEST_P(SimplexRandomTest, OptimumIsFeasibleAndBeatsKnownPoint) {
 
 INSTANTIATE_TEST_SUITE_P(Random, SimplexRandomTest, ::testing::Range(0, 20));
 
+// --- warm starts ------------------------------------------------------------
+
+// Shared generator for the warm-start tests: a feasible random LP with
+// mixed row senses whose rhs can be scaled to fake "the next replan".
+LpModel warm_test_model(core::Rng& rng, int n, int rows, double rhs_scale) {
+  std::vector<double> z(static_cast<std::size_t>(n));
+  for (auto& v : z) v = rng.uniform(0.5, 3.0);
+  LpModel m;
+  for (int j = 0; j < n; ++j) m.add_variable(rng.uniform(0.1, 2.0));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<double> a(static_cast<std::size_t>(n));
+    double az = 0.0;
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(j)] = rng.uniform(0.0, 2.0);
+      az += a[static_cast<std::size_t>(j)] * z[static_cast<std::size_t>(j)];
+    }
+    // A mix of <= rows (z feasible with slack) and = rows (forces phase 1).
+    const Sense sense = i % 3 == 0 ? Sense::kEq : Sense::kLe;
+    const double slack = sense == Sense::kEq ? 0.0 : rng.uniform(0.1, 1.0);
+    const int r = m.add_constraint(sense, (az + slack) * rhs_scale);
+    for (int j = 0; j < n; ++j) m.add_coefficient(r, j, a[static_cast<std::size_t>(j)]);
+  }
+  return m;
+}
+
+// Seeding a solve with its own optimal basis must skip phase 1 entirely and
+// finish in zero iterations at the same optimum.
+TEST(SimplexWarmTest, OwnBasisRoundTripSolvesInZeroIterations) {
+  core::Rng rng(71);
+  const LpModel m = warm_test_model(rng, 8, 6, 1.0);
+  const Solution cold = solve(m);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_EQ(cold.basis.entries.size(), static_cast<std::size_t>(m.num_constraints()));
+  EXPECT_GT(cold.phase1_iterations, 0);  // the = rows force a cold phase 1
+
+  const Solution warm = solve(m, cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_EQ(warm.phase1_iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t j = 0; j < cold.x.size(); ++j)
+    EXPECT_NEAR(warm.x[j], cold.x[j], 1e-7) << "x[" << j << "]";
+}
+
+// Property: warm-solving a perturbed-rhs successor from the predecessor's
+// basis reaches the same optimum a cold solve of the successor finds, and
+// the answer is feasible for the successor.
+class SimplexWarmRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmRandomTest, PerturbedRhsWarmSolveMatchesColdObjective) {
+  core::Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  const int n = 5 + GetParam() % 6;
+  const int rows = 4 + GetParam() % 5;
+  const double scale = 1.0 + rng.uniform(-0.2, 0.2);
+
+  // Re-seed so predecessor and successor share coefficients exactly and
+  // differ only in the rhs scale (the replan situation).
+  const std::uint64_t model_seed = 7000 + static_cast<std::uint64_t>(GetParam());
+  core::Rng rng_a(model_seed), rng_b(model_seed);
+  const LpModel before = warm_test_model(rng_a, n, rows, 1.0);
+  const LpModel after = warm_test_model(rng_b, n, rows, scale);
+
+  const Solution base = solve(before);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  const Solution cold = solve(after);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  const Solution warm = solve(after, base.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6 * (1.0 + std::abs(cold.objective)));
+  EXPECT_LE(after.max_violation(warm.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SimplexWarmRandomTest, ::testing::Range(0, 20));
+
+// A basis that cannot map onto the model — wrong row count, out-of-range
+// columns, a slack named on an equality row — must fall back to the cold
+// path and still return the cold answer.
+TEST(SimplexWarmTest, MismatchedBasisFallsBackToColdSolve) {
+  core::Rng rng(72);
+  const LpModel m = warm_test_model(rng, 8, 6, 1.0);
+  const Solution cold = solve(m);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  Basis wrong_count;
+  wrong_count.entries.resize(static_cast<std::size_t>(m.num_constraints() + 3));
+  const Solution a = solve(m, wrong_count);
+  EXPECT_EQ(a.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(a.warm_started);
+  EXPECT_NEAR(a.objective, cold.objective, 1e-9);
+
+  Basis bad_columns;
+  for (int i = 0; i < m.num_constraints(); ++i)
+    bad_columns.entries.push_back(
+        {BasisEntry::Kind::kStructural, m.num_variables() + 100 + i});
+  const Solution b = solve(m, bad_columns);
+  EXPECT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(b.warm_started);
+  EXPECT_NEAR(b.objective, cold.objective, 1e-9);
+
+  Basis slack_on_eq;  // row 0 of the generator is an equality: no slack
+  for (int i = 0; i < m.num_constraints(); ++i)
+    slack_on_eq.entries.push_back({BasisEntry::Kind::kSlack, i});
+  const Solution c = solve(m, slack_on_eq);
+  EXPECT_EQ(c.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(c.warm_started);
+  EXPECT_NEAR(c.objective, cold.objective, 1e-9);
+}
+
+// An infeasible successor stays infeasible under a warm start (the seed is
+// rejected, the cold path detects infeasibility as usual).
+TEST(SimplexWarmTest, WarmStartDoesNotMaskInfeasibility) {
+  LpModel feasible;
+  const int x = feasible.add_variable(1.0);
+  const int r0 = feasible.add_constraint(Sense::kLe, 5.0);
+  feasible.add_coefficient(r0, x, 1.0);
+  const int r1 = feasible.add_constraint(Sense::kGe, 1.0);
+  feasible.add_coefficient(r1, x, 1.0);
+  const Solution base = solve(feasible);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+
+  LpModel infeasible;
+  const int x2 = infeasible.add_variable(1.0);
+  const int q0 = infeasible.add_constraint(Sense::kLe, 1.0);
+  infeasible.add_coefficient(q0, x2, 1.0);
+  const int q1 = infeasible.add_constraint(Sense::kGe, 2.0);
+  infeasible.add_coefficient(q1, x2, 1.0);
+  EXPECT_EQ(solve(infeasible, base.basis).status, SolveStatus::kInfeasible);
+}
+
 // Medium-size structured LP resembling the Titan-Next shape: assignment
 // variables with equality demand rows and capacity rows plus peak rows.
 TEST(SimplexTest, StructuredAssignmentLp) {

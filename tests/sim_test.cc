@@ -860,6 +860,31 @@ TEST(SimEngineTest, NaCutShiftsServingLoadToEurope) {
   EXPECT_GT(na_after, 0.0);
 }
 
+// --- warm-started replans -----------------------------------------------
+
+// At the test/golden cadence the replan windows are disjoint (interval ==
+// horizon): the warm-start cache transfers nothing and every replan takes
+// the byte-identical cold path, so flipping the knob must not move a
+// single bit of the SimResult. (The rolling-cadence case, where warm
+// replans do engage and save iterations, is pinned in titannext_test.)
+TEST(SimWarmReplanTest, DisjointWindowsMakeWarmAndColdRunsIdentical) {
+  Scenario warm = small_scenario();
+  ASSERT_TRUE(warm.warm_replans);  // the library default
+  Scenario cold = small_scenario();
+  cold.warm_replans = false;
+
+  auto rw = SimEngine(warm).run(2);
+  auto rc = SimEngine(cold).run(2);
+  EXPECT_EQ(rw.checksum, rc.checksum);
+  for (const auto& stat : rw.replan_stats) EXPECT_FALSE(stat.warm_started);
+  ASSERT_EQ(rw.replan_stats.size(), rc.replan_stats.size());
+  for (std::size_t i = 0; i < rw.replan_stats.size(); ++i)
+    EXPECT_EQ(rw.replan_stats[i].iterations, rc.replan_stats[i].iterations) << "replan " << i;
+  rw.zero_wallclock();
+  rc.zero_wallclock();
+  EXPECT_TRUE(rw == rc);
+}
+
 // --- golden checksums ---------------------------------------------------
 
 // Frozen per-scenario checksums at a small fixed volume, asserted at 1, 2,

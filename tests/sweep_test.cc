@@ -108,8 +108,7 @@ TEST(SweepDeterminismTest, SimResultBitIdenticalAcrossThreadCountsForEveryScenar
     ASSERT_GT(r1.calls, 0) << name;
     for (sim::SimResult* r : {&r1, &r2, &r8}) {
       // Mask the only legitimately varying fields before the bitwise compare.
-      r->threads = 0;
-      r->plan_seconds = r->forecast_seconds = r->wall_seconds = 0.0;
+      r->zero_wallclock();
     }
     EXPECT_TRUE(r1 == r2) << name << ": threads 1 vs 2 diverged";
     EXPECT_TRUE(r1 == r8) << name << ": threads 1 vs 8 diverged";
@@ -120,15 +119,18 @@ TEST(SweepDeterminismTest, SimResultBitIdenticalAcrossThreadCountsForEveryScenar
 
 // One sweep over the whole library at sim_threads {1, 2, 8}: the runner's
 // internal audit must find no divergence, and the thread-count replicas of
-// each (scenario, seed) must carry identical metrics and checksums.
+// each (scenario, seed) must carry identical metrics and checksums —
+// identical up to the schema's declared timing metrics, which are wall
+// clock and masked before the compare.
 TEST(SweepDeterminismTest, SweepAuditsThreadInvarianceForEveryScenario) {
   SweepSpec spec = small_spec();
   spec.num_seeds = 1;
   spec.sim_threads = {1, 2, 8};
-  const SweepResult result = SweepRunner(spec).run();
+  SweepResult result = SweepRunner(spec).run();
 
   EXPECT_TRUE(result.determinism_violations.empty());
   ASSERT_EQ(result.runs.size(), sim::scenario_names().size() * 3);
+  mask_timing_metrics(result);
   for (std::size_t i = 0; i < result.runs.size(); i += 3) {
     for (std::size_t v = 1; v < 3; ++v) {
       EXPECT_EQ(result.runs[i].checksum, result.runs[i + v].checksum)
@@ -138,8 +140,28 @@ TEST(SweepDeterminismTest, SweepAuditsThreadInvarianceForEveryScenario) {
   }
 }
 
+// The timing mask is surgical: it has exactly the declared indices to
+// touch (currently plan_solve_seconds), and every *other* metric of two
+// thread-count replicas is already bit-identical unmasked.
+TEST(SweepDeterminismTest, OnlyDeclaredTimingMetricsAreNondeterministic) {
+  ASSERT_EQ(timing_metric_indices().size(), 1u);
+  EXPECT_EQ(metric_names()[timing_metric_indices().front()], "plan_solve_seconds");
+
+  SweepSpec spec = small_spec();
+  spec.num_seeds = 1;
+  spec.scenarios = {"steady-week"};
+  spec.sim_threads = {1, 2};
+  const SweepResult result = SweepRunner(spec).run();
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (std::size_t m = 0; m < metric_names().size(); ++m) {
+    if (m == timing_metric_indices().front()) continue;
+    EXPECT_EQ(result.runs[0].values[m], result.runs[1].values[m]) << metric_names()[m];
+  }
+}
+
 // Two invocations with shuffled task order and different worker-pool sizes
-// must serialize to the exact same bytes: execution schedule is not data.
+// must serialize to the exact same bytes once the declared timing metrics
+// are masked: execution schedule is not data.
 TEST(SweepDeterminismTest, ShuffledTaskOrderAndWorkerCountProduceIdenticalResults) {
   SweepSpec canonical = small_spec();
   canonical.scenarios = {"steady-week", "dc-drain", "flash-crowd"};
@@ -150,8 +172,14 @@ TEST(SweepDeterminismTest, ShuffledTaskOrderAndWorkerCountProduceIdenticalResult
   shuffled.workers = 4;
   shuffled.task_order_seed = 0xC0FFEE;
 
-  const SweepResult a = SweepRunner(canonical).run();
-  const SweepResult b = SweepRunner(shuffled).run();
+  SweepResult a = SweepRunner(canonical).run();
+  SweepResult b = SweepRunner(shuffled).run();
+  // The unmasked results still pass the tolerance-based baseline check
+  // against each other (the timing metric has unbounded slack there)...
+  EXPECT_TRUE(compare_to_baseline(a, b, default_tolerances()).empty());
+  // ...and masked, they are the same result down to the byte.
+  mask_timing_metrics(a);
+  mask_timing_metrics(b);
   EXPECT_TRUE(a.runs == b.runs);
   EXPECT_TRUE(a.aggregates == b.aggregates);
   EXPECT_EQ(to_json_text(a), to_json_text(b));
@@ -160,7 +188,6 @@ TEST(SweepDeterminismTest, ShuffledTaskOrderAndWorkerCountProduceIdenticalResult
   // in particular compare_to_baseline never sees a spec mismatch from a
   // worker-count difference (the CI check passes --workers).
   EXPECT_TRUE(a == b);
-  EXPECT_TRUE(compare_to_baseline(a, b, default_tolerances()).empty());
 }
 
 // --- aggregation over seeds ----------------------------------------------
