@@ -8,13 +8,18 @@
 // library; `--threads N` exercises the sharded executor (results are
 // bit-identical across thread counts for a fixed seed).
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "bench/common.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
+#include "sweep/perf_report.h"
 
 namespace {
 
-titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& cli) {
+titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& cli,
+                              titan::obs::TraceRecorder* trace) {
   using namespace titan;
   sim::Scenario scenario = sim::make_scenario(name);
   scenario.seed = cli.seed;
@@ -22,6 +27,7 @@ titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& 
   scenario.peak_slot_calls = cli.peak_or(1200.0);  // paper-shaped volume
 
   sim::SimEngine engine(scenario);
+  engine.set_trace(trace);
   std::printf("\n-- %s: %s\n", scenario.name.c_str(), scenario.description.c_str());
   std::printf("   %zu calls over %d days, replan every %d slots, %d shards, %d threads\n",
               engine.eval_trace().calls().size(), scenario.eval_days,
@@ -51,6 +57,12 @@ titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& 
   t.add_row({"plan time (LP)", core::TextTable::num(r.plan_seconds, 2) + " s"});
   t.add_row({"forecast time", core::TextTable::num(r.forecast_seconds, 2) + " s"});
   t.add_row({"wall time", core::TextTable::num(r.wall_seconds, 2) + " s"});
+  t.add_row({"throughput", core::TextTable::num(r.calls_per_sec(), 0) + " calls/s, " +
+                               core::TextTable::num(r.events_per_sec(), 0) + " events/s"});
+  t.add_row({"assign latency",
+             "p50 " + core::TextTable::num(r.perf.assign_latency_us.quantile(0.5), 1) +
+                 " us, p99 " + core::TextTable::num(r.perf.assign_latency_us.quantile(0.99), 1) +
+                 " us, max " + core::TextTable::num(r.perf.assign_latency_us.max(), 1) + " us"});
   char buf[32];
   std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(r.checksum));
   t.add_row({"determinism checksum", buf});
@@ -168,9 +180,14 @@ int main(int argc, char** argv) {
   } else {
     names = {cli.scenario};
   }
+  // One recorder across the whole run: scenarios sequence on a shared
+  // timeline, so the exported trace shows the full bench end to end.
+  obs::TraceRecorder trace;
+  obs::TraceRecorder* trace_ptr = cli.trace_out_path.empty() ? nullptr : &trace;
+
   std::vector<sim::SimResult> results;
   results.reserve(names.size());
-  for (const auto& name : names) results.push_back(run_one(name, cli));
+  for (const auto& name : names) results.push_back(run_one(name, cli, trace_ptr));
 
   // Machine-readable per-scenario summary (CI uploads this as an artifact;
   // the determinism checksums double as cheap golden values).
@@ -195,7 +212,7 @@ int main(int argc, char** argv) {
                    "\"internet_share\": %.6f, \"mean_mos\": %.4f, "
                    "\"wan_sum_of_peaks_mbps\": %.3f, "
                    "\"calls_na\": %lld, \"calls_eu\": %lld, \"calls_asia\": %lld, "
-                   "\"wan_gb_na\": %.3f, \"wan_gb_eu\": %.3f, \"wan_gb_asia\": %.3f}%s\n",
+                   "\"wan_gb_na\": %.3f, \"wan_gb_eu\": %.3f, \"wan_gb_asia\": %.3f,%s\n",
                    r.scenario.c_str(), static_cast<unsigned long long>(r.checksum),
                    static_cast<long long>(r.calls), r.replans,
                    static_cast<long long>(r.dc_migrations),
@@ -209,6 +226,9 @@ int main(int argc, char** argv) {
                    r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)],
                    r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kEurope)],
                    r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kAsia)],
+                   "");
+      std::fprintf(f, "     \"calls_per_sec\": %.3f, \"events_per_sec\": %.3f}%s\n",
+                   r.calls_per_sec(), r.events_per_sec(),
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -262,6 +282,68 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", cli.replan_json_path.c_str());
+  }
+
+  // Performance-trajectory report (docs/observability.md): stable schema
+  // with throughput, assignment-latency quantiles, phase timings, and the
+  // deterministic anchors that make cross-machine diffs interpretable.
+  if (!cli.perf_json_path.empty()) {
+    sweep::Json report = sweep::perf_report_json(results, cli.peak_or(1200.0), cli.weeks,
+                                                 cli.threads, cli.seed);
+    // Cross-scenario aggregate registry: one merged latency histogram and
+    // the run-total counters, exported alongside the per-scenario entries.
+    obs::Registry registry;
+    for (const auto& r : results) {
+      registry.counter("calls").add(r.calls);
+      registry.counter("events").add(r.perf.events_processed);
+      registry.counter("replans").add(r.replans);
+      registry.gauge("wall_seconds_last").set(r.wall_seconds);
+      registry
+          .histogram("assign_latency_us", r.perf.assign_latency_us.options())
+          .merge(r.perf.assign_latency_us);
+    }
+    report.set("registry", sweep::registry_json(registry));
+
+    std::ofstream out(cli.perf_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.perf_json_path.c_str());
+      return 1;
+    }
+    out << report.dump(2) << "\n";
+    out.close();
+    std::printf("wrote %s\n", cli.perf_json_path.c_str());
+
+    // Informational diff against a committed baseline: printed, never
+    // fatal — wall clock is machine-dependent, the trajectory is the point.
+    if (!cli.perf_baseline_path.empty()) {
+      std::ifstream in(cli.perf_baseline_path);
+      if (!in) {
+        std::fprintf(stderr, "perf baseline %s unreadable; skipping diff\n",
+                     cli.perf_baseline_path.c_str());
+      } else {
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+          const sweep::Json baseline = sweep::Json::parse(text.str());
+          std::printf("\n%s", sweep::perf_diff_text(baseline, report).c_str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "perf baseline %s unparsable (%s); skipping diff\n",
+                       cli.perf_baseline_path.c_str(), e.what());
+        }
+      }
+    }
+  }
+
+  // Chrome trace_event export of the runs' phase spans (Perfetto-loadable).
+  if (!cli.trace_out_path.empty()) {
+    std::ofstream out(cli.trace_out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.trace_out_path.c_str());
+      return 1;
+    }
+    out << trace.chrome_json();
+    out.close();
+    std::printf("wrote %s (%zu spans)\n", cli.trace_out_path.c_str(), trace.size());
   }
 
   // Leaked calls mean corrupted usage streams; fail the smoke run loudly.

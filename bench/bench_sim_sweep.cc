@@ -119,6 +119,20 @@ int main(int argc, char** argv) {
     const sweep::SweepResult result = runner.run();
     print_aggregates(result);
 
+    // Per-task wall time (canonical order: scenario-major, seed-minor) —
+    // the sweep's share of the observability surface. Reporting only;
+    // never serialized into the sweep JSON.
+    if (!result.task_seconds.empty()) {
+      double total = 0.0, slowest = 0.0;
+      for (const double s : result.task_seconds) {
+        total += s;
+        slowest = std::max(slowest, s);
+      }
+      std::printf("\ntask timing: %zu tasks, %.2f s total, %.2f s mean, %.2f s slowest\n",
+                  result.task_seconds.size(),
+                  total, total / static_cast<double>(result.task_seconds.size()), slowest);
+    }
+
     // Write the JSON before any failure exit: on a red run it is exactly
     // the artifact that diagnoses the failure (CI uploads it regardless).
     // The shared --json flag is honored as an alias for --out.

@@ -33,6 +33,13 @@ namespace titan::bench {
 //   --json PATH   machine-readable per-scenario results (sim benches only)
 //   --replan-json PATH  per-scenario cold-vs-warm replan-latency report
 //                 from the rolling-horizon drill (bench_sim_scenarios only)
+//   --perf-json PATH  throughput / latency / phase-timing performance
+//                 report (bench_sim_scenarios only; docs/observability.md
+//                 documents the schema)
+//   --perf-baseline PATH  committed perf JSON to diff against,
+//                 informationally — never changes the exit code
+//   --trace-out PATH  Chrome trace_event JSON of the runs' phase spans,
+//                 loadable in Perfetto (bench_sim_scenarios only)
 //   --list-scenarios  print the scenario library and exit (sim benches only)
 // Sweep bench (`bench_sim_sweep`) extras:
 //   --seeds N     sweep N consecutive seeds starting at --seed
@@ -53,6 +60,9 @@ struct Cli {
   std::string scenario;
   std::string json_path;
   std::string replan_json_path;
+  std::string perf_json_path;
+  std::string perf_baseline_path;
+  std::string trace_out_path;
   // Sweep bench only.
   int seeds = 1;
   std::string scenarios;    // comma list; "" or "all" = whole library
@@ -167,6 +177,12 @@ inline CliParse parse_cli_args(int argc, char** argv,
       if ((v = value())) cli.json_path = v;
     } else if (is("--replan-json")) {
       if ((v = value())) cli.replan_json_path = v;
+    } else if (is("--perf-json")) {
+      if ((v = value())) cli.perf_json_path = v;
+    } else if (is("--perf-baseline")) {
+      if ((v = value())) cli.perf_baseline_path = v;
+    } else if (is("--trace-out")) {
+      if ((v = value())) cli.trace_out_path = v;
     } else if (is("--seeds")) {
       if ((v = value())) {
         cli.seeds = std::atoi(v);
@@ -193,7 +209,9 @@ inline CliParse parse_cli_args(int argc, char** argv,
       parse.exit_code = 0;
       parse.message = std::string("usage: ") + argv0 +
                       " [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]"
-                      " [--json PATH] [--replan-json PATH] [--seeds N] [--scenarios A,B|all]"
+                      " [--json PATH] [--replan-json PATH] [--perf-json PATH]"
+                      " [--perf-baseline PATH] [--trace-out PATH]"
+                      " [--seeds N] [--scenarios A,B|all]"
                       " [--sim-threads L]"
                       " [--workers N] [--baseline PATH] [--check] [--out PATH]"
                       " [--list-scenarios]\n";

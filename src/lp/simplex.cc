@@ -149,6 +149,12 @@ Basis export_basis(const Tableau& t, const std::vector<int>& basis) {
 // present; warm starts skip phase 1 but *gate* on the seeded basis being
 // factorizable and primal-feasible, reporting kNumericalFailure otherwise
 // so the caller can rerun cold.
+// Seconds elapsed since `t0` (steady clock); the one timing idiom the
+// phase instrumentation below uses.
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> basis, bool warm,
                     const SolveOptions& options) {
   Solution sol;
@@ -158,8 +164,18 @@ Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> bas
   std::vector<bool> in_basis(static_cast<std::size_t>(t.n_total), false);
   for (const int j : basis) in_basis[static_cast<std::size_t>(j)] = true;
 
+  // Every LU factorization is counted and its wall time accumulated —
+  // the refactorization share of the phase-timing breakdown.
+  const auto timed_factorize = [&](BasisLu& lu_) {
+    const auto f0 = std::chrono::steady_clock::now();
+    const bool ok = lu_.factorize(t.a, basis, options.pivot_tol);
+    sol.refactor_seconds += seconds_since(f0);
+    ++sol.refactorizations;
+    return ok;
+  };
+
   BasisLu lu;
-  if (!lu.factorize(t.a, basis, options.pivot_tol)) {
+  if (!timed_factorize(lu)) {
     sol.status = SolveStatus::kNumericalFailure;
     return sol;
   }
@@ -291,7 +307,7 @@ Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> bas
 
       const bool updated = lu.update(leaving, alpha, options.pivot_tol);
       if (!updated || lu.eta_count() >= options.refactor_interval) {
-        if (!lu.factorize(t.a, basis, options.pivot_tol)) return SolveStatus::kNumericalFailure;
+        if (!timed_factorize(lu)) return SolveStatus::kNumericalFailure;
         xb = t.rhs;
         lu.ftran(xb);
       }
@@ -387,7 +403,7 @@ Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> bas
 
       const bool updated = lu.update(leaving, alpha, options.pivot_tol);
       if (!updated || lu.eta_count() >= options.refactor_interval) {
-        if (!lu.factorize(t.a, basis, options.pivot_tol)) return false;
+        if (!timed_factorize(lu)) return false;
         xb = t.rhs;
         lu.ftran(xb);
       }
@@ -398,20 +414,24 @@ Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> bas
   // a clean seed skips straight to phase 2, a damaged one runs the
   // restoration pass (whose iterations are accounted as phase-1 work).
   if (warm && (artificials_hot > 0 || negative_rows > 0)) {
-    if (!run_restoration(sol.phase1_iterations)) {
-      sol.iterations += sol.phase1_iterations;
+    const auto p1_start = std::chrono::steady_clock::now();
+    const bool restored = run_restoration(sol.phase1_iterations);
+    sol.phase1_seconds += seconds_since(p1_start);
+    sol.iterations += sol.phase1_iterations;
+    if (!restored) {
       sol.status = SolveStatus::kNumericalFailure;
       return sol;
     }
-    sol.iterations += sol.phase1_iterations;
   }
   bool need_phase1 = false;
   if (!warm)
     for (const int j : basis)
       if (t.artificial[static_cast<std::size_t>(j)]) need_phase1 = true;
   if (need_phase1) {
+    const auto p1_start = std::chrono::steady_clock::now();
     const SolveStatus s1 = run_phase(phase1_cost, /*block_artificials=*/false,
                                      sol.phase1_iterations);
+    sol.phase1_seconds += seconds_since(p1_start);
     sol.iterations += sol.phase1_iterations;
     if (s1 == SolveStatus::kIterationLimit || s1 == SolveStatus::kNumericalFailure) {
       sol.status = s1;
@@ -429,7 +449,9 @@ Solution solve_from(const LpModel& model, const Tableau& t, std::vector<int> bas
 
   // ---- Phase 2 (artificials blocked from re-entering).
   int phase2_iters = 0;
+  const auto p2_start = std::chrono::steady_clock::now();
   const SolveStatus s2 = run_phase(t.cost, /*block_artificials=*/true, phase2_iters);
+  sol.phase2_seconds += seconds_since(p2_start);
   sol.iterations += phase2_iters;
   if (s2 != SolveStatus::kOptimal) {
     sol.status = s2;

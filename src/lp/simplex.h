@@ -67,6 +67,16 @@ struct Solution {
   int iterations = 0;
   int phase1_iterations = 0;
   double solve_seconds = 0.0;
+  // Phase breakdown of solve_seconds (wall clock; solve_seconds also
+  // covers tableau construction and basis mapping, so the parts do not sum
+  // to it). refactor_seconds is the LU (re)factorization share, counted
+  // inside whichever phase triggered it. `refactorizations` counts those
+  // factorizations — a deterministic companion to `iterations`, since the
+  // pivot sequence and eta-growth policy are deterministic.
+  double phase1_seconds = 0.0;  // classic phase 1 or warm restoration
+  double phase2_seconds = 0.0;
+  double refactor_seconds = 0.0;
+  int refactorizations = 0;
   Basis basis;                // final basis, filled when status == kOptimal
   bool warm_started = false;  // solved from a caller basis (phase 1 skipped)
 };

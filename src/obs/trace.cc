@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+namespace titan::obs {
+
+namespace {
+
+// JSON string escaping for the few characters span names could plausibly
+// carry; everything else we emit is machine-chosen ASCII.
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::set_lane_name(int lane, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[lane] = std::move(name);
+}
+
+void TraceRecorder::add_complete(std::string name, std::string category, int lane,
+                                 double start_us, double duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({std::move(name), std::move(category), lane, start_us, duration_us});
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[96];
+  for (const auto& [lane, name] : lane_names_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{"
+                  "\"name\":\"",
+                  lane);
+    out += buf;
+    append_escaped(out, name);
+    out += "\"}}";
+  }
+  for (const auto& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,";
+    std::snprintf(buf, sizeof buf, "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"name\":\"", e.lane,
+                  e.start_us, e.duration_us);
+    out += buf;
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.category.empty() ? std::string("default") : e.category);
+    out += "\"}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace titan::obs

@@ -1,0 +1,95 @@
+// Phase-timing spans exportable as Chrome trace_event JSON.
+//
+// A TraceRecorder collects completed spans ("X" phase events in the
+// trace_event vocabulary) on integer lanes (rendered as thread rows in
+// Perfetto / chrome://tracing); obs::Span is the RAII producer. All times
+// are wall clock — trace output is a visualization artifact and must never
+// feed a determinism checksum (docs/observability.md).
+//
+// Recording is mutex-serialized so spans may close on any worker thread;
+// the spans the sim emits are per-(slot, shard) phases, coarse enough that
+// the lock is invisible next to the work it brackets. A null recorder
+// makes Span a no-op that never reads the clock, so instrumented hot paths
+// pay one branch when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace titan::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int lane = 0;           // rendered as the tid
+  double start_us = 0.0;  // relative to the recorder's epoch
+  double duration_us = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Microseconds since the recorder was constructed — the time base every
+  // span uses, so one recorder can span several sequential runs.
+  [[nodiscard]] double now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     epoch_)
+        .count();
+  }
+
+  // Names a lane's row in the viewer (idempotent).
+  void set_lane_name(int lane, std::string name);
+
+  void add_complete(std::string name, std::string category, int lane, double start_us,
+                    double duration_us);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Chrome trace_event "JSON Object Format": {"traceEvents": [...]} with
+  // thread_name metadata per named lane and one "X" event per span.
+  // Loadable directly in Perfetto or chrome://tracing.
+  [[nodiscard]] std::string chrome_json() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> lane_names_;
+};
+
+// RAII span: captures the start time at construction and records a
+// complete event when destroyed (or end()ed early). With a null recorder
+// every operation is a no-op and the clock is never read.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceRecorder* recorder, const char* name, const char* category = "", int lane = 0)
+      : recorder_(recorder), name_(name), category_(category), lane_(lane) {
+    if (recorder_ != nullptr) start_us_ = recorder_->now_us();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void end() {
+    if (recorder_ == nullptr) return;
+    recorder_->add_complete(name_, category_, lane_, start_us_,
+                            recorder_->now_us() - start_us_);
+    recorder_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = "";
+  const char* category_ = "";
+  int lane_ = 0;
+  double start_us_ = 0.0;
+};
+
+}  // namespace titan::obs

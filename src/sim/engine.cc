@@ -49,6 +49,11 @@ struct SimEngine::Shard {
   // between slots (ordered so the merged steering order is deterministic).
   std::set<std::pair<int, int>> transit_steer;
   eval::SlotMetricsSink sink;
+  // Per-shard observability, merged into SimResult::perf in shard index
+  // order (layouts are seeded from SimPerf's in run()).
+  obs::Histogram assign_latency_us;
+  obs::Histogram call_duration_slots;
+  std::int64_t events = 0;  // call events drained (deterministic)
   std::uint64_t checksum = 0xcbf29ce484222325ULL;
   std::int64_t calls = 0;
   std::int64_t dc_migrations = 0;
@@ -351,9 +356,14 @@ SimResult SimEngine::run(int threads) {
 
   std::vector<Shard> shards(static_cast<std::size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
-    shards[static_cast<std::size_t>(i)].rng =
-        core::Rng(core::hash_key(scenario_.seed, 0x51Aa, i));
-    shards[static_cast<std::size_t>(i)].sink = eval::SlotMetricsSink(num_slots, num_links);
+    auto& sh = shards[static_cast<std::size_t>(i)];
+    sh.rng = core::Rng(core::hash_key(scenario_.seed, 0x51Aa, i));
+    sh.sink = eval::SlotMetricsSink(num_slots, num_links);
+    // Seed the per-shard histograms with SimPerf's bucket layouts so the
+    // shard-order merge below is a layout-identical (and thus bit-exact)
+    // count addition.
+    sh.assign_latency_us = SimPerf{}.assign_latency_us;
+    sh.call_duration_slots = SimPerf{}.call_duration_slots;
   }
   for (const auto& e :
        workload::build_event_stream(workload_.eval, scenario_.convergence_delay_slots))
@@ -364,6 +374,17 @@ SimResult SimEngine::run(int threads) {
   result.scenario = scenario_.name;
   result.eval_slots = num_slots;
   result.threads = std::max(1, threads);
+
+  // Per-shard accumulated job wall time (phases A+B and C together).
+  std::vector<double> shard_seconds(static_cast<std::size_t>(num_shards), 0.0);
+  const auto seconds_since = [](std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t).count();
+  };
+  if (trace_ != nullptr) {
+    trace_->set_lane_name(0, "engine");
+    for (int i = 0; i < num_shards; ++i)
+      trace_->set_lane_name(1 + i, "shard " + std::to_string(i));
+  }
 
   // Engine-level (cross-shard) per-slot stream: transit steering decisions.
   eval::SlotMetricsSink engine_sink(num_slots, num_links);
@@ -379,14 +400,32 @@ SimResult SimEngine::run(int threads) {
       ++next_event;
     }
     if (s >= next_replan || force_replan) {
-      replan(s, shards, force_replan);
+      const auto r0 = std::chrono::steady_clock::now();
+      {
+        obs::Span span(trace_, "replan", "engine", 0);
+        replan(s, shards, force_replan);
+      }
+      result.perf.replan_seconds += seconds_since(r0);
       result.plan_seconds += current_plan_.lp_seconds;
       result.forecast_seconds += current_plan_.forecast_seconds;
       ++result.replans;
-      result.replan_stats.push_back({s, current_plan_.lp_iterations,
-                                     current_plan_.lp_phase1_iterations,
-                                     current_plan_.lp_warm_started, current_plan_.lp_attempts,
-                                     current_plan_.lp_seconds});
+      ReplanStat stat;
+      stat.slot = s;
+      stat.iterations = current_plan_.lp_iterations;
+      stat.phase1_iterations = current_plan_.lp_phase1_iterations;
+      stat.warm_started = current_plan_.lp_warm_started;
+      stat.attempts = current_plan_.lp_attempts;
+      stat.solve_seconds = current_plan_.lp_seconds;
+      stat.build_seconds = current_plan_.lp_build_seconds;
+      stat.phase1_seconds = current_plan_.lp_phase1_seconds;
+      stat.phase2_seconds = current_plan_.lp_phase2_seconds;
+      stat.refactor_seconds = current_plan_.lp_refactor_seconds;
+      stat.refactorizations = current_plan_.lp_refactorizations;
+      result.replan_stats.push_back(stat);
+      result.perf.lp_build_seconds += current_plan_.lp_build_seconds;
+      result.perf.lp_phase1_seconds += current_plan_.lp_phase1_seconds;
+      result.perf.lp_phase2_seconds += current_plan_.lp_phase2_seconds;
+      result.perf.lp_refactor_seconds += current_plan_.lp_refactor_seconds;
       next_replan = s + scenario_.replan_interval_slots;
     }
 
@@ -410,7 +449,10 @@ SimResult SimEngine::run(int threads) {
 
     // Phase A+B: per shard, evacuate stranded calls, drain this slot's call
     // events, then account per-slot usage of the shard's active set.
-    exec.run([&](int i) {
+    const auto ab0 = std::chrono::steady_clock::now();
+    obs::Span ab_span(trace_, "events+usage", "engine", 0);
+    exec.run_timed([&](int i) {
+      obs::Span shard_span(trace_, "events+usage", "shard", 1 + i);
       auto& sh = shards[static_cast<std::size_t>(i)];
       sh.internet_load.clear();
       sh.converged_this_slot.clear();
@@ -480,6 +522,7 @@ SimResult SimEngine::run(int threads) {
 
       while (sh.queue.due(s)) {
         const auto e = sh.queue.pop();
+        ++sh.events;
         const auto& call = calls[e.call_index];
         switch (e.kind) {
           case workload::CallEventKind::kEnd:
@@ -494,9 +537,15 @@ SimResult SimEngine::run(int threads) {
             sh.sink.add_arrival(s);
             sh.sink.add_region_arrival(
                 s, country_region_[static_cast<std::size_t>(call.first_joiner.value())]);
+            sh.call_duration_slots.record(static_cast<double>(call.duration_slots));
             const auto& config = workload_.eval.configs().get(call.config);
+            const auto a0 = std::chrono::steady_clock::now();
             auto initial =
                 sh.controller->assign_initial(call.first_joiner, config.media, t, sh.rng);
+            sh.assign_latency_us.record(
+                std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          a0)
+                    .count());
             if (!initial.from_plan) ++sh.fallbacks;
             sh.pending.emplace(e.call_index, std::move(initial));
             break;
@@ -517,7 +566,12 @@ SimResult SimEngine::run(int threads) {
               break;
             }
             const auto& config = workload_.eval.configs().get(call.config);
+            const auto c0 = std::chrono::steady_clock::now();
             const auto conv = sh.controller->converge(it->second, config, t, sh.rng);
+            sh.assign_latency_us.record(
+                std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          c0)
+                    .count());
             std::uint32_t flags = 0;
             if (conv.dc_migration) {
               ++sh.dc_migrations;
@@ -564,17 +618,22 @@ SimResult SimEngine::run(int threads) {
         }
         sh.sink.add_participants(s, ac.path == net::PathType::kInternet ? total : 0, total);
       }
-    });
+    }, shard_seconds);
+    ab_span.end();
+    result.perf.event_apply_seconds += seconds_since(ab0);
 
     // Barrier: the load-dependent Internet metrics need the slot's total
     // offered load per pair across every shard (merged in shard order).
+    const auto agg0 = std::chrono::steady_clock::now();
+    obs::Span agg_span(trace_, "aggregate+quality", "engine", 0);
     std::map<std::pair<int, int>, double> pair_load;
     for (const auto& sh : shards)
       for (const auto& [pair, mbps] : sh.internet_load) pair_load[pair] += mbps;
 
     // Phase C: route-quality failover and the MOS proxy, against effective
     // (elasticity-aware) Internet quality at the merged load.
-    exec.run([&](int i) {
+    exec.run_timed([&](int i) {
+      obs::Span shard_span(trace_, "route+mos", "shard", 1 + i);
       auto& sh = shards[static_cast<std::size_t>(i)];
       sh.transit_steer.clear();
       for (auto& [idx, ac] : sh.active) {
@@ -616,7 +675,7 @@ SimResult SimEngine::run(int threads) {
         const double e2e = current_plan_.inputs->max_e2e_ms(config, ac.dc, ac.path);
         sh.sink.add_mos(s, mos_model.expected(e2e, loss));
       }
-    });
+    }, shard_seconds);
 
     // Transit failover (§4.2 finding 6, Titan's steering knob): every pair
     // whose route failover this slot traced to a congested transit moves to
@@ -635,13 +694,20 @@ SimResult SimEngine::run(int threads) {
                          static_cast<std::uint64_t>(country)),
           static_cast<std::uint64_t>(dc));
     }
+    agg_span.end();
+    result.perf.metric_aggregation_seconds += seconds_since(agg0);
   }
 
   // Deterministic merge in shard index order.
+  const auto merge0 = std::chrono::steady_clock::now();
+  obs::Span merge_span(trace_, "final merge", "engine", 0);
   eval::SlotMetricsSink merged(num_slots, num_links);
   std::uint64_t checksum = 0x9e3779b97f4a7c15ULL;
   for (const auto& sh : shards) {
     merged.merge(sh.sink);
+    result.perf.assign_latency_us.merge(sh.assign_latency_us);
+    result.perf.call_duration_slots.merge(sh.call_duration_slots);
+    result.perf.events_processed += sh.events;
     result.calls += sh.calls;
     result.dc_migrations += sh.dc_migrations;
     result.route_changes += sh.route_changes;
@@ -680,6 +746,9 @@ SimResult SimEngine::run(int threads) {
   result.streams = std::move(merged);
   result.checksum = checksum;
   result.severed_links = severed_links_;
+  merge_span.end();
+  result.perf.metric_aggregation_seconds += seconds_since(merge0);
+  for (const double sec : shard_seconds) result.perf.shard_work_seconds += sec;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;

@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "eval/slot_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scenario.h"
 
 namespace titan::sim {
@@ -54,7 +56,58 @@ struct ReplanStat {
   bool warm_started = false;
   int attempts = 1;              // headroom-relaxation attempts consumed
   double solve_seconds = 0.0;
+  // Wall-clock breakdown of the LP work (accumulated across attempts, like
+  // solve_seconds): model construction, simplex phase 1 (or the warm
+  // restoration pass), phase 2, and the LU refactorization share counted
+  // inside whichever phase triggered it. All zeroed by zero_wallclock().
+  double build_seconds = 0.0;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double refactor_seconds = 0.0;
+  int refactorizations = 0;  // deterministic, like `iterations`
   bool operator==(const ReplanStat&) const = default;
+};
+
+// Run-level performance observability, carried by SimResult next to the
+// deterministic metrics. Two kinds of content live here, with opposite
+// masking rules (docs/observability.md):
+//
+//  * wall-clock phase totals and the assignment-latency histogram — these
+//    legitimately differ between runs and are masked by
+//    SimResult::zero_wallclock() before bitwise compares;
+//  * deterministic fields (`events_processed`, `call_duration_slots`) —
+//    pure functions of the workload, bit-identical at any thread count,
+//    deliberately left un-masked so determinism tests cover the histogram
+//    merge path.
+struct SimPerf {
+  // Phase totals in seconds across the whole run, engine's view.
+  double event_apply_seconds = 0.0;        // phase A+B: evacuation + event drain + usage
+  double metric_aggregation_seconds = 0.0; // barrier merges, phase C, final merge
+  double replan_seconds = 0.0;             // replan() end to end (forecast + LP + rebind)
+  double shard_work_seconds = 0.0;         // summed per-shard job time (all phases)
+  // LP breakdown accumulated across replans (per-replan values sit in
+  // SimResult::replan_stats).
+  double lp_build_seconds = 0.0;
+  double lp_phase1_seconds = 0.0;
+  double lp_phase2_seconds = 0.0;
+  double lp_refactor_seconds = 0.0;
+
+  // Per-call controller latency in microseconds: one sample per
+  // assign_initial and one per converge. Wall clock — masked.
+  obs::Histogram assign_latency_us{obs::Histogram::Options{0.01, 1e6, 8}};
+
+  // Call durations in slots, recorded at arrival. Deterministic.
+  obs::Histogram call_duration_slots{obs::Histogram::Options{1.0, 1e5, 4}};
+  std::int64_t events_processed = 0;  // call events drained (deterministic)
+
+  bool operator==(const SimPerf&) const = default;
+
+  void zero_wallclock() {
+    event_apply_seconds = metric_aggregation_seconds = replan_seconds = 0.0;
+    shard_work_seconds = 0.0;
+    lp_build_seconds = lp_phase1_seconds = lp_phase2_seconds = lp_refactor_seconds = 0.0;
+    assign_latency_us.reset();
+  }
 };
 
 struct SimResult {
@@ -98,6 +151,10 @@ struct SimResult {
   // Bit-exact fingerprint of every assignment decision, in shard order.
   std::uint64_t checksum = 0;
 
+  // Performance observability (never feeds `checksum`; wall-clock parts
+  // masked by zero_wallclock()).
+  SimPerf perf;
+
   // Links severed by fiber-cut/link-scale events, with their firing slot.
   std::vector<std::pair<core::SlotIndex, core::LinkId>> severed_links;
 
@@ -106,6 +163,13 @@ struct SimResult {
   }
   [[nodiscard]] double migration_rate() const {
     return calls > 0 ? static_cast<double>(dc_migrations) / static_cast<double>(calls) : 0.0;
+  }
+  // Throughput rates derived from the wall clock (reporting only).
+  [[nodiscard]] double calls_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(calls) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(perf.events_processed) / wall_seconds : 0.0;
   }
 
   // Bitwise equality over every field, streams included. Callers comparing
@@ -119,7 +183,11 @@ struct SimResult {
   void zero_wallclock() {
     threads = 0;
     plan_seconds = forecast_seconds = wall_seconds = 0.0;
-    for (auto& r : replan_stats) r.solve_seconds = 0.0;
+    for (auto& r : replan_stats) {
+      r.solve_seconds = 0.0;
+      r.build_seconds = r.phase1_seconds = r.phase2_seconds = r.refactor_seconds = 0.0;
+    }
+    perf.zero_wallclock();
   }
 };
 
@@ -135,6 +203,13 @@ class SimEngine {
   [[nodiscard]] const geo::World& world() const { return *world_; }
   [[nodiscard]] const net::NetworkDb& network() const { return *db_; }
   [[nodiscard]] const workload::Trace& eval_trace() const { return workload_.eval; }
+
+  // Optional span recorder for the run's phase timing (null = tracing off,
+  // the default; the hot loops then never read the trace clock). Lane 0
+  // carries the engine's per-slot phases, lane 1 + i the per-shard jobs.
+  // The recorder must outlive run(); its output is a visualization
+  // artifact and never feeds the result (docs/observability.md).
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   // Runs the whole scenario with `threads` workers. Repeatable: each run
   // rebuilds all mutable state (including disturbance effects) from the
@@ -178,6 +253,7 @@ class SimEngine {
   titannext::WarmStartCache warm_cache_;
   std::vector<bool> dead_links_;   // capacity fully severed
   std::vector<bool> drained_dcs_;  // compute fully drained
+  obs::TraceRecorder* trace_ = nullptr;
   bool evacuation_pending_ = false;
   // DC -> fraction of its in-flight calls to evacuate in the next wave
   // (partial drains); consumed by the wave, then cleared.

@@ -1,6 +1,7 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace titan::sim {
 
@@ -34,6 +35,16 @@ void ShardedExecutor::run(const std::function<void(int)>& job) {
   cv_start_.notify_all();
   cv_done_.wait(lock, [this] { return running_ == 0; });
   job_ = nullptr;
+}
+
+void ShardedExecutor::run_timed(const std::function<void(int)>& job,
+                                std::vector<double>& shard_seconds) {
+  run([&](int shard) {
+    const auto t0 = std::chrono::steady_clock::now();
+    job(shard);
+    shard_seconds[static_cast<std::size_t>(shard)] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  });
 }
 
 void ShardedExecutor::worker_loop() {

@@ -40,6 +40,13 @@ class ShardedExecutor {
 
   void run(const std::function<void(int shard)>& job);
 
+  // Like run(), but accumulates each shard job's wall seconds into
+  // shard_seconds[shard] (+=; must have num_shards entries). Safe because
+  // one worker at a time owns a shard index and distinct shards touch
+  // distinct entries. The per-shard work/merge-imbalance surface of
+  // docs/observability.md.
+  void run_timed(const std::function<void(int shard)>& job, std::vector<double>& shard_seconds);
+
   [[nodiscard]] int num_shards() const { return num_shards_; }
   [[nodiscard]] int threads() const { return threads_; }
 

@@ -1,0 +1,57 @@
+// Performance-trajectory report: the JSON schema behind
+// `bench_sim_scenarios --perf-json` and the committed
+// bench/baselines/BENCH_sim_throughput.json baseline.
+//
+// The report captures, per scenario, the run's throughput (calls/sec,
+// events/sec over the wall clock), the controller's per-call
+// assignment-latency distribution (p50/p90/p99/max from the
+// obs::Histogram), the engine's phase-timing totals, and a small block of
+// *deterministic* companions (calls, events, replans, simplex iterations,
+// LU refactorizations) that anchor cross-machine comparisons: when the
+// deterministic block differs, the workload changed and throughput deltas
+// are not comparable.
+//
+// The diff against a committed baseline is informational by design — wall
+// clock varies across machines and CI hosts — so perf_diff_text never
+// influences an exit code; it exists to make the performance trajectory
+// *visible* in every CI run, not to gate merges (docs/observability.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/engine.h"
+#include "sweep/json.h"
+
+namespace titan::sweep {
+
+// Bumped when the report layout changes shape (field renames/removals);
+// additive fields do not bump it.
+inline constexpr int kPerfSchemaVersion = 1;
+
+// One scenario entry of the "scenarios" array: throughput, latency
+// quantiles, phase totals, and the deterministic anchors.
+[[nodiscard]] Json perf_scenario_json(const sim::SimResult& r);
+
+// The full report: {"schema_version", "config": {...}, "scenarios": [...]}.
+// `config` echoes the workload knobs the runs used (peak, weeks, threads,
+// seed) so a baseline diff can refuse apples-to-oranges comparisons.
+[[nodiscard]] Json perf_report_json(const std::vector<sim::SimResult>& results,
+                                    double peak_slot_calls, int weeks, int threads,
+                                    std::uint64_t seed);
+
+// Generic registry export: {"counters": {...}, "gauges": {...},
+// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99,
+// buckets: [[lower, upper, count], ...nonzero only]}}}. Deterministic in
+// the registry contents (maps iterate name-sorted).
+[[nodiscard]] Json registry_json(const obs::Registry& registry);
+
+// Human-readable, informational comparison of two perf reports (current vs
+// baseline): per-scenario throughput ratios, latency-quantile movement,
+// and a loud note when the deterministic anchors differ (the workload
+// changed; timing deltas are then expected). Tolerant of missing scenarios
+// or fields — reports them instead of throwing.
+[[nodiscard]] std::string perf_diff_text(const Json& baseline, const Json& current);
+
+}  // namespace titan::sweep

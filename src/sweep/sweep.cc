@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -110,6 +111,7 @@ void mask_timing_metrics(SweepResult& result) {
   for (auto& agg : result.aggregates)
     for (const std::size_t m : timing_metric_indices())
       if (m < agg.stats.size()) agg.stats[m] = MetricStats{};
+  std::fill(result.task_seconds.begin(), result.task_seconds.end(), 0.0);
 }
 
 MetricStats compute_stats(const std::vector<double>& samples) {
@@ -191,6 +193,7 @@ SweepResult SweepRunner::run() const {
   result.spec.workers = 0;
   result.spec.task_order_seed = 0;
   result.runs.resize(tasks.size() * variants);
+  result.task_seconds.assign(tasks.size(), 0.0);
   std::mutex violations_mu;
 
   std::exception_ptr first_error;
@@ -200,6 +203,7 @@ SweepResult SweepRunner::run() const {
     for (std::size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
       try {
         const Task& task = tasks[i];
+        const auto task_start = std::chrono::steady_clock::now();
         const std::string& name = spec_.scenarios[task.scenario_index];
         const std::uint64_t seed = spec_.base_seed + task.seed_index;
         sim::SimEngine engine(sweep_scenario(spec_, name, seed));
@@ -233,6 +237,11 @@ SweepResult SweepRunner::run() const {
                 std::to_string(spec_.sim_threads[v]) + " diverged");
           }
         }
+        // Canonical slot, like the run records: workers never race here
+        // because each task index is claimed by exactly one worker.
+        result.task_seconds[task.scenario_index * seeds + task.seed_index] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - task_start)
+                .count();
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

@@ -119,7 +119,18 @@ struct SweepResult {
   // engine's core guarantee broke.
   std::vector<std::string> determinism_violations;
 
-  bool operator==(const SweepResult&) const = default;
+  // Wall seconds each (scenario, seed) task took (engine construction plus
+  // every thread-count variant), in canonical task order: scenario-major,
+  // seed-minor. Observability only — deliberately NOT serialized (the
+  // sweep JSON schema stays at v3), zeroed by mask_timing_metrics
+  // alongside the timing metrics, and excluded from operator== so the
+  // lossless round-trip contract parse(serialize(x)) == x holds.
+  std::vector<double> task_seconds;
+
+  bool operator==(const SweepResult& other) const {
+    return spec == other.spec && runs == other.runs && aggregates == other.aggregates &&
+           determinism_violations == other.determinism_violations;
+  }
 };
 
 // Zeroes the timing metrics of every run record and aggregate in place,

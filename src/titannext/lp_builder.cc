@@ -1,6 +1,7 @@
 #include "titannext/lp_builder.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <set>
@@ -341,7 +342,10 @@ LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
   const Layout lay{inputs.scope().timeslots, static_cast<int>(demands.size()),
                    static_cast<int>(dcs.size())};
 
+  const auto build_start = std::chrono::steady_clock::now();
   const lp::LpModel model = build_model(inputs, options);
+  result.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
   std::optional<lp::Basis> seed;
   if (warm != nullptr)
     seed = remap_basis(warm->last, inputs, options,
@@ -351,6 +355,10 @@ LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
   result.status = sol.status;
   result.objective = sol.objective;
   result.solve_seconds = sol.solve_seconds;
+  result.phase1_seconds = sol.phase1_seconds;
+  result.phase2_seconds = sol.phase2_seconds;
+  result.refactor_seconds = sol.refactor_seconds;
+  result.refactorizations = sol.refactorizations;
   result.iterations = sol.iterations;
   result.phase1_iterations = sol.phase1_iterations;
   result.warm_started = sol.warm_started;

@@ -52,6 +52,13 @@ struct LpPlanResult {
   lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
   double objective = 0.0;
   double solve_seconds = 0.0;
+  // Wall-clock breakdown (see lp::Solution): model construction, the two
+  // simplex phases, and the LU refactorization share counted inside them.
+  double build_seconds = 0.0;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  double refactor_seconds = 0.0;
+  int refactorizations = 0;  // deterministic, like `iterations`
   int iterations = 0;
   int phase1_iterations = 0;
   bool warm_started = false;  // seeded from the previous replan's basis

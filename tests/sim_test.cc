@@ -951,6 +951,113 @@ TEST(SimGoldenTest, ChecksumsMatchAtOneTwoAndEightThreads) {
 // scenarios. The values are the same frozen goldens — committed before
 // PlanScope grew regions — so any byte of drift in the single-region path
 // fails here.
+// --- observability ------------------------------------------------------
+
+// The zero_wallclock() masking contract for the new perf block: every
+// wall-clock field (phase totals, LP breakdown, per-replan breakdown, the
+// assignment-latency histogram) participates in operator== and is zeroed
+// by the mask, while the deterministic perf fields stay live.
+TEST(SimObsTest, ZeroWallclockMasksEveryPerfTimingField) {
+  SimResult a = SimEngine(small_scenario()).run(2);
+  SimResult b = a;
+  ASSERT_TRUE(a == b);
+
+  // Perturb each wall-clock field in turn: equality must notice (the
+  // fields are genuinely compared, not forgotten by operator==)...
+  for (double* field : {&b.perf.event_apply_seconds, &b.perf.metric_aggregation_seconds,
+                        &b.perf.replan_seconds, &b.perf.shard_work_seconds,
+                        &b.perf.lp_build_seconds, &b.perf.lp_phase1_seconds,
+                        &b.perf.lp_phase2_seconds, &b.perf.lp_refactor_seconds}) {
+    const double saved = *field;
+    *field += 1.0;
+    EXPECT_FALSE(a == b);
+    *field = saved;
+  }
+  b.perf.assign_latency_us.record(42.0);
+  EXPECT_FALSE(a == b);
+  ASSERT_FALSE(b.replan_stats.empty());
+  b.replan_stats[0].refactor_seconds += 1.0;
+  EXPECT_FALSE(a == b);
+
+  // ...and zero_wallclock() must erase every one of those differences.
+  a.zero_wallclock();
+  b.zero_wallclock();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(b.perf.assign_latency_us.total_count(), 0u);
+
+  // Deterministic perf content survives the mask: it is exactly what the
+  // cross-thread determinism tests rely on.
+  EXPECT_GT(a.perf.events_processed, 0);
+  EXPECT_GT(a.perf.call_duration_slots.total_count(), 0u);
+}
+
+// Full-result determinism across thread counts now includes the perf
+// block: the merged deterministic histogram (call durations, merged in
+// shard index order) and the event count must be bit-identical at 1, 2,
+// and 8 workers — this is the engine-level merge-path coverage behind the
+// unit-level ObsHistogramTest.MergeIsInvariantToSplitAndOrder.
+TEST(SimObsTest, DeterministicPerfFieldsAreThreadInvariant) {
+  SimEngine engine(small_scenario());
+  auto r1 = engine.run(1);
+  auto r2 = engine.run(2);
+  auto r8 = engine.run(8);
+
+  EXPECT_EQ(r1.perf.events_processed, r8.perf.events_processed);
+  EXPECT_TRUE(r1.perf.call_duration_slots == r8.perf.call_duration_slots);
+
+  r1.zero_wallclock();
+  r2.zero_wallclock();
+  r8.zero_wallclock();
+  EXPECT_TRUE(r1 == r2);
+  EXPECT_TRUE(r1 == r8);
+}
+
+// Perf counters measure the workload the run actually processed: one
+// duration sample per arriving call, one latency sample per assignment
+// decision (arrival + convergence), all three call events drained.
+TEST(SimObsTest, PerfCountsMatchTheWorkload) {
+  const SimResult r = SimEngine(small_scenario()).run(2);
+  ASSERT_GT(r.calls, 0);
+  EXPECT_EQ(r.perf.call_duration_slots.total_count(),
+            static_cast<std::size_t>(r.calls));
+  // Up to arrival + convergence + end per call; events clamped past the
+  // eval horizon may stay queued, so the exact count can fall just short.
+  EXPECT_LE(r.perf.events_processed, 3 * r.calls);
+  EXPECT_GE(r.perf.events_processed, 2 * r.calls);
+  EXPECT_GE(r.perf.assign_latency_us.total_count(),
+            static_cast<std::size_t>(r.calls));
+  EXPECT_GT(r.perf.assign_latency_us.max(), 0.0);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.calls_per_sec(), 0.0);
+  EXPECT_GT(r.events_per_sec(), 0.0);
+}
+
+// Attaching a TraceRecorder is observation, not perturbation: the run's
+// checksum must not move, and the recorder must come back with the
+// documented lanes populated (engine phases + per-shard jobs).
+TEST(SimObsTest, TracingDoesNotPerturbTheRunAndRecordsAllLanes) {
+  const Scenario s = small_scenario();
+  const auto plain = SimEngine(s).run(2);
+
+  obs::TraceRecorder trace;
+  SimEngine engine(s);
+  engine.set_trace(&trace);
+  const auto traced = engine.run(2);
+
+  EXPECT_EQ(plain.checksum, traced.checksum);
+  EXPECT_GT(trace.size(), 0u);
+  std::set<int> lanes;
+  bool saw_replan = false;
+  for (const auto& e : trace.events()) {
+    lanes.insert(e.lane);
+    saw_replan |= (e.name == "replan");
+    EXPECT_GE(e.duration_us, 0.0);
+  }
+  EXPECT_TRUE(lanes.count(0)) << "engine lane missing";
+  EXPECT_TRUE(lanes.count(1)) << "shard lanes missing";
+  EXPECT_TRUE(saw_replan);
+}
+
 TEST(SimGoldenTest, EuropeRegionSetScopeReproducesPreRefactorChecksums) {
   constexpr std::size_t kPreRefactorScenarios = 8;
   ASSERT_GE(std::size(kGoldenChecksums), kPreRefactorScenarios);

@@ -190,6 +190,46 @@ TEST(SweepDeterminismTest, ShuffledTaskOrderAndWorkerCountProduceIdenticalResult
   EXPECT_TRUE(a == b);
 }
 
+// --- observability -------------------------------------------------------
+
+// The sweep's per-task wall times are reporting-only state: populated for
+// every task in canonical (scenario-major, seed-minor) order, zeroed by
+// the same mask that hides the timing metrics, and absent from the JSON so
+// the schema (and every committed baseline) is unaffected.
+TEST(SweepObsTest, TaskSecondsArePopulatedMaskedAndNeverSerialized) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"steady-week", "dc-drain"};
+  spec.num_seeds = 2;
+  SweepResult result = SweepRunner(spec).run();
+
+  ASSERT_EQ(result.task_seconds.size(), 4u);  // 2 scenarios x 2 seeds
+  for (const double s : result.task_seconds) EXPECT_GT(s, 0.0);
+  EXPECT_EQ(to_json_text(result).find("task_seconds"), std::string::npos);
+
+  mask_timing_metrics(result);
+  for (const double s : result.task_seconds) EXPECT_EQ(s, 0.0);
+}
+
+// Satellite of the obs:: histogram contract at sweep scale: for every
+// scenario in the library, the deterministic call-duration histogram the
+// engine merges out of its shards is bit-identical at 1, 2, and 8 sim
+// threads — bucket counts, sum, and recorded extremes included. (The
+// pure-histogram merge-order property lives in obs_test; this drives it
+// through the real sharded executor for every workload shape we ship.)
+TEST(SweepObsTest, MergedHistogramsBitIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = small_spec();
+  for (const auto& name : sim::scenario_names()) {
+    sim::SimEngine engine(sweep_scenario(spec, name, spec.base_seed));
+    const sim::SimResult r1 = engine.run(1);
+    const sim::SimResult r2 = engine.run(2);
+    const sim::SimResult r8 = engine.run(8);
+    ASSERT_GT(r1.perf.call_duration_slots.total_count(), 0u) << name;
+    EXPECT_TRUE(r1.perf.call_duration_slots == r2.perf.call_duration_slots) << name;
+    EXPECT_TRUE(r1.perf.call_duration_slots == r8.perf.call_duration_slots) << name;
+    EXPECT_EQ(r1.perf.events_processed, r8.perf.events_processed) << name;
+  }
+}
+
 // --- aggregation over seeds ----------------------------------------------
 
 TEST(SweepRunnerTest, AggregatesReduceAcrossSeeds) {
