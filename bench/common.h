@@ -40,6 +40,12 @@ namespace titan::bench {
 //                 informationally — never changes the exit code
 //   --trace-out PATH  Chrome trace_event JSON of the runs' phase spans,
 //                 loadable in Perfetto (bench_sim_scenarios only)
+//   --lp-mode M   LP solve strategy (sim benches only): auto (default:
+//                 solver picks dual-vs-primal warm starts and decomposes
+//                 multi-region scopes), primal (historical primal-only
+//                 path, no decomposition), dual (force dual warm starts,
+//                 no decomposition), decomposed (force region-block
+//                 decomposition even on single-region scopes)
 //   --list-scenarios  print the scenario library and exit (sim benches only)
 // Sweep bench (`bench_sim_sweep`) extras:
 //   --seeds N     sweep N consecutive seeds starting at --seed
@@ -63,6 +69,7 @@ struct Cli {
   std::string perf_json_path;
   std::string perf_baseline_path;
   std::string trace_out_path;
+  std::string lp_mode = "auto";  // auto | primal | dual | decomposed
   // Sweep bench only.
   int seeds = 1;
   std::string scenarios;    // comma list; "" or "all" = whole library
@@ -183,6 +190,13 @@ inline CliParse parse_cli_args(int argc, char** argv,
       if ((v = value())) cli.perf_baseline_path = v;
     } else if (is("--trace-out")) {
       if ((v = value())) cli.trace_out_path = v;
+    } else if (is("--lp-mode")) {
+      if ((v = value())) {
+        cli.lp_mode = v;
+        if (cli.lp_mode != "auto" && cli.lp_mode != "primal" && cli.lp_mode != "dual" &&
+            cli.lp_mode != "decomposed")
+          fail("--lp-mode must be one of: auto primal dual decomposed");
+      }
     } else if (is("--seeds")) {
       if ((v = value())) {
         cli.seeds = std::atoi(v);
@@ -211,6 +225,7 @@ inline CliParse parse_cli_args(int argc, char** argv,
                       " [--seed N] [--weeks N] [--threads N] [--peak X] [--scenario S]"
                       " [--json PATH] [--replan-json PATH] [--perf-json PATH]"
                       " [--perf-baseline PATH] [--trace-out PATH]"
+                      " [--lp-mode auto|primal|dual|decomposed]"
                       " [--seeds N] [--scenarios A,B|all]"
                       " [--sim-threads L]"
                       " [--workers N] [--baseline PATH] [--check] [--out PATH]"

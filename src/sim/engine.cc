@@ -285,7 +285,7 @@ void SimEngine::apply_network_event(const NetworkEvent& event) {
   }
 }
 
-void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards, bool forced) {
+void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
   const int horizon = scenario_.pipeline.scope.timeslots;
   const int now = history_slots_ + slot;
 
@@ -320,12 +320,12 @@ void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards, bool fo
   // warm cache seeds each solve from its predecessor's basis shifted to
   // this horizon's start; with disjoint windows nothing transfers and the
   // solve is the byte-identical cold path (see docs/solver.md). A forced
-  // replan reacts to a network change — the cached basis was priced
-  // against the old loads/capacities — so it drops the cache and
-  // cold-solves, which also keeps disturbance timing from deciding
-  // whether a transfer happens at the library's disjoint cadence.
+  // replan reacts to a network change — capacity/bound damage on the rhs
+  // side that leaves the cached basis dual-feasible — so it KEEPS the
+  // cache: the dual pivot loop repairs exactly that damage, and every
+  // solver gate (dual feasibility, factorization, repair budget) still
+  // falls back to the cold solve when the change was too structural.
   const titannext::TitanNextPipeline pipeline(*db_, fractions_, scenario_.pipeline);
-  if (forced) warm_cache_.last = titannext::PlanBasisContext{};
   warm_cache_.next_plan_begin = slot;
   titannext::DayPlan day =
       pipeline.plan_from_counts(workload_.eval, counts, forecast_seconds,
@@ -400,10 +400,18 @@ SimResult SimEngine::run(int threads) {
       ++next_event;
     }
     if (s >= next_replan || force_replan) {
+      // A purely-forced replan (a disturbance firing between scheduled
+      // replans) re-solves the *current* plan window against the damaged
+      // network: the horizon anchor stays put, so the cached basis
+      // transfers at shift 0 and the damage is pure rhs — exactly the
+      // shape the dual simplex repairs. Scheduled replans (forced or not)
+      // advance the window and the schedule as before. The current slot is
+      // always inside the kept window: replan_interval <= timeslots.
+      const bool scheduled = s >= next_replan;
       const auto r0 = std::chrono::steady_clock::now();
       {
         obs::Span span(trace_, "replan", "engine", 0);
-        replan(s, shards, force_replan);
+        replan(scheduled ? s : plan_begin_, shards);
       }
       result.perf.replan_seconds += seconds_since(r0);
       result.plan_seconds += current_plan_.lp_seconds;
@@ -413,7 +421,11 @@ SimResult SimEngine::run(int threads) {
       stat.slot = s;
       stat.iterations = current_plan_.lp_iterations;
       stat.phase1_iterations = current_plan_.lp_phase1_iterations;
+      stat.dual_iterations = current_plan_.lp_dual_iterations;
+      stat.blocks_solved = current_plan_.lp_blocks_solved;
+      stat.pruned_columns = current_plan_.lp_pruned_columns;
       stat.warm_started = current_plan_.lp_warm_started;
+      stat.forced = force_replan;
       stat.attempts = current_plan_.lp_attempts;
       stat.solve_seconds = current_plan_.lp_seconds;
       stat.build_seconds = current_plan_.lp_build_seconds;
@@ -426,7 +438,7 @@ SimResult SimEngine::run(int threads) {
       result.perf.lp_phase1_seconds += current_plan_.lp_phase1_seconds;
       result.perf.lp_phase2_seconds += current_plan_.lp_phase2_seconds;
       result.perf.lp_refactor_seconds += current_plan_.lp_refactor_seconds;
-      next_replan = s + scenario_.replan_interval_slots;
+      if (scheduled) next_replan = s + scenario_.replan_interval_slots;
     }
 
     const bool evacuate = evacuation_pending_;

@@ -53,7 +53,21 @@ struct ReplanStat {
   int iterations = 0;            // simplex iterations of the accepted solve
   int phase1_iterations = 0;     // phase-1 share (for warm solves: the
                                  // feasibility-restoration iterations)
+  // Deterministic scale-out counters of the accepted solve: dual-simplex
+  // pivots (disturbance replans repaired by the dual pivot loop), region
+  // blocks solved by the decomposed path (0 = monolithic), and structural
+  // columns the candidate mask kept out of pricing.
+  int dual_iterations = 0;
+  int blocks_solved = 0;
+  int pruned_columns = 0;
   bool warm_started = false;
+  // True when this replan was disturbance-forced (a network event, not the
+  // scheduled cadence). A purely-forced replan keeps the warm cache AND
+  // the current horizon anchor, so the seed transfers at shift 0 and the
+  // rhs-side damage is exactly what the dual simplex repairs —
+  // warm_started (and dual_iterations) on a forced stat is the dual
+  // path's success signal.
+  bool forced = false;
   int attempts = 1;              // headroom-relaxation attempts consumed
   double solve_seconds = 0.0;
   // Wall-clock breakdown of the LP work (accumulated across attempts, like
@@ -221,11 +235,15 @@ class SimEngine {
 
   void reset_network();
   void apply_network_event(const NetworkEvent& event);
-  // `forced` marks a disturbance-driven replan: the network just changed
-  // under the previous plan, so the warm cache (whose basis was priced
-  // against the old topology/capacities) is dropped and the solve runs
-  // cold, re-seeding the cache for subsequent scheduled replans.
-  void replan(core::SlotIndex slot, std::vector<Shard>& shards, bool forced);
+  // Re-plans the horizon starting at `slot`. A disturbance-driven
+  // ("forced") replan keeps the warm cache and passes the *current*
+  // horizon anchor: a network change damages the rhs side (capacities,
+  // bounds) of the plan LP while the model layout stays put, which is
+  // exactly what the dual-simplex warm path repairs at shift 0; the
+  // solver's own gates (dual feasibility, factorization, repair budget)
+  // fall back to a cold solve when the change was too structural. The
+  // caller records the forced flag on the ReplanStat.
+  void replan(core::SlotIndex slot, std::vector<Shard>& shards);
 
   Scenario scenario_;
   std::unique_ptr<geo::World> world_;

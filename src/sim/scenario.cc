@@ -204,14 +204,10 @@ Scenario global_steady_week() {
   s.pipeline.scope.regions = {geo::Continent::kNorthAmerica, geo::Continent::kEurope,
                               geo::Continent::kAsia};
   s.cross_region_fraction = 0.15;
-  // 18 DCs more than triple the European scope's LP columns and simplex
-  // time grows superlinearly with them, so the global scope trades plan
-  // granularity for tractability: a 12-hour horizon with 12-hour replans
-  // and a tighter reduced set — same column count as the European daily
-  // plan (same trade as the sweep harness's reduced-LP default).
-  s.replan_interval_slots = core::kSlotsPerDay / 2;
-  s.pipeline.scope.timeslots = core::kSlotsPerDay / 2;
-  s.pipeline.scope.max_reduced_configs = 25;
+  // Full base-scenario fidelity (day horizon, daily replans, full reduced
+  // set): the region-block decomposition solves the 18-DC scope as three
+  // per-continent LPs plus a small coupling LP, so the global scope no
+  // longer pays the monolithic simplex's superlinear column cost.
   return s;
 }
 
@@ -225,10 +221,8 @@ Scenario na_cut_shifts_to_eu() {
                   "slot metrics";
   s.pipeline.scope.regions = {geo::Continent::kNorthAmerica, geo::Continent::kEurope};
   s.cross_region_fraction = 0.10;
-  // 13 DCs: the same horizon/reduced-set trade as global-steady-week.
-  s.replan_interval_slots = core::kSlotsPerDay / 2;
-  s.pipeline.scope.timeslots = core::kSlotsPerDay / 2;
-  s.pipeline.scope.max_reduced_configs = 25;
+  // 13 DCs at full base-scenario fidelity — the region-block decomposition
+  // carries the multi-region cost (see global-steady-week).
   // Europe alone must be able to absorb the NA outage: EU holds ~36% of the
   // scope's provisioned cores, so 3x headroom keeps the LP feasible with the
   // whole NA fleet at zero capacity.

@@ -24,7 +24,11 @@ namespace titan::sweep {
 // replan_phase1_iterations, warm_replans) plus plan_solve_seconds — the LP
 // time `Solution::solve_seconds` always measured but the sweep never
 // surfaced. Earlier baselines must be regenerated, not compared.
-inline constexpr int kSweepSchemaVersion = 3;
+// v4: LP scale-out counters (replan_dual_iterations, replan_blocks_solved,
+// replan_pruned_columns) from the dual-simplex warm path and the
+// region-block decomposition. Earlier baselines must be regenerated, not
+// compared.
+inline constexpr int kSweepSchemaVersion = 4;
 
 // `include_runs` = false drops the per-run records (aggregates only), for
 // compact CI artifacts; the committed baseline keeps runs for forensics.

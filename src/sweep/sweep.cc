@@ -49,6 +49,12 @@ const std::vector<std::string>& metric_names() {
       "replan_phase1_iterations",
       "warm_replans",
       "plan_solve_seconds",
+      // LP scale-out counters (schema v4): dual-simplex pivots across all
+      // replans, region blocks solved by the decomposed path, and structural
+      // columns excluded from pricing by the candidate mask. Deterministic.
+      "replan_dual_iterations",
+      "replan_blocks_solved",
+      "replan_pruned_columns",
   };
   return names;
 }
@@ -57,10 +63,14 @@ std::vector<double> metric_values(const sim::SimResult& r) {
   double worst_day = 0.0;
   for (const double d : r.wan.per_day_sum_of_peaks_mbps) worst_day = std::max(worst_day, d);
   std::int64_t replan_iterations = 0, replan_phase1 = 0, warm_replans = 0;
+  std::int64_t replan_dual = 0, replan_blocks = 0, replan_pruned = 0;
   for (const auto& stat : r.replan_stats) {
     replan_iterations += stat.iterations;
     replan_phase1 += stat.phase1_iterations;
     warm_replans += stat.warm_started ? 1 : 0;
+    replan_dual += stat.dual_iterations;
+    replan_blocks += stat.blocks_solved;
+    replan_pruned += stat.pruned_columns;
   }
   return {
       static_cast<double>(r.calls),
@@ -90,6 +100,9 @@ std::vector<double> metric_values(const sim::SimResult& r) {
       static_cast<double>(replan_phase1),
       static_cast<double>(warm_replans),
       r.plan_seconds,
+      static_cast<double>(replan_dual),
+      static_cast<double>(replan_blocks),
+      static_cast<double>(replan_pruned),
   };
 }
 

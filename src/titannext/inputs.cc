@@ -169,4 +169,33 @@ int PlanInputs::demand_index(const workload::CallConfig& reduced_shape) const {
   return it == demand_index_.end() ? -1 : it->second;
 }
 
+PlanInputs PlanInputs::restricted(const std::vector<int>& dc_indices,
+                                  const std::vector<int>& demand_indices) const {
+  PlanInputs out = *this;
+  out.dcs_.clear();
+  out.dc_capacity_.clear();
+  out.internet_capacity_.clear();
+  for (const int i : dc_indices) {
+    out.dcs_.push_back(dcs_[static_cast<std::size_t>(i)]);
+    // Parent capacities verbatim — never finalize_capacities on a slice.
+    out.dc_capacity_.push_back(dc_capacity_[static_cast<std::size_t>(i)]);
+    out.internet_capacity_.push_back(internet_capacity_[static_cast<std::size_t>(i)]);
+  }
+  out.demands_.clear();
+  out.demand_index_.clear();
+  for (const int c : demand_indices) out.demands_.push_back(demands_[static_cast<std::size_t>(c)]);
+  for (std::size_t i = 0; i < out.demands_.size(); ++i)
+    out.demand_index_[out.demands_[i].config] = static_cast<int>(i);
+
+  std::set<int> link_set;
+  for (const auto& d : out.demands_)
+    for (const auto& [country, count] : d.config.participants)
+      for (const auto dc : out.dcs_)
+        for (const auto l : net_->topology().path(country, dc).links)
+          link_set.insert(l.value());
+  out.links_.clear();
+  for (const int l : link_set) out.links_.push_back(core::LinkId(l));
+  return out;
+}
+
 }  // namespace titan::titannext

@@ -85,6 +85,19 @@ class PlanInputs {
   // Index of a reduced config shape, -1 when out of scope.
   [[nodiscard]] int demand_index(const workload::CallConfig& reduced_shape) const;
 
+  // Block view for the region-block decomposition (docs/solver.md,
+  // "Region-block decomposition"): the same inputs restricted to a subset
+  // of DCs (by parent index) and demands (by parent index), both keeping
+  // their parent relative order. Per-DC capacities are copied VERBATIM —
+  // they are a function of the full-scope demand (peak-demand headroom
+  // split, per-country bandwidth shares), so recomputing them from the
+  // block's slice would give each block a different, wrong LP. The link
+  // set is recomputed from the retained (participant country, DC) paths,
+  // exactly as set_demand does — identical inputs restricted to everything
+  // reproduce themselves byte for byte.
+  [[nodiscard]] PlanInputs restricted(const std::vector<int>& dc_indices,
+                                      const std::vector<int>& demand_indices) const;
+
  private:
   void finalize_capacities();
 

@@ -334,8 +334,163 @@ std::optional<lp::Basis> remap_basis(const PlanBasisContext& prev, const PlanInp
   return lp::Basis{std::move(mapped)};
 }
 
-LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
-                        WarmStartCache* warm) {
+namespace {
+
+// Realized sum over links of peak WAN bandwidth of a fractional plan —
+// recomputed from the weights (not the LP objective) so monolithic and
+// decomposed solves report the same physical quantity.
+double sum_wan_peaks(const PlanInputs& inputs,
+                     const std::vector<std::vector<AssignmentWeights>>& weights) {
+  const auto& demands = inputs.demands();
+  const auto& links = inputs.links();
+  std::map<int, int> link_index;
+  for (std::size_t l = 0; l < links.size(); ++l) link_index[links[l].value()] = static_cast<int>(l);
+  std::vector<double> peak(links.size(), 0.0);
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    std::vector<double> usage(links.size(), 0.0);
+    for (std::size_t c = 0; c < weights[t].size(); ++c) {
+      for (const auto& e : weights[t][c].entries) {
+        if (e.path != net::PathType::kWan) continue;
+        for (const auto& [country, count] : demands[c].config.participants) {
+          const double bw = demands[c].config.network_mbps_from(country) * e.units;
+          for (const auto lid : inputs.net().topology().path(country, e.dc).links) {
+            const auto it = link_index.find(lid.value());
+            if (it != link_index.end()) usage[static_cast<std::size_t>(it->second)] += bw;
+          }
+        }
+      }
+    }
+    for (std::size_t l = 0; l < links.size(); ++l) peak[l] = std::max(peak[l], usage[l]);
+  }
+  double sum = 0.0;
+  for (const double p : peak) sum += p;
+  return sum;
+}
+
+// Accumulates one lp::Solution's counters into the plan result (a plan
+// solve may run several LPs: blocks + coupling).
+void accumulate_solution_stats(LpPlanResult& r, const lp::Solution& sol) {
+  r.solve_seconds += sol.solve_seconds;
+  r.phase1_seconds += sol.phase1_seconds;
+  r.phase2_seconds += sol.phase2_seconds;
+  r.refactor_seconds += sol.refactor_seconds;
+  r.refactorizations += sol.refactorizations;
+  r.iterations += sol.iterations;
+  r.phase1_iterations += sol.phase1_iterations;
+  r.dual_iterations += sol.dual_iterations;
+  r.stall_pivots += sol.stall_pivots;
+  r.bland_pivots += sol.bland_pivots;
+  r.pruned_columns += sol.pruned_columns;
+  r.promoted_columns += sol.promoted_columns;
+}
+
+// Reduced costs d_j = c_j - a_j'y of every structural column at the
+// optimal duals — the raw material of the next solve's candidate mask.
+std::vector<double> structural_reduced_costs(const lp::LpModel& model, const lp::Solution& sol) {
+  const int n = model.num_variables();
+  std::vector<double> dj(static_cast<std::size_t>(n), 0.0);
+  if (sol.duals.empty()) return dj;
+  const lp::SparseMatrix a = model.matrix();
+  for (int j = 0; j < n; ++j) {
+    double dot = 0.0;
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k)
+      dot += a.value(k) * sol.duals[static_cast<std::size_t>(a.row_index(k))];
+    dj[static_cast<std::size_t>(j)] = model.costs()[static_cast<std::size_t>(j)] - dot;
+  }
+  return dj;
+}
+
+// Snapshots a solved model's identity + basis + reduced costs into a warm
+// context for the next replan of the same (sub)scope.
+void snapshot_context(PlanBasisContext& ctx, const PlanInputs& inputs,
+                      const LpBuildOptions& options, const lp::LpModel& model,
+                      const lp::Solution& sol, core::SlotIndex plan_begin) {
+  ctx.basis = sol.basis;
+  ctx.shapes.clear();
+  ctx.shapes.reserve(inputs.demands().size());
+  for (const auto& d : inputs.demands()) ctx.shapes.push_back(d.config);
+  ctx.dcs = inputs.dcs();
+  ctx.links = inputs.links();
+  ctx.timeslots = inputs.scope().timeslots;
+  ctx.e2e_row = has_e2e_row(inputs, options);
+  ctx.plan_begin = plan_begin;
+  ctx.reduced_costs = structural_reduced_costs(model, sol);
+}
+
+// Keep a column when its previous reduced cost was within this fraction of
+// the previous maximum: optimal bases move locally between replans, so a
+// column that priced far out of the money last time almost never enters
+// now — and the solver's verification sweep promotes it if it does.
+constexpr double kPruneKeepFraction = 0.05;
+
+// Builds the candidate-column mask for the model build_model(inputs,
+// options) produces, from the previous context's reduced costs mapped
+// through the same label translation remap_basis uses. Fresh labels (new
+// shapes, DCs, links, the horizon's new tail slots) and all y columns stay
+// active. Returns an empty vector — pruning disabled — when the previous
+// costs are missing, mis-sized, or the mask would prune too little to pay
+// for its bookkeeping.
+std::vector<std::uint8_t> candidate_mask_from(const PlanBasisContext& prev,
+                                              const PlanInputs& inputs, int shift_slots) {
+  std::vector<std::uint8_t> none;
+  const auto& demands = inputs.demands();
+  const auto& dcs = inputs.dcs();
+  const auto& links = inputs.links();
+  const int T = inputs.scope().timeslots;
+  if (!prev.valid() || prev.timeslots != T || shift_slots < 0 || shift_slots >= T) return none;
+  const int c_old = static_cast<int>(prev.shapes.size());
+  const int m_old = static_cast<int>(prev.dcs.size());
+  const int l_old = static_cast<int>(prev.links.size());
+  const Layout old_lay{T, c_old, m_old};
+  const int n_old = old_lay.num_x() + l_old;
+  if (static_cast<int>(prev.reduced_costs.size()) != n_old) return none;
+
+  double max_dj = 0.0;
+  for (const double d : prev.reduced_costs) max_dj = std::max(max_dj, d);
+  if (max_dj <= 0.0) return none;
+  const double keep_below = kPruneKeepFraction * max_dj;
+
+  // New label -> old index translations (the column-side mirror of
+  // remap_basis's tables).
+  std::map<workload::CallConfig, int> old_shape;
+  for (int c = 0; c < c_old; ++c) old_shape[prev.shapes[static_cast<std::size_t>(c)]] = c;
+  std::map<int, int> old_dc;
+  for (int m = 0; m < m_old; ++m) old_dc[prev.dcs[static_cast<std::size_t>(m)].value()] = m;
+  std::map<int, int> old_link;
+  for (int l = 0; l < l_old; ++l) old_link[prev.links[static_cast<std::size_t>(l)].value()] = l;
+
+  const Layout new_lay{T, static_cast<int>(demands.size()), static_cast<int>(dcs.size())};
+  std::vector<std::uint8_t> mask(
+      static_cast<std::size_t>(new_lay.num_x() + static_cast<int>(links.size())), 1);
+  int pruned = 0;
+  for (int t = 0; t + shift_slots < T; ++t) {
+    const int t_old = t + shift_slots;
+    for (int c = 0; c < new_lay.configs; ++c) {
+      const auto cit = old_shape.find(demands[static_cast<std::size_t>(c)].config);
+      if (cit == old_shape.end()) continue;  // fresh shape: stays active
+      for (int m = 0; m < new_lay.dcs; ++m) {
+        const auto mit = old_dc.find(dcs[static_cast<std::size_t>(m)].value());
+        if (mit == old_dc.end()) continue;
+        for (int p = 0; p < 2; ++p) {
+          const double dj = prev.reduced_costs[static_cast<std::size_t>(
+              old_lay.x(t_old, cit->second, mit->second, p))];
+          if (dj > keep_below) {
+            mask[static_cast<std::size_t>(new_lay.x(t, c, m, p))] = 0;
+            ++pruned;
+          }
+        }
+      }
+    }
+  }
+  // Too little pruned to matter — run the plain pricing loop instead.
+  if (pruned < static_cast<int>(mask.size()) / 10) return none;
+  return mask;
+}
+
+// The historical single-LP solve path. kOff and single-region kAuto run
+// exactly this — byte for byte the pre-decomposition behaviour.
+LpPlanResult solve_monolithic(const PlanInputs& inputs, const LpBuildOptions& options,
+                              WarmStartCache* warm) {
   LpPlanResult result;
   const auto& demands = inputs.demands();
   const auto& dcs = inputs.dcs();
@@ -347,35 +502,23 @@ LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
   result.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
   std::optional<lp::Basis> seed;
-  if (warm != nullptr)
-    seed = remap_basis(warm->last, inputs, options,
-                       warm->next_plan_begin - warm->last.plan_begin);
+  lp::SolveOptions solver = options.solver;
+  if (warm != nullptr) {
+    const int shift = warm->next_plan_begin - warm->last.plan_begin;
+    seed = remap_basis(warm->last, inputs, options, shift);
+    if (seed) solver.candidate_mask = candidate_mask_from(warm->last, inputs, shift);
+  }
   const lp::Solution sol =
-      seed ? lp::solve(model, *seed, options.solver) : lp::solve(model, options.solver);
+      seed ? lp::solve(model, *seed, solver) : lp::solve(model, solver);
   result.status = sol.status;
   result.objective = sol.objective;
-  result.solve_seconds = sol.solve_seconds;
-  result.phase1_seconds = sol.phase1_seconds;
-  result.phase2_seconds = sol.phase2_seconds;
-  result.refactor_seconds = sol.refactor_seconds;
-  result.refactorizations = sol.refactorizations;
-  result.iterations = sol.iterations;
-  result.phase1_iterations = sol.phase1_iterations;
+  accumulate_solution_stats(result, sol);
   result.warm_started = sol.warm_started;
   if (sol.status != lp::SolveStatus::kOptimal) return result;
 
   // Snapshot the fresh basis + model identity for the next replan.
-  if (warm != nullptr) {
-    warm->last.basis = sol.basis;
-    warm->last.shapes.clear();
-    warm->last.shapes.reserve(demands.size());
-    for (const auto& d : demands) warm->last.shapes.push_back(d.config);
-    warm->last.dcs = dcs;
-    warm->last.links = inputs.links();
-    warm->last.timeslots = inputs.scope().timeslots;
-    warm->last.e2e_row = has_e2e_row(inputs, options);
-    warm->last.plan_begin = warm->next_plan_begin;
-  }
+  if (warm != nullptr)
+    snapshot_context(warm->last, inputs, options, model, sol, warm->next_plan_begin);
 
   result.weights.assign(static_cast<std::size_t>(lay.timeslots),
                         std::vector<AssignmentWeights>(demands.size()));
@@ -392,32 +535,314 @@ LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
         }
     }
 
-  // Realized sum of per-link WAN peaks of the fractional plan.
+  result.sum_of_wan_peaks_mbps = sum_wan_peaks(inputs, result.weights);
+  return result;
+}
+
+// One region block of the decomposition: parent-relative DC and demand
+// indices, in parent order.
+struct RegionBlock {
+  geo::Continent continent;
+  std::vector<int> dc_idx;
+  std::vector<int> demand_idx;
+};
+
+// Block-angular decomposed solve. Returns nullopt on any gate failure —
+// overlapping block link sets, a non-infeasible block failure, a failed
+// coupling solve, a violated global e2e bound — and the caller falls back
+// to the monolithic path. See docs/solver.md, "Region-block decomposition"
+// for the contract this implements.
+std::optional<LpPlanResult> solve_decomposed(const PlanInputs& inputs,
+                                             const LpBuildOptions& options,
+                                             WarmStartCache* warm) {
+  const auto& world = inputs.net().world();
+  const auto& demands = inputs.demands();
+  const auto& dcs = inputs.dcs();
   const auto& links = inputs.links();
+  const int T = inputs.scope().timeslots;
+  const int M = static_cast<int>(dcs.size());
+  const int L = static_cast<int>(links.size());
+  if (demands.empty() || dcs.empty()) return std::nullopt;
+
+  // ---- Partition. A DC belongs to its continent's block; a demand is
+  // homed to a block when every participant is on that block's continent
+  // (and the block has DCs to serve it). Everything else — cross-region
+  // demands, demands of DC-less blocks — goes to the coupling LP, which
+  // sees every DC.
+  std::vector<RegionBlock> blocks;
+  for (const geo::Continent cont : inputs.scope().regions.continents()) {
+    RegionBlock b;
+    b.continent = cont;
+    for (int m = 0; m < M; ++m)
+      if (world.dc(dcs[static_cast<std::size_t>(m)]).continent == cont) b.dc_idx.push_back(m);
+    blocks.push_back(std::move(b));
+  }
+  std::vector<int> coupling;
+  for (int c = 0; c < static_cast<int>(demands.size()); ++c) {
+    const auto& participants = demands[static_cast<std::size_t>(c)].config.participants;
+    bool homed = false;
+    if (!participants.empty()) {
+      const geo::Continent home = world.country(participants.front().first).continent;
+      bool single = true;
+      for (const auto& [country, count] : participants)
+        if (world.country(country).continent != home) single = false;
+      if (single)
+        for (auto& b : blocks)
+          if (b.continent == home && !b.dc_idx.empty()) {
+            b.demand_idx.push_back(c);
+            homed = true;
+            break;
+          }
+    }
+    if (!homed) coupling.push_back(c);
+  }
+
+  // The degenerate single-block case: one block owning every DC and every
+  // demand. The block model then IS the monolithic model (same inputs,
+  // e2e row kept), which is what makes kForce on a single-region scope a
+  // genuine bit-for-bit equivalence check of the block machinery.
+  const bool degenerate = blocks.size() == 1 && coupling.empty() &&
+                          static_cast<int>(blocks.front().dc_idx.size()) == M &&
+                          blocks.front().demand_idx.size() == demands.size();
+
+  LpPlanResult result;
+  result.weights.assign(static_cast<std::size_t>(T),
+                        std::vector<AssignmentWeights>(demands.size()));
+  // Parent-indexed resource usage by the block solutions, feeding the
+  // coupling LP's residual capacities and incremental-peak rows.
+  std::vector<std::vector<double>> compute_usage(static_cast<std::size_t>(T),
+                                                 std::vector<double>(static_cast<std::size_t>(M), 0.0));
+  std::vector<std::vector<double>> internet_usage(compute_usage);
+  std::vector<std::vector<double>> link_usage(static_cast<std::size_t>(T),
+                                              std::vector<double>(static_cast<std::size_t>(L), 0.0));
   std::map<int, int> link_index;
-  for (std::size_t l = 0; l < links.size(); ++l) link_index[links[l].value()] = static_cast<int>(l);
-  std::vector<double> peak(links.size(), 0.0);
-  for (int t = 0; t < lay.timeslots; ++t) {
-    std::vector<double> usage(links.size(), 0.0);
-    for (int c = 0; c < lay.configs; ++c) {
-      const auto& w = result.weights[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
-      for (const auto& e : w.entries) {
-        if (e.path != net::PathType::kWan) continue;
-        for (const auto& [country, count] :
-             demands[static_cast<std::size_t>(c)].config.participants) {
-          const double bw =
-              demands[static_cast<std::size_t>(c)].config.network_mbps_from(country) * e.units;
-          for (const auto lid : inputs.net().topology().path(country, e.dc).links) {
-            const auto it = link_index.find(lid.value());
-            if (it != link_index.end()) usage[static_cast<std::size_t>(it->second)] += bw;
+  for (int l = 0; l < L; ++l) link_index[links[static_cast<std::size_t>(l)].value()] = l;
+
+  // Blocks must not share WAN links, or summing per-block peaks would
+  // double-count a link's objective contribution.
+  std::set<int> claimed_links;
+
+  double objective = 0.0;
+  for (auto& b : blocks) {
+    if (b.demand_idx.empty()) continue;
+    const PlanInputs block_inputs = inputs.restricted(b.dc_idx, b.demand_idx);
+    for (const auto l : block_inputs.links())
+      if (!claimed_links.insert(l.value()).second) return std::nullopt;
+
+    LpBuildOptions block_options = options;
+    block_options.decomposition = Decomposition::kOff;
+    // Blocks solve the C4-free relaxation; the global bound is verified on
+    // the composed plan below (a relaxation optimum that satisfies the
+    // bound is optimal for the bounded problem too). The degenerate block
+    // keeps the row so its model matches the monolithic one exactly.
+    if (!degenerate) block_options.e2e_bound_ms = -1.0;
+
+    const auto build_start = std::chrono::steady_clock::now();
+    const lp::LpModel model = build_model(block_inputs, block_options);
+    result.build_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+
+    std::optional<lp::Basis> seed;
+    lp::SolveOptions solver = options.solver;
+    PlanBasisContext* ctx = nullptr;
+    if (warm != nullptr) {
+      ctx = &warm->blocks[b.continent];
+      const int shift = warm->next_plan_begin - ctx->plan_begin;
+      seed = remap_basis(*ctx, block_inputs, block_options, shift);
+      if (seed) solver.candidate_mask = candidate_mask_from(*ctx, block_inputs, shift);
+    }
+    const lp::Solution sol =
+        seed ? lp::solve(model, *seed, solver) : lp::solve(model, solver);
+    accumulate_solution_stats(result, sol);
+    if (sol.status == lp::SolveStatus::kInfeasible) {
+      // The block alone cannot serve its demands (e.g. its DCs are
+      // drained). Promote them to the coupling LP, which sees every DC —
+      // the load shifts cross-region exactly as the monolithic LP would
+      // shift it.
+      for (const int c : b.demand_idx) coupling.push_back(c);
+      if (ctx != nullptr) *ctx = PlanBasisContext{};
+      continue;
+    }
+    if (sol.status != lp::SolveStatus::kOptimal) return std::nullopt;
+    ++result.blocks_solved;
+    result.warm_started = result.warm_started || sol.warm_started;
+    if (ctx != nullptr)
+      snapshot_context(*ctx, block_inputs, block_options, model, sol, warm->next_plan_begin);
+    objective += sol.objective;
+
+    // Fold the block solution into parent-indexed weights and usage.
+    const Layout block_lay{T, static_cast<int>(b.demand_idx.size()),
+                           static_cast<int>(b.dc_idx.size())};
+    for (int t = 0; t < T; ++t)
+      for (int bc = 0; bc < block_lay.configs; ++bc) {
+        const int c = b.demand_idx[static_cast<std::size_t>(bc)];
+        auto& w = result.weights[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+        for (int bm = 0; bm < block_lay.dcs; ++bm) {
+          const int m = b.dc_idx[static_cast<std::size_t>(bm)];
+          for (int p = 0; p < 2; ++p) {
+            const double units = sol.x[static_cast<std::size_t>(block_lay.x(t, bc, bm, p))];
+            if (units <= 1e-7) continue;
+            const auto path = p == 0 ? net::PathType::kWan : net::PathType::kInternet;
+            w.entries.push_back({dcs[static_cast<std::size_t>(m)], path, units});
+            const auto& config = demands[static_cast<std::size_t>(c)].config;
+            compute_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(m)] +=
+                units * config.compute_cores();
+            if (p == 1) {
+              internet_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(m)] +=
+                  units * config.network_mbps();
+            } else {
+              for (const auto& [country, count] : config.participants) {
+                const double bw = config.network_mbps_from(country) * units;
+                for (const auto lid :
+                     inputs.net().topology().path(country, dcs[static_cast<std::size_t>(m)]).links) {
+                  const auto it = link_index.find(lid.value());
+                  if (it != link_index.end())
+                    link_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(it->second)] +=
+                        bw;
+                }
+              }
+            }
           }
         }
       }
-    }
-    for (std::size_t l = 0; l < links.size(); ++l) peak[l] = std::max(peak[l], usage[l]);
   }
-  for (const double p : peak) result.sum_of_wan_peaks_mbps += p;
+
+  // ---- Coupling LP: the cross-region (and promoted) demands over every
+  // DC, against residual capacities, with *incremental* peak rows — y'_l
+  // is the increase of link l's peak above what the blocks already pay
+  // for, so sum(block objectives) + coupling objective prices the composed
+  // plan's true sum of per-link peaks.
+  if (!coupling.empty()) {
+    std::sort(coupling.begin(), coupling.end());
+    std::vector<double> block_peak(static_cast<std::size_t>(L), 0.0);
+    for (int t = 0; t < T; ++t)
+      for (int l = 0; l < L; ++l)
+        block_peak[static_cast<std::size_t>(l)] =
+            std::max(block_peak[static_cast<std::size_t>(l)],
+                     link_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(l)]);
+
+    const Layout clay{T, static_cast<int>(coupling.size()), M};
+    const auto build_start = std::chrono::steady_clock::now();
+    lp::LpModel model;
+    for (int i = 0; i < clay.num_x(); ++i) model.add_variable(0.0);
+    std::vector<int> yvar(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l)
+      yvar[static_cast<std::size_t>(l)] = model.add_variable(1.0);
+
+    // C1: every coupling demand fully assigned.
+    for (int t = 0; t < T; ++t)
+      for (int cc = 0; cc < clay.configs; ++cc) {
+        const auto& d = demands[static_cast<std::size_t>(coupling[static_cast<std::size_t>(cc)])];
+        const int row =
+            model.add_constraint(lp::Sense::kEq, d.units_per_slot[static_cast<std::size_t>(t)]);
+        for (int m = 0; m < M; ++m)
+          for (int p = 0; p < 2; ++p) model.add_coefficient(row, clay.x(t, cc, m, p), 1.0);
+      }
+    // C2/C3: residual compute and Internet capacity after the blocks.
+    for (int t = 0; t < T; ++t)
+      for (int m = 0; m < M; ++m) {
+        const double residual =
+            std::max(0.0, inputs.dc_capacity(dcs[static_cast<std::size_t>(m)]) -
+                              compute_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(m)]);
+        const int row = model.add_constraint(lp::Sense::kLe, residual);
+        for (int cc = 0; cc < clay.configs; ++cc) {
+          const double cores =
+              demands[static_cast<std::size_t>(coupling[static_cast<std::size_t>(cc)])]
+                  .config.compute_cores();
+          for (int p = 0; p < 2; ++p) model.add_coefficient(row, clay.x(t, cc, m, p), cores);
+        }
+      }
+    for (int t = 0; t < T; ++t)
+      for (int m = 0; m < M; ++m) {
+        const double residual = std::max(
+            0.0, inputs.internet_capacity(dcs[static_cast<std::size_t>(m)]) -
+                     internet_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(m)]);
+        const int row = model.add_constraint(lp::Sense::kLe, residual);
+        for (int cc = 0; cc < clay.configs; ++cc)
+          model.add_coefficient(
+              row, clay.x(t, cc, m, 1),
+              demands[static_cast<std::size_t>(coupling[static_cast<std::size_t>(cc)])]
+                  .config.network_mbps());
+      }
+    // C5 (incremental): coupling usage - y'_l <= block_peak_l - block usage.
+    for (int t = 0; t < T; ++t)
+      for (int l = 0; l < L; ++l) {
+        const double headroom = std::max(
+            0.0, block_peak[static_cast<std::size_t>(l)] -
+                     link_usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(l)]);
+        const int row = model.add_constraint(lp::Sense::kLe, headroom);
+        for (int cc = 0; cc < clay.configs; ++cc) {
+          const auto& config =
+              demands[static_cast<std::size_t>(coupling[static_cast<std::size_t>(cc)])].config;
+          for (int m = 0; m < M; ++m) {
+            double bw = 0.0;
+            for (const auto& [country, count] : config.participants) {
+              for (const auto lid :
+                   inputs.net().topology().path(country, dcs[static_cast<std::size_t>(m)]).links)
+                if (lid == links[static_cast<std::size_t>(l)])
+                  bw += config.network_mbps_from(country);
+            }
+            if (bw > 0.0) model.add_coefficient(row, clay.x(t, cc, m, 0), bw);
+          }
+        }
+        model.add_coefficient(row, yvar[static_cast<std::size_t>(l)], -1.0);
+      }
+    result.build_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - build_start).count();
+
+    const lp::Solution sol = lp::solve(model, options.solver);
+    accumulate_solution_stats(result, sol);
+    if (sol.status != lp::SolveStatus::kOptimal) return std::nullopt;
+    objective += sol.objective;
+    for (int t = 0; t < T; ++t)
+      for (int cc = 0; cc < clay.configs; ++cc) {
+        const int c = coupling[static_cast<std::size_t>(cc)];
+        auto& w = result.weights[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+        for (int m = 0; m < M; ++m)
+          for (int p = 0; p < 2; ++p) {
+            const double units = sol.x[static_cast<std::size_t>(clay.x(t, cc, m, p))];
+            if (units > 1e-7)
+              w.entries.push_back({dcs[static_cast<std::size_t>(m)],
+                                   p == 0 ? net::PathType::kWan : net::PathType::kInternet,
+                                   units});
+          }
+      }
+  }
+
+  // ---- Global e2e bound (C4) on the composed plan. The blocks solved the
+  // relaxation; satisfied here means the composition is feasible — and as
+  // good as the relaxation allows — for the bounded problem. Violated
+  // means block-local optima spent too much latency: monolithic fallback.
+  if (!degenerate && has_e2e_row(inputs, options)) {
+    double lhs = 0.0;
+    double total_units = 0.0;
+    for (const auto& d : demands) total_units += d.total_units;
+    for (int t = 0; t < T; ++t)
+      for (std::size_t c = 0; c < demands.size(); ++c)
+        for (const auto& e : result.weights[static_cast<std::size_t>(t)][c].entries)
+          lhs += e.units * inputs.max_e2e_ms(demands[c].config, e.dc, e.path);
+    if (lhs > options.e2e_bound_ms * total_units * (1.0 + 1e-9) + 1e-6) return std::nullopt;
+  }
+
+  result.status = lp::SolveStatus::kOptimal;
+  result.objective = objective;
+  result.sum_of_wan_peaks_mbps = sum_wan_peaks(inputs, result.weights);
   return result;
+}
+
+}  // namespace
+
+LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
+                        WarmStartCache* warm) {
+  const bool multi_region = inputs.scope().regions.size() > 1;
+  const bool decompose =
+      options.objective == Objective::kMinimizeWanPeaks &&
+      (options.decomposition == Decomposition::kForce ||
+       (options.decomposition == Decomposition::kAuto && multi_region));
+  if (decompose) {
+    if (auto r = solve_decomposed(inputs, options, warm)) return *r;
+  }
+  return solve_monolithic(inputs, options, warm);
 }
 
 }  // namespace titan::titannext

@@ -15,6 +15,7 @@
 // C4 — per the paper, LF keeps the same constraint set otherwise.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -30,11 +31,26 @@ enum class Objective {
   kMinimizeTotalMaxE2e,   // LF variant optimizing total max-E2E latency
 };
 
+// Region-block decomposition policy for solve_plan (docs/solver.md):
+//  * kAuto: decompose multi-continent scopes; single-continent scopes take
+//    the monolithic path — byte for byte the historical behaviour, which is
+//    what keeps every single-region golden checksum unchanged.
+//  * kForce: decompose whenever the scope supports it, including the
+//    degenerate single-block case (the equivalence tests run this against
+//    kOff on the same inputs).
+//  * kOff: always monolithic.
+// Decomposition only applies to the kMinimizeWanPeaks objective (the LF
+// baselines solve monolithically), and every gate failure — overlapping
+// block link sets, a failed block or coupling solve, a violated global e2e
+// bound — falls back to the monolithic solve transparently.
+enum class Decomposition { kOff, kAuto, kForce };
+
 struct LpBuildOptions {
   Objective objective = Objective::kMinimizeWanPeaks;
   // C4 bound: average (over assigned units) of max-E2E latency, msec.
   // <= 0 disables the constraint (the LF baselines drop it).
   double e2e_bound_ms = 80.0;
+  Decomposition decomposition = Decomposition::kAuto;
   lp::SolveOptions solver;
 };
 
@@ -61,6 +77,17 @@ struct LpPlanResult {
   int refactorizations = 0;  // deterministic, like `iterations`
   int iterations = 0;
   int phase1_iterations = 0;
+  // Solver observability, summed across every LP the plan solve ran (one
+  // for a monolithic solve; per-block + coupling for a decomposed one).
+  // See lp::Solution for the per-solve meanings.
+  int dual_iterations = 0;
+  int stall_pivots = 0;
+  int bland_pivots = 0;
+  int pruned_columns = 0;
+  int promoted_columns = 0;
+  // Region blocks solved to optimality by the decomposed path; 0 for a
+  // monolithic solve (the coupling LP is not counted as a block).
+  int blocks_solved = 0;
   bool warm_started = false;  // seeded from the previous replan's basis
   // weights[t][demand_idx]
   std::vector<std::vector<AssignmentWeights>> weights;
@@ -89,6 +116,12 @@ struct PlanBasisContext {
   // (replan interval == horizon, the test cadence) transfer nothing and
   // deliberately fall back to a cold solve.
   core::SlotIndex plan_begin = 0;
+  // Reduced costs d_j >= 0 of every structural column of the solved model
+  // (assignment variables then peak variables, model order), derived from
+  // the optimal duals. The next warm solve maps them through the same
+  // label translation as the basis to build its candidate-column mask
+  // (docs/solver.md, "Candidate-column pruning"). Empty disables pruning.
+  std::vector<double> reduced_costs;
   [[nodiscard]] bool valid() const { return !basis.empty(); }
 };
 
@@ -97,8 +130,12 @@ struct PlanBasisContext {
 // the fresh basis after every optimal solve. The replan loop sets
 // `next_plan_begin` to the new horizon's absolute start slot before each
 // solve; callers re-solving one fixed window can leave both begins at 0.
+// Decomposed solves keep one context per region block instead (keyed by
+// the block's Continent), each carried across replans exactly like `last`;
+// the small coupling LP always solves cold.
 struct WarmStartCache {
   PlanBasisContext last;
+  std::map<geo::Continent, PlanBasisContext> blocks;
   core::SlotIndex next_plan_begin = 0;
 };
 
@@ -122,8 +159,11 @@ struct WarmStartCache {
 // updated with the new basis on success. A transferred seed reaches the
 // same objective as a cold solve but may stop at a different vertex of the
 // optimal face; when nothing transfers (disjoint windows, failed gates)
-// the solve IS the cold path, byte for byte. See docs/solver.md,
-// "Warm-start lifecycle".
+// the solve IS the cold path, byte for byte. Under the decomposition
+// policy above, multi-continent scopes are split into per-region block
+// LPs plus a coupling LP over the cross-region demands, each block warm-
+// started from its own cached context. See docs/solver.md, "Warm-start
+// lifecycle" and "Region-block decomposition".
 [[nodiscard]] LpPlanResult solve_plan(const PlanInputs& inputs, const LpBuildOptions& options,
                                       WarmStartCache* warm = nullptr);
 

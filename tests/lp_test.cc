@@ -520,5 +520,247 @@ TEST(SimplexTest, StructuredAssignmentLp) {
   EXPECT_LE(s.objective, max_total + 1e-6);
 }
 
+// --- anti-cycling ----------------------------------------------------------
+
+// A degenerate first pivot (a zero-rhs row binds immediately) must arm the
+// bounded Bland burst and still reach the optimum, with both stall and
+// Bland pivots surfaced on the Solution.
+TEST(SimplexTest, DegenerateStallArmsBoundedBlandBurst) {
+  // min -2x - y;  x - y <= 0 (rhs 0: entering x pivots degenerately),
+  // x + y <= 2, x <= 1. Optimum x = 1, y = 1, objective -3.
+  LpModel m;
+  const int x = m.add_variable(-2.0);
+  const int y = m.add_variable(-1.0);
+  const int r0 = m.add_constraint(Sense::kLe, 0.0);
+  m.add_coefficient(r0, x, 1.0);
+  m.add_coefficient(r0, y, -1.0);
+  const int r1 = m.add_constraint(Sense::kLe, 2.0);
+  m.add_coefficient(r1, x, 1.0);
+  m.add_coefficient(r1, y, 1.0);
+  const int r2 = m.add_constraint(Sense::kLe, 1.0);
+  m.add_coefficient(r2, x, 1.0);
+
+  SolveOptions eager;  // Bland after a single degenerate pivot
+  eager.bland_trigger = 1;
+  eager.bland_burst = 8;
+  const Solution s = solve(m, eager);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-7);
+  EXPECT_GE(s.stall_pivots, 1);
+  EXPECT_GE(s.bland_pivots, 1);
+
+  // At the production trigger the same LP never leaves Dantzig pricing, and
+  // the answer is identical.
+  const Solution relaxed = solve(m);
+  ASSERT_EQ(relaxed.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(relaxed.objective, -3.0, 1e-7);
+  EXPECT_EQ(relaxed.bland_pivots, 0);
+}
+
+// --- dual simplex ----------------------------------------------------------
+
+// Three-row LP whose optimal basis stays dual-feasible when the first rhs
+// shrinks: min -x - 2y + z_cost*z, x + y + z <= r0, x <= 2, y <= 3.
+LpModel dual_demo_model(double r0, double z_cost) {
+  LpModel m;
+  const int x = m.add_variable(-1.0);
+  const int y = m.add_variable(-2.0);
+  const int z = m.add_variable(z_cost);
+  const int c0 = m.add_constraint(Sense::kLe, r0);
+  m.add_coefficient(c0, x, 1.0);
+  m.add_coefficient(c0, y, 1.0);
+  m.add_coefficient(c0, z, 1.0);
+  const int c1 = m.add_constraint(Sense::kLe, 2.0);
+  m.add_coefficient(c1, x, 1.0);
+  const int c2 = m.add_constraint(Sense::kLe, 3.0);
+  m.add_coefficient(c2, y, 1.0);
+  return m;
+}
+
+// Shrinking the coupling rhs drives a basic structural negative; the
+// re-solve from the stale optimal basis must repair it with dual pivots
+// (no phase-1 restoration) and land on the successor's cold optimum.
+TEST(SimplexDualTest, RhsDamagedSeedRepairsWithDualPivots) {
+  const LpModel before = dual_demo_model(4.0, 5.0);
+  const Solution base = solve(before);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(base.objective, -7.0, 1e-7);  // x = 1, y = 3
+
+  const LpModel after = dual_demo_model(2.5, 5.0);
+  const Solution cold = solve(after);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(cold.objective, -5.0, 1e-7);  // y = 2.5
+
+  for (const PivotMode mode : {PivotMode::kAuto, PivotMode::kDual}) {
+    SolveOptions opt;
+    opt.pivot_mode = mode;
+    const Solution warm = solve(after, base.basis, opt);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+    EXPECT_TRUE(warm.warm_started);
+    EXPECT_GE(warm.dual_iterations, 1);
+    EXPECT_EQ(warm.phase1_iterations, 0);  // never entered restoration
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+    EXPECT_LE(after.max_violation(warm.x), 1e-6);
+  }
+}
+
+// kPrimal pins the historical behaviour: the same damaged seed repairs
+// through the restoration pass, with zero dual pivots.
+TEST(SimplexDualTest, PrimalModeNeverTakesDualPivots) {
+  const Solution base = solve(dual_demo_model(4.0, 5.0));
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  const LpModel after = dual_demo_model(2.5, 5.0);
+  SolveOptions opt;
+  opt.pivot_mode = PivotMode::kPrimal;
+  const Solution warm = solve(after, base.basis, opt);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_EQ(warm.dual_iterations, 0);
+  EXPECT_NEAR(warm.objective, -5.0, 1e-7);
+}
+
+// kDual demands a dual-feasible seed: when the successor's costs make a
+// nonbasic column attractive (z turns profitable), the warm attempt fails
+// and the solve transparently runs the cold path.
+TEST(SimplexDualTest, DualModeWithDualInfeasibleSeedFallsBackCold) {
+  const Solution base = solve(dual_demo_model(4.0, 5.0));
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  const LpModel after = dual_demo_model(2.5, -100.0);
+  SolveOptions opt;
+  opt.pivot_mode = PivotMode::kDual;
+  const Solution warm = solve(after, base.basis, opt);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(warm.warm_started);
+  EXPECT_EQ(warm.dual_iterations, 0);
+  EXPECT_NEAR(warm.objective, solve(after).objective, 1e-7);  // z = 2.5
+}
+
+// Optimal solves export the row duals; every structural column must price
+// nonnegative against them (the optimality certificate callers rebuild
+// candidate masks from).
+TEST(SimplexDualTest, OptimalSolveExportsConsistentDuals) {
+  core::Rng rng(73);
+  const LpModel m = warm_test_model(rng, 8, 6, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  ASSERT_EQ(s.duals.size(), static_cast<std::size_t>(m.num_constraints()));
+  const SparseMatrix a = m.matrix();
+  for (int j = 0; j < m.num_variables(); ++j)
+    EXPECT_GE(m.costs()[static_cast<std::size_t>(j)] - a.dot_column(j, s.duals), -1e-6)
+        << "column " << j;
+}
+
+// --- structural-rank deficiency & warm-gate edge cases ---------------------
+
+// Duplicate basis columns leave one position unpivotable; the Deficiency
+// report names that position and the uncovered row, in matched order.
+TEST(BasisLuDeficiencyTest, DuplicateColumnsDiagnosedWithMatchingRows) {
+  // Columns: e0, e0 (dependent duplicate), e2, e1 (the repair candidate).
+  std::vector<SparseMatrix::Triplet> trips = {
+      {0, 0, 1.0}, {0, 1, 1.0}, {2, 2, 1.0}, {1, 3, 1.0}};
+  const SparseMatrix a = SparseMatrix::from_triplets(3, 4, trips);
+
+  BasisLu lu;
+  std::vector<int> basis = {0, 1, 2};
+  EXPECT_FALSE(lu.factorize(a, basis));  // no diagnosis requested: plain abort
+
+  BasisLu::Deficiency def;
+  EXPECT_FALSE(lu.factorize(a, basis, 1e-10, &def));
+  ASSERT_TRUE(def.any());
+  ASSERT_EQ(def.positions.size(), def.rows.size());
+  ASSERT_EQ(def.rows.size(), 1u);
+  EXPECT_EQ(def.rows[0], 1);  // row 1 has no pivot
+  EXPECT_TRUE(def.positions[0] == 0 || def.positions[0] == 1);
+
+  // Swapping the failed position for row 1's unit column repairs the basis.
+  basis[static_cast<std::size_t>(def.positions[0])] = 3;
+  EXPECT_TRUE(lu.factorize(a, basis));
+}
+
+// A seed naming the same structural column twice cannot map onto the model
+// at all — the warm attempt is rejected before factorization and the cold
+// path answers.
+TEST(SimplexWarmTest, DuplicateStructuralSeedFallsBackCold) {
+  core::Rng rng(74);
+  const LpModel m = warm_test_model(rng, 8, 6, 1.0);
+  const Solution cold = solve(m);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  Basis dup;
+  dup.entries.assign(static_cast<std::size_t>(m.num_constraints()),
+                     {BasisEntry::Kind::kStructural, 0});
+  const Solution s = solve(m, dup);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, cold.objective, 1e-9);
+}
+
+// An all-artificial seed on a model whose inequality rows own no
+// artificials is unmappable (map rejection); on an all-equality model it
+// maps but leaves every row hot, exhausting the warm repair budget. Both
+// must land on the cold answer with warm_started unset.
+TEST(SimplexWarmTest, AllArtificialSeedFallsBackCold) {
+  // Mixed rows: the <= rows have slacks, not artificials -> unmappable.
+  core::Rng rng(75);
+  const LpModel mixed = warm_test_model(rng, 8, 6, 1.0);
+  Basis all_art;
+  for (int i = 0; i < mixed.num_constraints(); ++i)
+    all_art.entries.push_back({BasisEntry::Kind::kArtificial, i});
+  const Solution a = solve(mixed, all_art);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(a.warm_started);
+  EXPECT_NEAR(a.objective, solve(mixed).objective, 1e-9);
+
+  // All-equality model: the seed maps and factorizes, but every artificial
+  // sits at its (positive) rhs — more hot rows than warm_repair_limit
+  // tolerates, and useless to the dual loop — so the solve reruns cold.
+  LpModel eq;
+  for (int j = 0; j < 3; ++j) eq.add_variable(1.0);
+  for (int i = 0; i < 3; ++i) {
+    const int r = eq.add_constraint(Sense::kEq, 1.0);
+    eq.add_coefficient(r, i, 1.0);
+  }
+  Basis eq_art;
+  for (int i = 0; i < 3; ++i) eq_art.entries.push_back({BasisEntry::Kind::kArtificial, i});
+  const Solution b = solve(eq, eq_art);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(b.warm_started);
+  EXPECT_NEAR(b.objective, 3.0, 1e-7);
+}
+
+// --- candidate-column pruning ----------------------------------------------
+
+// A warm solve under a candidate mask prices only the kept columns yet must
+// reach exactly the unpruned optimum (the verification sweep promotes any
+// pruned column that turns attractive).
+TEST(SimplexWarmTest, CandidateMaskPreservesOptimality) {
+  const std::uint64_t model_seed = 81;
+  core::Rng rng_a(model_seed), rng_b(model_seed);
+  const LpModel before = warm_test_model(rng_a, 10, 7, 1.0);
+  const LpModel after = warm_test_model(rng_b, 10, 7, 1.1);
+
+  const Solution base = solve(before);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  const Solution cold = solve(after);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  // Keep only the columns basic in the predecessor; prune the rest.
+  SolveOptions opt;
+  opt.candidate_mask.assign(static_cast<std::size_t>(after.num_variables()), 0);
+  for (const auto& e : base.basis.entries)
+    if (e.kind == BasisEntry::Kind::kStructural)
+      opt.candidate_mask[static_cast<std::size_t>(e.index)] = 1;
+
+  const Solution warm = solve(after, base.basis, opt);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_GT(warm.pruned_columns, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6 * (1.0 + std::abs(cold.objective)));
+  EXPECT_LE(after.max_violation(warm.x), 1e-6);
+
+  // Cold solves ignore the mask entirely.
+  const Solution masked_cold = solve(after, opt);
+  ASSERT_EQ(masked_cold.status, SolveStatus::kOptimal);
+  EXPECT_EQ(masked_cold.pruned_columns, 0);
+}
+
 }  // namespace
 }  // namespace titan::lp

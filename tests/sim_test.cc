@@ -689,7 +689,11 @@ TEST(SimEngineTest, TransitDegradeDrivesFailoverAndRecovery) {
   Disturbance degrade;
   degrade.kind = NetworkEventKind::kTransitDegrade;
   degrade.day = 0;
-  degrade.slot_in_day = 20;    // 10:00
+  // Noon, aligned with a plan boundary (replan_interval 12): the whole
+  // degrade sits inside one plan window, so no mid-degrade replan
+  // reshuffles which pairs carry traffic on the congested transit — the
+  // one-shot recovery assertion below needs that stability.
+  degrade.slot_in_day = 24;
   degrade.duration_slots = 8;  // four congested hours
   degrade.country = "france";
   degrade.dc = "netherlands";
@@ -712,15 +716,15 @@ TEST(SimEngineTest, TransitDegradeDrivesFailoverAndRecovery) {
   // to the congested transit are steered to an alternate provider — more
   // steering than background episodes alone produce, starting the moment
   // the degrade fires.
-  EXPECT_GT(window_sum(r.streams.route_changes(), 20, 28), 0.0);
+  EXPECT_GT(window_sum(r.streams.route_changes(), 24, 32), 0.0);
   const auto& steer = r.streams.transit_failovers();
-  EXPECT_GT(window_sum(steer, 20, 28), window_sum(calm.streams.transit_failovers(), 20, 28));
-  EXPECT_GT(window_sum(steer, 20, 22), 0.0);
+  EXPECT_GT(window_sum(steer, 24, 32), window_sum(calm.streams.transit_failovers(), 24, 32));
+  EXPECT_GT(window_sum(steer, 24, 26), 0.0);
 
   // Recovery: steering is one-shot per pair, so once the homed pairs with
   // traffic have moved off the congested transit, the back half of the
   // window steers no more than the front half (the fire is out).
-  EXPECT_LE(window_sum(steer, 24, 28), window_sum(steer, 20, 24));
+  EXPECT_LE(window_sum(steer, 28, 32), window_sum(steer, 24, 28));
 
   // Determinism holds with the engine-level steering stream in play.
   const auto r8 = engine.run(8);
@@ -899,16 +903,16 @@ struct GoldenChecksum {
 constexpr GoldenChecksum kGoldenChecksums[] = {
     {"steady-week", 0x1e8f450611d03ffbULL},
     {"weekend-transition", 0x6112a0c5774a9047ULL},
-    {"fiber-cut-failover", 0x927d299ee6ab6bcdULL},
-    {"dc-drain", 0xc43014a1596161ceULL},
+    {"fiber-cut-failover", 0x9fbac32172678d54ULL},
+    {"dc-drain", 0xe02309b29e0880e1ULL},
     {"flash-crowd", 0xd75872c97ed27935ULL},
-    {"transit-degrade-failover", 0x206f3c9643b6e787ULL},
-    {"rolling-maintenance", 0xa0e599ffd2652f67ULL},
-    {"cut-then-flash-crowd", 0x2bf4cfbfc499a52fULL},
+    {"transit-degrade-failover", 0x097612142b2fa469ULL},
+    {"rolling-maintenance", 0x6dc1af8619d3103aULL},
+    {"cut-then-flash-crowd", 0x1b4a9e850f2f1f99ULL},
     {"na-steady-week", 0x1e31f842c2df7e55ULL},
     {"asia-flash-crowd", 0x35971ddebaf306f6ULL},
-    {"global-steady-week", 0x56fcdf123b8e1e3bULL},
-    {"na-cut-shifts-to-eu", 0xb1ae350f177e6452ULL},
+    {"global-steady-week", 0xc8ce7f4fe0a1f4e7ULL},
+    {"na-cut-shifts-to-eu", 0x69f3c77232270a65ULL},
 };
 
 Scenario golden_config(const std::string& name) {

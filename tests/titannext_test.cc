@@ -460,6 +460,262 @@ TEST_F(PlanTest, RollingReplansWarmStartWithFewerIterations) {
   EXPECT_LT(later_iterations, cold_later);
 }
 
+// --- region-block decomposition --------------------------------------------------
+
+// A multi-region NA+EU world for the decomposition tests: trace, scope and
+// a constant fractions map spanning both continents. The fixture trace is
+// Europe-only, so these tests generate their own (small) one.
+struct MultiRegionSetup {
+  workload::Trace trace;
+  // Per-config counts sliced to the plan window (see below) — feed these
+  // to set_demand, not trace.config_counts().
+  std::vector<std::vector<double>> counts;
+  PlanScope scope;
+  std::map<std::pair<int, int>, double> fractions;
+};
+
+MultiRegionSetup make_na_eu_setup(const geo::World& world, const net::NetworkDb& db) {
+  const geo::RegionSet regions({geo::Continent::kNorthAmerica, geo::Continent::kEurope});
+  workload::TraceOptions topts;
+  topts.weeks = 2;
+  topts.peak_slot_calls = 50.0;
+  topts.regions = regions;
+  topts.cross_region_fraction = 0.35;
+
+  MultiRegionSetup s{workload::TraceGenerator(world).generate(topts), {}, {}, {}};
+  s.scope.regions = regions;
+  s.scope.timeslots = 12;
+  s.scope.max_reduced_configs = 20;
+  // Per-DC plan capacity is the global peak split by provisioned share, so
+  // a region block is only standalone-feasible when its DCs' share covers
+  // its regional peak — at the default headroom the EU block is not, its
+  // demands get promoted to the coupling LP, and nothing decomposes. The
+  // multi-region scenarios raise the headroom for the same reason.
+  s.scope.compute_headroom = 3.0;
+  // Window the demand onto UTC 16:00-22:00 (slot 32 on): EU evening and NA
+  // midday, so the top-K demand set keeps shapes homed on both sides plus
+  // a cross-continent shape for the coupling LP. A window at UTC midnight
+  // would see only NA traffic and leave the EU block empty.
+  s.counts = s.trace.config_counts();
+  for (auto& series : s.counts) series.erase(series.begin(), series.begin() + 32);
+  for (const auto c : geo::countries_in(world, regions)) {
+    const double f = db.loss().internet_unusable(c) ? 0.0 : 0.20;
+    for (const auto d : geo::dcs_in(world, regions)) s.fractions[{c.value(), d.value()}] = f;
+  }
+  return s;
+}
+
+// On a single-region scope the forced decomposition has exactly one block
+// owning every DC and every demand, and that block's model IS the
+// monolithic model — so kForce must reproduce the kOff plan bit for bit
+// (the equivalence the single-region golden checksums rely on via kAuto).
+TEST_F(PlanTest, ForcedDecompositionMatchesMonolithicOnSingleRegionScope) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+
+  LpBuildOptions off = lp_options();
+  off.decomposition = Decomposition::kOff;
+  LpBuildOptions force = lp_options();
+  force.decomposition = Decomposition::kForce;
+
+  const LpPlanResult mono = solve_plan(inputs, off);
+  const LpPlanResult dec = solve_plan(inputs, force);
+  ASSERT_EQ(mono.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(dec.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(mono.blocks_solved, 0);
+  EXPECT_EQ(dec.blocks_solved, 1);
+
+  // Identical model + identical (cold) solve: exact equality, not "near".
+  EXPECT_EQ(dec.objective, mono.objective);
+  EXPECT_EQ(dec.sum_of_wan_peaks_mbps, mono.sum_of_wan_peaks_mbps);
+  EXPECT_EQ(dec.iterations, mono.iterations);
+  ASSERT_EQ(dec.weights.size(), mono.weights.size());
+  for (std::size_t t = 0; t < mono.weights.size(); ++t) {
+    ASSERT_EQ(dec.weights[t].size(), mono.weights[t].size());
+    for (std::size_t c = 0; c < mono.weights[t].size(); ++c) {
+      const auto& a = mono.weights[t][c].entries;
+      const auto& b = dec.weights[t][c].entries;
+      ASSERT_EQ(a.size(), b.size()) << "t=" << t << " c=" << c;
+      for (std::size_t e = 0; e < a.size(); ++e) {
+        EXPECT_EQ(a[e].dc, b[e].dc);
+        EXPECT_EQ(a[e].path, b[e].path);
+        EXPECT_EQ(a[e].units, b[e].units);
+      }
+    }
+  }
+}
+
+// A genuine NA+EU scope under the default policy (kAuto) splits into two
+// region blocks plus a coupling LP over the cross-continent demands. The
+// composed plan is feasible for the monolithic LP, so its cost can only
+// meet or exceed the monolithic optimum — and every demand stays fully
+// assigned.
+TEST_F(PlanTest, MultiRegionScopeDecomposesIntoRegionBlocks) {
+  const auto setup = make_na_eu_setup(*world_, *db_);
+  PlanInputs inputs(*db_, setup.scope, setup.fractions);
+  inputs.set_demand(setup.trace.configs(), setup.counts, true);
+  ASSERT_GT(inputs.demands().size(), 0u);
+
+  // The demand set must actually exercise the partition: shapes homed on
+  // each continent plus at least one cross-continent shape for the
+  // coupling LP (deterministic — the trace seed is fixed).
+  int cross_demands = 0;
+  for (const auto& d : inputs.demands()) {
+    bool na = false, eu = false;
+    for (const auto& [country, count] : d.config.participants) {
+      const auto cont = world_->country(country).continent;
+      na = na || cont == geo::Continent::kNorthAmerica;
+      eu = eu || cont == geo::Continent::kEurope;
+    }
+    if (na && eu) ++cross_demands;
+  }
+  ASSERT_GT(cross_demands, 0);
+
+  const LpPlanResult dec = solve_plan(inputs, lp_options());  // kAuto default
+  ASSERT_EQ(dec.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(dec.blocks_solved, 2) << "NA+EU scope did not decompose into two blocks";
+  EXPECT_FALSE(dec.warm_started);
+
+  LpBuildOptions off = lp_options();
+  off.decomposition = Decomposition::kOff;
+  const LpPlanResult mono = solve_plan(inputs, off);
+  ASSERT_EQ(mono.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(mono.blocks_solved, 0);
+  EXPECT_GE(dec.sum_of_wan_peaks_mbps, mono.sum_of_wan_peaks_mbps - 1e-6);
+
+  // C1 on the composed plan: every demand fully assigned in every slot.
+  for (int t = 0; t < setup.scope.timeslots; ++t)
+    for (std::size_t c = 0; c < inputs.demands().size(); ++c) {
+      double assigned = 0.0;
+      for (const auto& e : dec.weights[static_cast<std::size_t>(t)][c].entries)
+        assigned += e.units;
+      EXPECT_NEAR(assigned,
+                  inputs.demands()[c].units_per_slot[static_cast<std::size_t>(t)], 1e-5);
+    }
+}
+
+// remap_basis across a region-set change: growing the scope (EU -> NA+EU)
+// keeps the surviving EU labels and completes the new NA columns/rows with
+// slacks, shrinking it drops the vanished NA labels — both directions
+// produce a usable candidate and the warm solve lands on the cold
+// objective. Both solves share one trace so the demand shapes overlap.
+TEST_F(PlanTest, RemapBasisSurvivesRegionEnterAndLeave) {
+  const auto setup = make_na_eu_setup(*world_, *db_);
+  // Monolithic both ways (the decomposed path keeps per-block contexts
+  // instead of `last`), C4 off so the EU-only solve of the NA-heavy trace
+  // stays feasible.
+  LpBuildOptions options = lp_options();
+  options.decomposition = Decomposition::kOff;
+  options.e2e_bound_ms = -1.0;
+
+  PlanScope eu_scope = setup.scope;
+  eu_scope.regions = geo::Continent::kEurope;
+  PlanInputs eu(*db_, eu_scope, setup.fractions);
+  eu.set_demand(setup.trace.configs(), setup.counts, true);
+  PlanInputs both(*db_, setup.scope, setup.fractions);
+  both.set_demand(setup.trace.configs(), setup.counts, true);
+  ASSERT_GT(both.dcs().size(), eu.dcs().size());
+
+  // Region enter: EU basis remapped onto the NA+EU model.
+  WarmStartCache cache;
+  ASSERT_EQ(solve_plan(eu, options, &cache).status, lp::SolveStatus::kOptimal);
+  ASSERT_TRUE(cache.last.valid());
+  const std::size_t eu_basis_size = cache.last.basis.entries.size();
+  const auto entered = remap_basis(cache.last, both, options, 0);
+  ASSERT_TRUE(entered.has_value()) << "region enter produced no candidate basis";
+  EXPECT_GT(entered->entries.size(), eu_basis_size);
+
+  const LpPlanResult cold_both = solve_plan(both, options);
+  const LpPlanResult warm_both = solve_plan(both, options, &cache);
+  ASSERT_EQ(warm_both.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(warm_both.objective, cold_both.objective,
+              1e-6 * std::max(1.0, std::abs(cold_both.objective)));
+  EXPECT_EQ(cache.last.dcs.size(), both.dcs().size());
+
+  // Region leave: the NA+EU basis remapped back onto the EU-only model.
+  const auto left = remap_basis(cache.last, eu, options, 0);
+  ASSERT_TRUE(left.has_value()) << "region leave produced no candidate basis";
+  EXPECT_LT(left->entries.size(), cache.last.basis.entries.size());
+
+  const LpPlanResult cold_eu = solve_plan(eu, options);
+  const LpPlanResult warm_eu = solve_plan(eu, options, &cache);
+  ASSERT_EQ(warm_eu.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(warm_eu.objective, cold_eu.objective,
+              1e-6 * std::max(1.0, std::abs(cold_eu.objective)));
+}
+
+// Decomposed replans carry one warm context per region block: re-solving
+// the same NA+EU inputs warm-starts both blocks (identity remap) and beats
+// the first solve's pivot count — only the small coupling LP stays cold.
+TEST_F(PlanTest, DecomposedReplansWarmStartPerBlock) {
+  const auto setup = make_na_eu_setup(*world_, *db_);
+  PlanInputs inputs(*db_, setup.scope, setup.fractions);
+  inputs.set_demand(setup.trace.configs(), setup.counts, true);
+
+  WarmStartCache cache;
+  const LpPlanResult first = solve_plan(inputs, lp_options(), &cache);
+  ASSERT_EQ(first.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(first.blocks_solved, 2);
+  EXPECT_FALSE(first.warm_started);
+  EXPECT_EQ(cache.blocks.size(), 2u);
+  for (const auto& [continent, ctx] : cache.blocks) EXPECT_TRUE(ctx.valid());
+
+  const LpPlanResult again = solve_plan(inputs, lp_options(), &cache);
+  ASSERT_EQ(again.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(again.blocks_solved, 2);
+  EXPECT_TRUE(again.warm_started);
+  EXPECT_LT(again.iterations, first.iterations);
+  EXPECT_NEAR(again.objective, first.objective,
+              1e-6 * std::max(1.0, std::abs(first.objective)));
+}
+
+// The LP scale-out acceptance pin: a disturbance-forced replan at a rolling
+// cadence KEEPS the warm cache and repairs the rhs damage with dual-simplex
+// pivots instead of re-solving cold. Before the dual path existed, forced
+// replans dropped the cache — every forced stat was cold by construction.
+TEST_F(PlanTest, DisturbanceForcedReplansWarmStartViaDualSimplex) {
+  sim::Scenario s = sim::make_scenario("steady-week");
+  s.training_weeks = 1;
+  s.eval_days = 1;
+  s.peak_slot_calls = 40.0;
+  s.shards = 8;
+  s.oracle_counts = true;
+  s.pipeline.scope.timeslots = 24;
+  s.replan_interval_slots = 4;  // rolling horizon: forced replans overlap
+  s.pipeline.scope.max_reduced_configs = 20;
+
+  // Partial drains of a busy DC mid-morning: pure rhs damage (plan compute
+  // capacity shrinks), exactly what the dual pivot loop repairs.
+  for (const int slot : {9, 13, 17}) {
+    sim::Disturbance drain;
+    drain.kind = sim::NetworkEventKind::kDcDrain;
+    drain.day = 0;
+    drain.slot_in_day = slot;
+    drain.duration_slots = 2;
+    drain.dc = "netherlands";
+    drain.magnitude = 0.4;  // keep 40% of compute
+    s.disturbances.push_back(drain);
+  }
+
+  sim::SimEngine engine(s);
+  const auto r = engine.run(2);
+  ASSERT_EQ(r.replan_stats.size(), static_cast<std::size_t>(r.replans));
+
+  int forced = 0, forced_warm = 0;
+  long long forced_dual = 0;
+  for (const auto& stat : r.replan_stats) {
+    if (!stat.forced) continue;
+    ++forced;
+    if (stat.warm_started) {
+      ++forced_warm;
+      forced_dual += stat.dual_iterations;
+    }
+  }
+  ASSERT_GT(forced, 0) << "no disturbance forced a replan";
+  EXPECT_GT(forced_warm, 0) << "forced replans all fell back cold";
+  EXPECT_GT(forced_dual, 0) << "forced warm replans took no dual pivots";
+}
+
 // --- Pipeline / forecasting -----------------------------------------------------
 
 TEST_F(TitanNextTest, ForecastCountsShapes) {
