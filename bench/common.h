@@ -47,6 +47,16 @@ namespace titan::bench {
 //                 no decomposition), decomposed (force region-block
 //                 decomposition even on single-region scopes)
 //   --list-scenarios  print the scenario library and exit (sim benches only)
+// Open-loop latency harness (`bench_assign_latency`) extras
+// (docs/observability.md, "Assignment-latency budget"):
+//   --rate X        sustained arrival rate, controller calls per second
+//   --warmup-sec X  leading window whose samples are excluded
+//   --measure-sec X measured window length (the reported distribution)
+//   --cooldown-sec X trailing window whose samples are excluded
+//   (--baseline / --check / --out are shared with the sweep bench: the
+//   baseline is the committed latency-budget JSON, --check exits 1 when
+//   the measured p99 exceeds it, --out writes the perf-report-schema
+//   latency report)
 // Sweep bench (`bench_sim_sweep`) extras:
 //   --seeds N     sweep N consecutive seeds starting at --seed
 //   --scenarios L comma-separated scenario names, or "all"
@@ -70,6 +80,11 @@ struct Cli {
   std::string perf_baseline_path;
   std::string trace_out_path;
   std::string lp_mode = "auto";  // auto | primal | dual | decomposed
+  // Open-loop latency harness (bench_assign_latency) only.
+  double rate_per_sec = 50000.0;
+  double warmup_sec = 0.5;
+  double measure_sec = 2.0;
+  double cooldown_sec = 0.25;
   // Sweep bench only.
   int seeds = 1;
   std::string scenarios;    // comma list; "" or "all" = whole library
@@ -197,6 +212,26 @@ inline CliParse parse_cli_args(int argc, char** argv,
             cli.lp_mode != "decomposed")
           fail("--lp-mode must be one of: auto primal dual decomposed");
       }
+    } else if (is("--rate")) {
+      if ((v = value())) {
+        cli.rate_per_sec = std::atof(v);
+        if (cli.rate_per_sec <= 0.0) fail("--rate must be > 0 calls/sec");
+      }
+    } else if (is("--warmup-sec")) {
+      if ((v = value())) {
+        cli.warmup_sec = std::atof(v);
+        if (cli.warmup_sec < 0.0) fail("--warmup-sec must be >= 0");
+      }
+    } else if (is("--measure-sec")) {
+      if ((v = value())) {
+        cli.measure_sec = std::atof(v);
+        if (cli.measure_sec <= 0.0) fail("--measure-sec must be > 0");
+      }
+    } else if (is("--cooldown-sec")) {
+      if ((v = value())) {
+        cli.cooldown_sec = std::atof(v);
+        if (cli.cooldown_sec < 0.0) fail("--cooldown-sec must be >= 0");
+      }
     } else if (is("--seeds")) {
       if ((v = value())) {
         cli.seeds = std::atoi(v);
@@ -226,6 +261,7 @@ inline CliParse parse_cli_args(int argc, char** argv,
                       " [--json PATH] [--replan-json PATH] [--perf-json PATH]"
                       " [--perf-baseline PATH] [--trace-out PATH]"
                       " [--lp-mode auto|primal|dual|decomposed]"
+                      " [--rate X] [--warmup-sec X] [--measure-sec X] [--cooldown-sec X]"
                       " [--seeds N] [--scenarios A,B|all]"
                       " [--sim-threads L]"
                       " [--workers N] [--baseline PATH] [--check] [--out PATH]"

@@ -14,6 +14,9 @@ namespace titan::net {
 // option hands traffic to transit ISPs near the DC (hot potato).
 enum class PathType { kWan, kInternet };
 
+// Number of PathType enumerators; sizes flat per-(dc, path) state arrays.
+inline constexpr int kNumPathTypes = 2;
+
 [[nodiscard]] inline std::string path_type_name(PathType p) {
   return p == PathType::kWan ? "WAN" : "Internet";
 }

@@ -334,7 +334,15 @@ void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
   titannext::ControllerOptions copts;
   copts.use_reduction = scenario_.pipeline.use_reduction;
   for (auto& sh : shards) {
-    sh.plan = day.plan;  // fresh credit state per shard per plan generation
+    // Each shard gets its own copy of the new plan, seeded with ITS OWN
+    // previous credit state: smooth-WRR smoothing must span plan
+    // generations (a restart every replan interval lets the realized mix
+    // drift toward round-robin and away from the plan weights at rolling
+    // cadences). The carry must happen before current_plan_ is replaced
+    // below — it matches demands through the previous generation's inputs.
+    titannext::OfflinePlan fresh = day.plan;
+    fresh.carry_credits_from(sh.plan);
+    sh.plan = std::move(fresh);
     if (sh.controller == nullptr)
       sh.controller = std::make_unique<titannext::OnlineController>(*day.inputs, sh.plan, copts);
     else

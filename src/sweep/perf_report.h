@@ -54,4 +54,26 @@ inline constexpr int kPerfSchemaVersion = 1;
 // or fields — reports them instead of throwing.
 [[nodiscard]] std::string perf_diff_text(const Json& baseline, const Json& current);
 
+// Assignment-latency budget gate behind `bench_assign_latency --check`
+// (docs/observability.md, "Assignment-latency budget"). `budget` is the
+// committed bench/baselines/assign_latency_budget.json:
+//
+//   {"schema_version": 1,
+//    "config": {"rate_per_sec": ..., "warmup_seconds": ...,
+//               "measure_seconds": ..., "cooldown_seconds": ...},
+//    "budget": {"p99_us": ..., "min_samples": ...}}
+//
+// and `report` is the harness's perf-report-schema output. Unlike
+// perf_diff_text this check IS enforcing — CI fails on violation — so the
+// failure modes are strict: a missing/NaN p99, fewer measured samples than
+// `min_samples` (an empty window passes no budget vacuously), any
+// config key pinned by the budget differing in the report (a p99 is only
+// meaningful at its pinned offered load and window layout), or a
+// schema-version mismatch all fail, they are not notes.
+struct LatencyBudgetCheck {
+  bool ok = false;
+  std::string text;  // human-readable verdict, pass or fail
+};
+[[nodiscard]] LatencyBudgetCheck latency_budget_check(const Json& budget, const Json& report);
+
 }  // namespace titan::sweep

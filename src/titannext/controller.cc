@@ -6,11 +6,22 @@ namespace titan::titannext {
 
 OnlineController::OnlineController(const PlanInputs& inputs, const OfflinePlan& plan,
                                    const ControllerOptions& options)
-    : inputs_(&inputs), plan_(&plan), options_(options) {}
+    : inputs_(&inputs), plan_(&plan), options_(options) {
+  recent_.resize(inputs.net().world().countries().size() *
+                 static_cast<std::size_t>(media::kMediaTypeCount));
+}
 
 void OnlineController::rebind(const PlanInputs& inputs, const OfflinePlan& plan) {
   inputs_ = &inputs;
   plan_ = &plan;
+  reindex();
+}
+
+void OnlineController::reindex() {
+  // The remembered shapes outlive plan generations but their cached demand
+  // ids do not: the new generation's top-K cut and ordering differ.
+  for (auto& r : recent_)
+    if (r.valid) r.demand_idx = inputs_->demand_index(r.config);
 }
 
 Assignment OnlineController::fallback(core::CountryId country) const {
@@ -43,27 +54,35 @@ InitialAssignment OnlineController::assign_initial(core::CountryId first_joiner,
   InitialAssignment out;
   out.first_joiner = first_joiner;
   // Most recently used reduced config for the country+media; default to the
-  // intra-country singleton (the majority shape).
-  const auto key = std::make_pair(first_joiner.value(), static_cast<int>(media));
-  const auto it = recent_.find(key);
-  if (it != recent_.end()) {
-    out.guessed_config = it->second;
+  // intra-country singleton (the majority shape). Both guesses reach the
+  // plan by demand id — the cached one for a remembered shape, the
+  // precomputed singleton table for the default — so the hot path does no
+  // CallConfig construction or map lookup.
+  std::optional<Assignment> picked;
+  const RecentConfig* recent = nullptr;
+  if (first_joiner.valid()) {
+    const auto& r = recent_[recent_slot(first_joiner, media)];
+    if (r.valid) recent = &r;
+  }
+  if (recent != nullptr) {
+    out.guessed_config = recent->config;
+    picked = plan_->pick(recent->demand_idx, t, rng);
   } else {
     out.guessed_config.participants = {{first_joiner, 1}};
     out.guessed_config.media = media;
+    picked = plan_->pick(inputs_->singleton_demand_index(first_joiner, media), t, rng);
   }
-
-  auto picked = plan_->pick(out.guessed_config, t, rng);
   if (!picked) {
     // The guessed shape has no planned units in this slot (e.g. the
     // forecast expected none for this country+media). Any planned media
     // variant of the intra-country shape is a better guide than blind
     // nearest-DC fallback — it reflects where the LP wants this country.
+    // The candidate ids come straight from the singleton table (media
+    // order, -1 rows skipped), so a miss costs three array reads.
     for (int m = 0; m < media::kMediaTypeCount && !picked; ++m) {
-      workload::CallConfig variant;
-      variant.participants = {{first_joiner, 1}};
-      variant.media = static_cast<media::MediaType>(m);
-      picked = plan_->pick(variant, t, rng);
+      const int idx =
+          inputs_->singleton_demand_index(first_joiner, static_cast<media::MediaType>(m));
+      if (idx >= 0) picked = plan_->pick(idx, t, rng);
     }
   }
   if (picked) {
@@ -82,23 +101,27 @@ ConvergenceResult OnlineController::converge(const InitialAssignment& initial,
   ConvergenceResult out;
   const workload::CallConfig reduced =
       options_.use_reduction ? workload::reduce(true_config).config : true_config;
+  // One shape resolution serves the memory update, the supports probe, and
+  // the pick below (this lookup used to run three times per convergence).
+  const int demand_idx = inputs_->demand_index(reduced);
 
   // Remember the converged reduced config for future first-joiner guesses
   // (§6.4: the memory is per the *first joiner's* country — known at
   // assignment time — not per the config's lowest-id participant).
   if (initial.first_joiner.valid()) {
-    const auto key = std::make_pair(initial.first_joiner.value(),
-                                    static_cast<int>(true_config.media));
-    recent_[key] = reduced;
+    auto& r = recent_[recent_slot(initial.first_joiner, true_config.media)];
+    r.config = reduced;
+    r.demand_idx = demand_idx;
+    r.valid = true;
   }
 
   // Stay put when the plan supports the current DC for the true config.
-  if (plan_->supports(reduced, t, initial.assignment.dc)) {
+  if (plan_->supports(demand_idx, t, initial.assignment.dc)) {
     out.final_assignment = initial.assignment;
     return out;
   }
 
-  const auto target = plan_->pick(reduced, t, rng);
+  const auto target = plan_->pick(demand_idx, t, rng);
   if (!target) {
     // True config is out of plan: keep the call where it is.
     out.final_assignment = initial.assignment;

@@ -12,8 +12,8 @@
 // calls are never moved WAN -> Internet mid-flight (capacity safety).
 #pragma once
 
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "core/rng.h"
 #include "titannext/plan.h"
@@ -80,11 +80,30 @@ class OnlineController {
   [[nodiscard]] Assignment fallback(core::CountryId country, core::DcId exclude) const;
 
  private:
+  // Most recently used reduced config for one (country, media) cell, plus
+  // its demand index under the CURRENT plan generation so assign_initial
+  // reaches the plan without any shape lookup. `demand_idx` is -1 when the
+  // shape is outside the current demand set; rebind() re-resolves every
+  // valid cell against the new inputs (reindex).
+  struct RecentConfig {
+    workload::CallConfig config;
+    int demand_idx = -1;
+    bool valid = false;
+  };
+
+  void reindex();
+  [[nodiscard]] std::size_t recent_slot(core::CountryId country, media::MediaType media) const {
+    return static_cast<std::size_t>(country.value()) *
+               static_cast<std::size_t>(media::kMediaTypeCount) +
+           static_cast<std::size_t>(media);
+  }
+
   const PlanInputs* inputs_;
   const OfflinePlan* plan_;
   ControllerOptions options_;
-  // Most recently used reduced config per (country, media).
-  std::map<std::pair<int, int>, workload::CallConfig> recent_;
+  // Flat per-(country, media) memory, [country * kMediaTypeCount + media];
+  // survives rebind (the memory spans plan generations by design).
+  std::vector<RecentConfig> recent_;
 };
 
 }  // namespace titan::titannext

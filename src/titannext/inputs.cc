@@ -66,7 +66,32 @@ void PlanInputs::set_demand(const workload::ConfigRegistry& registry,
   links_.clear();
   for (const int l : link_set) links_.push_back(core::LinkId(l));
 
+  build_singleton_index();
   finalize_capacities();
+}
+
+void PlanInputs::build_singleton_index() {
+  singleton_demand_.assign(net_->world().countries().size() *
+                               static_cast<std::size_t>(media::kMediaTypeCount),
+                           -1);
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    const auto& shape = demands_[i].config;
+    if (shape.participants.size() != 1 || shape.participants[0].second != 1) continue;
+    const int country = shape.participants[0].first.value();
+    if (country < 0) continue;
+    const std::size_t slot = static_cast<std::size_t>(country) *
+                                 static_cast<std::size_t>(media::kMediaTypeCount) +
+                             static_cast<std::size_t>(shape.media);
+    if (slot < singleton_demand_.size()) singleton_demand_[slot] = static_cast<int>(i);
+  }
+}
+
+int PlanInputs::singleton_demand_index(core::CountryId country, media::MediaType media) const {
+  if (!country.valid()) return -1;
+  const std::size_t slot = static_cast<std::size_t>(country.value()) *
+                               static_cast<std::size_t>(media::kMediaTypeCount) +
+                           static_cast<std::size_t>(media);
+  return slot < singleton_demand_.size() ? singleton_demand_[slot] : -1;
 }
 
 void PlanInputs::finalize_capacities() {
@@ -195,6 +220,7 @@ PlanInputs PlanInputs::restricted(const std::vector<int>& dc_indices,
           link_set.insert(l.value());
   out.links_.clear();
   for (const int l : link_set) out.links_.push_back(core::LinkId(l));
+  out.build_singleton_index();
   return out;
 }
 

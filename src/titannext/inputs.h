@@ -85,6 +85,15 @@ class PlanInputs {
   // Index of a reduced config shape, -1 when out of scope.
   [[nodiscard]] int demand_index(const workload::CallConfig& reduced_shape) const;
 
+  // Demand index of the intra-country singleton shape (one participant of
+  // `country`, `media`) — the controller's first-joiner guess and its
+  // miss-path media variants. A flat table rebuilt with the demand set, so
+  // the assignment hot path reads one int instead of constructing a
+  // CallConfig and walking the demand map. -1 when the shape is not in the
+  // demand set (or the country is invalid / unknown).
+  [[nodiscard]] int singleton_demand_index(core::CountryId country,
+                                           media::MediaType media) const;
+
   // Block view for the region-block decomposition (docs/solver.md,
   // "Region-block decomposition"): the same inputs restricted to a subset
   // of DCs (by parent index) and demands (by parent index), both keeping
@@ -100,6 +109,7 @@ class PlanInputs {
 
  private:
   void finalize_capacities();
+  void build_singleton_index();
 
   const net::NetworkDb* net_;
   PlanScope scope_;
@@ -107,6 +117,9 @@ class PlanInputs {
   std::vector<core::DcId> dcs_;
   std::vector<ReducedDemand> demands_;
   std::map<workload::CallConfig, int> demand_index_;
+  // [country * kMediaTypeCount + media] -> demand index of the singleton
+  // shape, -1 when absent. Sized by the world's country set.
+  std::vector<int> singleton_demand_;
   std::vector<core::LinkId> links_;
   std::vector<core::Cores> dc_capacity_;      // per dcs_ index
   std::vector<core::Mbps> internet_capacity_;  // per dcs_ index

@@ -93,6 +93,36 @@ TEST(BenchCliTest, ParsesLpModeAndRejectsUnknownValues) {
   EXPECT_NE(help.message.find("--lp-mode"), std::string::npos) << help.message;
 }
 
+TEST(BenchCliTest, ParsesOpenLoopHarnessFlags) {
+  const CliParse p = parse({"--rate", "25000", "--warmup-sec", "1.5", "--measure-sec", "4",
+                            "--cooldown-sec", "0.5"});
+  ASSERT_LT(p.exit_code, 0) << p.message;
+  EXPECT_DOUBLE_EQ(p.cli.rate_per_sec, 25000.0);
+  EXPECT_DOUBLE_EQ(p.cli.warmup_sec, 1.5);
+  EXPECT_DOUBLE_EQ(p.cli.measure_sec, 4.0);
+  EXPECT_DOUBLE_EQ(p.cli.cooldown_sec, 0.5);
+  // Zero-length warmup/cooldown are legal (measure everything)...
+  EXPECT_LT(parse({"--warmup-sec", "0", "--cooldown-sec", "0"}).exit_code, 0);
+  // ...but a non-positive rate or measure window is a usage error, and so
+  // is a missing value.
+  EXPECT_EQ(parse({"--rate", "0"}).exit_code, 2);
+  EXPECT_EQ(parse({"--rate", "-5"}).exit_code, 2);
+  EXPECT_EQ(parse({"--measure-sec", "0"}).exit_code, 2);
+  EXPECT_EQ(parse({"--warmup-sec", "-1"}).exit_code, 2);
+  EXPECT_EQ(parse({"--cooldown-sec", "-1"}).exit_code, 2);
+  EXPECT_EQ(parse({"--rate"}).exit_code, 2);
+  EXPECT_EQ(parse({"--warmup-sec"}).exit_code, 2);
+  EXPECT_EQ(parse({"--measure-sec"}).exit_code, 2);
+  EXPECT_EQ(parse({"--cooldown-sec"}).exit_code, 2);
+  // The help text advertises the harness flags.
+  const CliParse help = parse({"--help"});
+  ASSERT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.message.find("--rate"), std::string::npos) << help.message;
+  EXPECT_NE(help.message.find("--warmup-sec"), std::string::npos) << help.message;
+  EXPECT_NE(help.message.find("--measure-sec"), std::string::npos) << help.message;
+  EXPECT_NE(help.message.find("--cooldown-sec"), std::string::npos) << help.message;
+}
+
 TEST(BenchCliTest, UnknownScenarioExitsTwoWithTheValidList) {
   const CliParse p = parse({"--scenario", "no-such"}, sim::scenario_names());
   EXPECT_EQ(p.exit_code, 2);

@@ -220,6 +220,62 @@ TEST_F(ControllerTest, FallbackSkipsDrainedDc) {
   db_->set_dc_compute_scale(nearest, 1.0);
 }
 
+// Table-driven coverage of the three-pass preference order: pass 1 wants a
+// LIVE DC that is not `exclude`; pass 2 admits the excluded DC if it is
+// live (a partially drained DC beats a fully drained one); pass 3 admits
+// anything (everything-drained must still land the call somewhere).
+TEST_F(ControllerTest, FallbackThreePassPreferenceOrder) {
+  const auto plan = make_plan();
+  OnlineController controller(*inputs_, plan, {});
+  const auto& dcs = inputs_->dcs();
+  ASSERT_GE(dcs.size(), 2u);
+
+  // Nearest and second-nearest in-scope DCs for France, by WAN RTT.
+  const auto nearest = controller.fallback(fr_).dc;
+  core::DcId second;
+  double best = 1e18;
+  for (const auto dc : dcs) {
+    if (dc == nearest) continue;
+    const double rtt = db_->latency().base_rtt_ms(fr_, dc, net::PathType::kWan);
+    if (rtt < best) {
+      best = rtt;
+      second = dc;
+    }
+  }
+  ASSERT_TRUE(second.valid());
+
+  enum class Drain { kNone, kAllButExcluded, kAll };
+  struct Case {
+    const char* name;
+    Drain drain;
+    core::DcId exclude;
+    core::DcId expected;
+  };
+  const Case cases[] = {
+      // Exclude beats proximity: the nearest DC is live but excluded, so
+      // pass 1 lands on the second-nearest live DC.
+      {"exclude beats staying", Drain::kNone, nearest, second},
+      // Every alternative is fully drained: pass 1 finds nothing, pass 2
+      // returns to the live-but-excluded DC (partial drain beats full).
+      {"partially drained beats fully drained", Drain::kAllButExcluded, nearest, nearest},
+      // Everything is drained: pass 3 ignores drain and exclusion alike
+      // and still lands the call at the nearest DC.
+      {"everything drained still lands", Drain::kAll, nearest, nearest},
+  };
+
+  for (const auto& c : cases) {
+    for (const auto dc : dcs) {
+      const bool drained = c.drain == Drain::kAll ||
+                           (c.drain == Drain::kAllButExcluded && dc != c.exclude);
+      db_->set_dc_compute_scale(dc, drained ? 0.0 : 1.0);
+    }
+    const auto fb = controller.fallback(fr_, c.exclude);
+    EXPECT_EQ(fb.dc, c.expected) << c.name;
+    EXPECT_EQ(fb.path, net::PathType::kWan) << c.name;
+    for (const auto dc : dcs) db_->set_dc_compute_scale(dc, 1.0);
+  }
+}
+
 // --- rebind (closed-loop replan hook) -----------------------------------
 
 TEST_F(ControllerTest, RebindPreservesRecentConfigState) {

@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "sweep/baseline.h"
 #include "sweep/json.h"
+#include "sweep/perf_report.h"
 #include "sweep/serialize.h"
 #include "sweep/sweep.h"
 
@@ -406,6 +408,79 @@ TEST(SweepBaselineTest, IncomparableSpecsThrow) {
   different_peak.spec.peak_slot_calls = 999.0;
   EXPECT_THROW((void)compare_to_baseline(result, different_peak, default_tolerances()),
                std::invalid_argument);
+}
+
+// --- assignment-latency budget gate (bench_assign_latency --check) ------
+
+// A minimal budget / report pair in the shapes latency_budget_check
+// documents; each case perturbs one aspect and states the verdict.
+class LatencyBudgetTest : public ::testing::Test {
+ protected:
+  static Json budget_json() {
+    return Json::parse(R"({
+      "schema_version": 1,
+      "config": {"rate_per_sec": 50000, "measure_seconds": 2},
+      "budget": {"p99_us": 40.0, "min_samples": 1000}
+    })");
+  }
+  static Json report_json(double p99, double count = 100000.0) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf, R"({
+      "schema_version": 1,
+      "config": {"rate_per_sec": 50000, "measure_seconds": 2, "seed": 2024},
+      "scenarios": [{"scenario": "assign-open-loop",
+                     "assign_latency_us": {"count": %.1f, "p99": %.4f}}]
+    })",
+                  count, p99);
+    return Json::parse(buf);
+  }
+};
+
+TEST_F(LatencyBudgetTest, PassesWithinBudgetFailsAbove) {
+  const auto ok = latency_budget_check(budget_json(), report_json(12.5));
+  EXPECT_TRUE(ok.ok) << ok.text;
+  EXPECT_NE(ok.text.find("OK"), std::string::npos);
+
+  const auto over = latency_budget_check(budget_json(), report_json(41.0));
+  EXPECT_FALSE(over.ok);
+  EXPECT_NE(over.text.find("exceeds"), std::string::npos) << over.text;
+  // Exactly at the budget is within it (<= semantics).
+  EXPECT_TRUE(latency_budget_check(budget_json(), report_json(40.0)).ok);
+}
+
+TEST_F(LatencyBudgetTest, PinnedConfigKeysMustMatch) {
+  // The report may carry EXTRA config (seed above): only pinned keys bind.
+  EXPECT_TRUE(latency_budget_check(budget_json(), report_json(1.0)).ok);
+
+  Json report = report_json(1.0);
+  Json wrong_rate = Json::object();
+  wrong_rate.set("rate_per_sec", Json::number(10000));
+  wrong_rate.set("measure_seconds", Json::number(2));
+  report.set("config", std::move(wrong_rate));
+  const auto mismatch = latency_budget_check(budget_json(), report);
+  EXPECT_FALSE(mismatch.ok);
+  EXPECT_NE(mismatch.text.find("rate_per_sec"), std::string::npos) << mismatch.text;
+
+  Json missing = report_json(1.0);
+  Json cfg = Json::object();
+  cfg.set("rate_per_sec", Json::number(50000));  // measure_seconds absent
+  missing.set("config", std::move(cfg));
+  EXPECT_FALSE(latency_budget_check(budget_json(), missing).ok);
+}
+
+TEST_F(LatencyBudgetTest, EnforcingFailureModesAreStrict) {
+  // Too few measured samples cannot vacuously pass the budget.
+  EXPECT_FALSE(latency_budget_check(budget_json(), report_json(1.0, 10.0)).ok);
+  // A budget without budget.p99_us enforces nothing -> refuse loudly.
+  EXPECT_FALSE(latency_budget_check(Json::parse(R"({"budget": {}})"), report_json(1.0)).ok);
+  // Schema drift between budget and report is a failure, not a note.
+  Json old_schema = report_json(1.0);
+  old_schema.set("schema_version", Json::number(0));
+  EXPECT_FALSE(latency_budget_check(budget_json(), old_schema).ok);
+  // A report with no scenarios or no p99 fails.
+  Json empty = report_json(1.0);
+  empty.set("scenarios", Json::array());
+  EXPECT_FALSE(latency_budget_check(budget_json(), empty).ok);
 }
 
 }  // namespace

@@ -277,6 +277,131 @@ TEST_F(PlanTest, OfflinePlanPickFollowsWeights) {
   EXPECT_FALSE(plan.pick(unknown, 9, rng).has_value());
 }
 
+// Pins the single-resolution contract: the shape overload resolves the
+// demand index exactly once and delegates, so a pick/supports sequence
+// through shapes is bit-identical to the same sequence through demand ids
+// (pick used to resolve the same shape twice per call — once in
+// weights_for, once for the credit row).
+TEST_F(PlanTest, OfflinePlanShapeAndIdLookupsAgree) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  const auto result = solve_plan(inputs, lp_options());
+  OfflinePlan by_shape(&inputs, result);
+  OfflinePlan by_id(&inputs, result);
+  ASSERT_TRUE(by_shape.valid());
+
+  core::Rng rng_shape(7), rng_id(7);
+  const auto& demands = inputs.demands();
+  for (int t = 0; t < small_scope().timeslots; ++t) {
+    for (std::size_t c = 0; c < demands.size(); ++c) {
+      const int idx = inputs.demand_index(demands[c].config);
+      ASSERT_EQ(idx, static_cast<int>(c));
+      const auto a = by_shape.pick(demands[c].config, t, rng_shape);
+      const auto b = by_id.pick(idx, t, rng_id);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "t=" << t << " c=" << c;
+      if (a.has_value()) {
+        EXPECT_EQ(a->dc, b->dc);
+        EXPECT_EQ(a->path, b->path);
+        EXPECT_EQ(by_shape.supports(demands[c].config, t, a->dc),
+                  by_id.supports(idx, t, b->dc));
+      }
+    }
+  }
+  // Both rngs consumed identically: the next draw agrees.
+  EXPECT_DOUBLE_EQ(rng_shape.uniform(), rng_id.uniform());
+}
+
+// An all-zero-units weight row (the LP can emit ~0-weight entries) must be
+// out of plan, not a division by zero: before the guard the zero total
+// produced NaN credits that stuck to the WRR state and poisoned every
+// later pick of that demand.
+TEST_F(PlanTest, OfflinePlanZeroTotalWeightsAreOutOfPlan) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  ASSERT_GE(inputs.demands().size(), 2u);
+  const auto dc0 = inputs.dcs().at(0);
+  const auto dc1 = inputs.dcs().at(1);
+
+  LpPlanResult result;
+  result.status = lp::SolveStatus::kOptimal;
+  result.weights.assign(static_cast<std::size_t>(small_scope().timeslots),
+                        std::vector<AssignmentWeights>(inputs.demands().size()));
+  for (auto& row : result.weights) {
+    row[0].entries = {{dc0, net::PathType::kWan, 0.0}};  // zero total
+    row[1].entries = {{dc0, net::PathType::kWan, 1.0}, {dc1, net::PathType::kWan, 1.0}};
+  }
+  const OfflinePlan plan(&inputs, std::move(result));
+  core::Rng rng(11);
+
+  // The zero-total demand is out of plan at every slot...
+  EXPECT_FALSE(plan.pick(0, 0, rng).has_value());
+  // ...and interleaving it does not disturb the healthy demand's WRR
+  // state: 50/50 weights keep realizing an exact alternation.
+  int at_dc0 = 0, at_dc1 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(plan.pick(0, i % small_scope().timeslots, rng).has_value());
+    const auto a = plan.pick(1, i % small_scope().timeslots, rng);
+    ASSERT_TRUE(a.has_value());
+    (a->dc == dc0 ? at_dc0 : at_dc1) += 1;
+  }
+  EXPECT_EQ(at_dc0, 5);
+  EXPECT_EQ(at_dc1, 5);
+}
+
+// The credit-carryover bugfix: at a rolling replan cadence the smoothing
+// window per plan generation is short (here: two picks), and restarting
+// the credits every swap degenerates smooth WRR toward round-robin — a
+// 70/30 plan realizes 50/50. Carrying the (dc, path) credits across the
+// swap keeps the realized shares tracking the plan weights.
+TEST_F(PlanTest, CreditCarryoverKeepsRollingSharesOnPlan) {
+  PlanInputs inputs(*db_, small_scope(), *fractions_);
+  inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
+  const auto dc0 = inputs.dcs().at(0);
+  const auto dc1 = inputs.dcs().at(1);
+
+  const auto make_plan = [&] {
+    LpPlanResult result;
+    result.status = lp::SolveStatus::kOptimal;
+    result.weights.assign(static_cast<std::size_t>(small_scope().timeslots),
+                          std::vector<AssignmentWeights>(inputs.demands().size()));
+    for (auto& row : result.weights)
+      row[0].entries = {{dc0, net::PathType::kWan, 0.7}, {dc1, net::PathType::kWan, 0.3}};
+    return OfflinePlan(&inputs, std::move(result));
+  };
+
+  constexpr int kGenerations = 10;   // replans
+  constexpr int kPicksPerGen = 2;    // calls between replans (rolling cadence)
+  const auto realized_dc0_share = [&](bool carry) {
+    core::Rng rng(13);
+    OfflinePlan current = make_plan();
+    int at_dc0 = 0;
+    for (int g = 0; g < kGenerations; ++g) {
+      if (g > 0) {
+        // The replan loop's swap: a freshly constructed plan generation.
+        OfflinePlan fresh = make_plan();
+        if (carry) fresh.carry_credits_from(current);
+        current = std::move(fresh);
+      }
+      for (int k = 0; k < kPicksPerGen; ++k) {
+        const auto a = current.pick(0, (g * kPicksPerGen + k) % small_scope().timeslots, rng);
+        if (!a.has_value()) {
+          ADD_FAILURE() << "no pick in generation " << g;
+          return -1.0;
+        }
+        if (a->dc == dc0) ++at_dc0;
+      }
+    }
+    return static_cast<double>(at_dc0) / (kGenerations * kPicksPerGen);
+  };
+
+  // Without the carry each two-pick generation starts from zero credits and
+  // serves one call per DC: exactly the round-robin 50/50 drift.
+  EXPECT_NEAR(realized_dc0_share(/*carry=*/false), 0.5, 1e-9);
+  // With the carry the shares track the 70/30 plan weights (exact at this
+  // pick count: smooth WRR realizes 14/6 over 20).
+  EXPECT_NEAR(realized_dc0_share(/*carry=*/true), 0.7, 1e-9);
+}
+
 TEST_F(PlanTest, ControllerAssignsAndConverges) {
   PlanInputs inputs(*db_, small_scope(), *fractions_);
   inputs.set_demand(trace_->configs(), trace_->config_counts(), true);
