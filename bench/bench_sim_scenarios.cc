@@ -67,6 +67,19 @@ titan::sim::SimResult run_one(const std::string& name, const titan::bench::Cli& 
              std::to_string(r.out_of_plan) + "  (" + core::TextTable::pct(r.out_of_plan_rate()) +
                  ")"});
   t.add_row({"fallback assignments", std::to_string(r.fallback_assignments)});
+  if (r.rejected_calls > 0 || r.degraded_calls > 0) {
+    t.add_row({"rejected calls (admission shed)",
+               std::to_string(r.rejected_calls) + "  (" +
+                   core::TextTable::pct(r.calls > 0 ? static_cast<double>(r.rejected_calls) /
+                                                          static_cast<double>(r.calls)
+                                                    : 0.0) +
+                   " of offered)"});
+    t.add_row({"degraded admissions (media step-down)", std::to_string(r.degraded_calls)});
+    t.add_row({"admission latency",
+               "p50 " + core::TextTable::num(r.perf.admission_latency_us.quantile(0.5), 2) +
+                   " us, p99 " +
+                   core::TextTable::num(r.perf.admission_latency_us.quantile(0.99), 2) + " us"});
+  }
   t.add_row({"internet share", core::TextTable::pct(r.internet_share)});
   t.add_row({"mean MOS proxy", core::TextTable::num(r.mean_mos, 3)});
   t.add_row({"sum of WAN day-peaks (worst day)",
@@ -199,7 +212,7 @@ int main(int argc, char** argv) {
   } else if (cli.scenario == "all") {
     names = sim::scenario_names();
   } else {
-    names = {cli.scenario};
+    names = bench::split_csv(cli.scenario);  // one name or a comma list
   }
   // One recorder across the whole run: scenarios sequence on a shared
   // timeline, so the exported trace shows the full bench end to end.
@@ -230,6 +243,8 @@ int main(int argc, char** argv) {
                    "\"replans\": %d, \"dc_migrations\": %lld, \"route_changes\": %lld, "
                    "\"transit_failovers\": %lld, \"forced_migrations\": %lld, "
                    "\"out_of_plan\": %lld, \"leaked_calls\": %lld, "
+                   "\"rejected_calls\": %lld, \"degraded_calls\": %lld, "
+                   "\"shed_na\": %.6f, \"shed_eu\": %.6f, \"shed_asia\": %.6f, "
                    "\"internet_share\": %.6f, \"mean_mos\": %.4f, "
                    "\"wan_sum_of_peaks_mbps\": %.3f, "
                    "\"calls_na\": %lld, \"calls_eu\": %lld, \"calls_asia\": %lld, "
@@ -241,7 +256,12 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r.transit_failovers),
                    static_cast<long long>(r.forced_migrations),
                    static_cast<long long>(r.out_of_plan),
-                   static_cast<long long>(r.leaked_calls), r.internet_share, r.mean_mos,
+                   static_cast<long long>(r.leaked_calls),
+                   static_cast<long long>(r.rejected_calls),
+                   static_cast<long long>(r.degraded_calls),
+                   r.shed_fraction(geo::Continent::kNorthAmerica),
+                   r.shed_fraction(geo::Continent::kEurope),
+                   r.shed_fraction(geo::Continent::kAsia), r.internet_share, r.mean_mos,
                    r.wan.sum_of_peaks_mbps, region_count(geo::Continent::kNorthAmerica),
                    region_count(geo::Continent::kEurope), region_count(geo::Continent::kAsia),
                    r.wan_gb_by_region[static_cast<std::size_t>(geo::Continent::kNorthAmerica)],
@@ -318,10 +338,15 @@ int main(int argc, char** argv) {
       registry.counter("calls").add(r.calls);
       registry.counter("events").add(r.perf.events_processed);
       registry.counter("replans").add(r.replans);
+      registry.counter("rejected_calls").add(r.rejected_calls);
+      registry.counter("degraded_calls").add(r.degraded_calls);
       registry.gauge("wall_seconds_last").set(r.wall_seconds);
       registry
           .histogram("assign_latency_us", r.perf.assign_latency_us.options())
           .merge(r.perf.assign_latency_us);
+      registry
+          .histogram("admission_latency_us", r.perf.admission_latency_us.options())
+          .merge(r.perf.admission_latency_us);
     }
     report.set("registry", sweep::registry_json(registry));
 

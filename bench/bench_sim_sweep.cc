@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   if (!cli.scenarios.empty() && cli.scenarios != "all") {
     spec.scenarios = bench::split_csv(cli.scenarios);
   } else if (!cli.scenario.empty() && cli.scenario != "all") {
-    spec.scenarios = {cli.scenario};
+    spec.scenarios = bench::split_csv(cli.scenario);
   }
   spec.base_seed = cli.seed;
   spec.num_seeds = cli.seeds;

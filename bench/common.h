@@ -29,7 +29,8 @@ namespace titan::bench {
 //                 --weeks 2 and is the cheapest smoke-run setting.
 //   --threads N   sim worker threads          (default 1)
 //   --peak X      busiest-slot call volume    (default: per bench)
-//   --scenario S  named scenario              (sim benches only)
+//   --scenario S  named scenario, a comma list of names, or "all"
+//                 (sim benches only)
 //   --json PATH   machine-readable per-scenario results (sim benches only)
 //   --replan-json PATH  per-scenario cold-vs-warm replan-latency report
 //                 from the rolling-horizon drill (bench_sim_scenarios only)
@@ -180,7 +181,15 @@ inline CliParse parse_cli_args(int argc, char** argv,
     } else if (is("--scenario")) {
       if ((v = value())) {
         cli.scenario = v;
-        check_scenario(cli.scenario);
+        const auto names = split_csv(cli.scenario);
+        for (const auto& name : names) {
+          // "all" only makes sense as the entire value.
+          if (name == "all" && names.size() > 1) {
+            fail("'all' cannot be combined with other --scenario names");
+            break;
+          }
+          if (!check_scenario(name)) break;
+        }
       }
     } else if (is("--scenarios")) {
       if ((v = value())) {

@@ -17,6 +17,8 @@ SlotMetricsSink::SlotMetricsSink(int num_slots, int num_links)
   forced_migrations_.assign(n, 0.0);
   transit_failovers_.assign(n, 0.0);
   out_of_plan_.assign(n, 0.0);
+  rejected_.assign(n, 0.0);
+  degraded_.assign(n, 0.0);
   internet_participants_.assign(n, 0.0);
   participants_.assign(n, 0.0);
   mos_sum_.assign(n, 0.0);
@@ -25,6 +27,8 @@ SlotMetricsSink::SlotMetricsSink(int num_slots, int num_links)
   region_arrivals_.assign(rn, 0.0);
   region_active_calls_.assign(rn, 0.0);
   region_wan_mbps_.assign(rn, 0.0);
+  region_rejected_.assign(rn, 0.0);
+  region_degraded_.assign(rn, 0.0);
 }
 
 void SlotMetricsSink::add_wan_mbps(core::SlotIndex s, core::LinkId link, double mbps) {
@@ -69,6 +73,14 @@ void SlotMetricsSink::add_region_wan_mbps(core::SlotIndex s, geo::Continent regi
                                           double mbps) {
   region_wan_mbps_[region_cell(s, region)] += mbps;
 }
+void SlotMetricsSink::add_rejected(core::SlotIndex s, geo::Continent region) {
+  rejected_[static_cast<std::size_t>(s)] += 1.0;
+  region_rejected_[region_cell(s, region)] += 1.0;
+}
+void SlotMetricsSink::add_degraded(core::SlotIndex s, geo::Continent region) {
+  degraded_[static_cast<std::size_t>(s)] += 1.0;
+  region_degraded_[region_cell(s, region)] += 1.0;
+}
 
 namespace {
 void add_into(std::vector<double>& a, const std::vector<double>& b) {
@@ -86,6 +98,8 @@ void SlotMetricsSink::merge(const SlotMetricsSink& other) {
   add_into(forced_migrations_, other.forced_migrations_);
   add_into(transit_failovers_, other.transit_failovers_);
   add_into(out_of_plan_, other.out_of_plan_);
+  add_into(rejected_, other.rejected_);
+  add_into(degraded_, other.degraded_);
   add_into(internet_participants_, other.internet_participants_);
   add_into(participants_, other.participants_);
   add_into(mos_sum_, other.mos_sum_);
@@ -93,6 +107,8 @@ void SlotMetricsSink::merge(const SlotMetricsSink& other) {
   add_into(region_arrivals_, other.region_arrivals_);
   add_into(region_active_calls_, other.region_active_calls_);
   add_into(region_wan_mbps_, other.region_wan_mbps_);
+  add_into(region_rejected_, other.region_rejected_);
+  add_into(region_degraded_, other.region_degraded_);
 }
 
 std::vector<double> SlotMetricsSink::region_slice(const std::vector<double>& stream,
@@ -110,6 +126,12 @@ std::vector<double> SlotMetricsSink::region_active_calls(geo::Continent region) 
 std::vector<double> SlotMetricsSink::region_wan_mbps(geo::Continent region) const {
   return region_slice(region_wan_mbps_, region);
 }
+std::vector<double> SlotMetricsSink::region_rejected(geo::Continent region) const {
+  return region_slice(region_rejected_, region);
+}
+std::vector<double> SlotMetricsSink::region_degraded(geo::Continent region) const {
+  return region_slice(region_degraded_, region);
+}
 
 double SlotMetricsSink::region_arrivals_total(geo::Continent region) const {
   double total = 0.0;
@@ -120,6 +142,20 @@ double SlotMetricsSink::region_wan_mbps_total(geo::Continent region) const {
   double total = 0.0;
   for (int s = 0; s < num_slots_; ++s) total += region_wan_mbps_[region_cell(s, region)];
   return total;
+}
+double SlotMetricsSink::region_rejected_total(geo::Continent region) const {
+  double total = 0.0;
+  for (int s = 0; s < num_slots_; ++s) total += region_rejected_[region_cell(s, region)];
+  return total;
+}
+double SlotMetricsSink::region_degraded_total(geo::Continent region) const {
+  double total = 0.0;
+  for (int s = 0; s < num_slots_; ++s) total += region_degraded_[region_cell(s, region)];
+  return total;
+}
+double SlotMetricsSink::region_shed_fraction(geo::Continent region) const {
+  const double arrivals = region_arrivals_total(region);
+  return arrivals > 0.0 ? region_rejected_total(region) / arrivals : 0.0;
 }
 
 WanUsage SlotMetricsSink::wan_usage() const {

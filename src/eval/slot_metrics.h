@@ -45,6 +45,11 @@ class SlotMetricsSink {
   void add_region_arrival(core::SlotIndex s, geo::Continent region);
   void add_region_active_call(core::SlotIndex s, geo::Continent region);
   void add_region_wan_mbps(core::SlotIndex s, geo::Continent region, double mbps);
+  // Overload regime (admission control): calls refused outright and calls
+  // admitted with a degraded media shape, sliced by the first joiner's
+  // continent (where the demand — and the shed — originates).
+  void add_rejected(core::SlotIndex s, geo::Continent region);
+  void add_degraded(core::SlotIndex s, geo::Continent region);
 
   // Element-wise accumulation of another sink with identical dimensions.
   void merge(const SlotMetricsSink& other);
@@ -82,14 +87,23 @@ class SlotMetricsSink {
     return transit_failovers_;
   }
   [[nodiscard]] const std::vector<double>& out_of_plan() const { return out_of_plan_; }
+  [[nodiscard]] const std::vector<double>& rejected() const { return rejected_; }
+  [[nodiscard]] const std::vector<double>& degraded() const { return degraded_; }
 
   // Per-slot copies of one continent's slice.
   [[nodiscard]] std::vector<double> region_arrivals(geo::Continent region) const;
   [[nodiscard]] std::vector<double> region_active_calls(geo::Continent region) const;
   [[nodiscard]] std::vector<double> region_wan_mbps(geo::Continent region) const;
+  [[nodiscard]] std::vector<double> region_rejected(geo::Continent region) const;
+  [[nodiscard]] std::vector<double> region_degraded(geo::Continent region) const;
   // Whole-window totals of a continent's slice.
   [[nodiscard]] double region_arrivals_total(geo::Continent region) const;
   [[nodiscard]] double region_wan_mbps_total(geo::Continent region) const;
+  [[nodiscard]] double region_rejected_total(geo::Continent region) const;
+  [[nodiscard]] double region_degraded_total(geo::Continent region) const;
+  // Rejected calls / arrivals for one continent over the whole window — the
+  // per-region shed fraction the fairness bound is asserted on.
+  [[nodiscard]] double region_shed_fraction(geo::Continent region) const;
 
  private:
   [[nodiscard]] std::size_t cell(core::SlotIndex s, core::LinkId link) const {
@@ -115,6 +129,8 @@ class SlotMetricsSink {
   std::vector<double> forced_migrations_;
   std::vector<double> transit_failovers_;
   std::vector<double> out_of_plan_;
+  std::vector<double> rejected_;
+  std::vector<double> degraded_;
   std::vector<double> internet_participants_;
   std::vector<double> participants_;
   std::vector<double> mos_sum_;
@@ -123,6 +139,8 @@ class SlotMetricsSink {
   std::vector<double> region_arrivals_;
   std::vector<double> region_active_calls_;
   std::vector<double> region_wan_mbps_;
+  std::vector<double> region_rejected_;
+  std::vector<double> region_degraded_;
 };
 
 }  // namespace titan::eval

@@ -36,7 +36,11 @@ JitterBufferStats JitterBuffer::run(const std::vector<RtpArrival>& arrivals) {
       ++stats.late_dropped;
     } else {
       ++stats.played;
-      delay_sum += playout_time - a.arrival_time_ms + (transit - min_delay);
+      // Experienced buffering delay: how long this packet actually sat in
+      // the buffer before playout. (The previous `playout - arrival +
+      // (transit - min_delay)` form telescoped to exactly `target`, so the
+      // stat reported the *configured* delay, blind to arrival timing.)
+      delay_sum += playout_time - a.arrival_time_ms;
     }
   }
   const std::size_t total = stats.played + stats.late_dropped;

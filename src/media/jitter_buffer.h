@@ -32,7 +32,8 @@ struct JitterBufferStats {
   std::size_t played = 0;
   std::size_t late_dropped = 0;   // missed their playout deadline
   double late_rate = 0.0;
-  core::Millis mean_playout_delay_ms = 0.0;  // added buffering delay
+  core::Millis mean_playout_delay_ms = 0.0;  // mean experienced buffering delay
+                                             // (playout time - arrival time)
 };
 
 class JitterBuffer {

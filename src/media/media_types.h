@@ -30,6 +30,27 @@ constexpr int kMediaTypeCount = 3;
   return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
 }
 
+// Degradation ladder used by admission control: one codec/bitrate step-down
+// moves a stream to the next cheaper media shape (video -> screen-share ->
+// audio). Audio is the floor — it has no cheaper shape, so the ladder
+// saturates there instead of wrapping.
+[[nodiscard]] inline MediaType step_down(MediaType m) {
+  switch (m) {
+    case MediaType::kVideo: return MediaType::kScreenShare;
+    case MediaType::kScreenShare: return MediaType::kAudio;
+    case MediaType::kAudio: return MediaType::kAudio;
+  }
+  return MediaType::kAudio;
+}
+
+[[nodiscard]] inline MediaType step_down(MediaType m, int steps) {
+  for (; steps > 0; --steps) m = step_down(m);
+  return m;
+}
+
+// How many step-downs a media type can absorb before hitting the audio floor.
+[[nodiscard]] inline int degrade_headroom(MediaType m) { return static_cast<int>(m); }
+
 // Per-participant bandwidth between the client and the MP (up + down
 // aggregate), in Mbps. Synthetic but in realistic conferencing ranges.
 [[nodiscard]] inline core::Mbps bandwidth_per_participant(MediaType m) {

@@ -4,19 +4,22 @@
 
 namespace titan::media {
 
-double MosModel::expected(core::Millis max_e2e_ms, core::LossFraction loss) const {
+double MosModel::expected(core::Millis max_e2e_ms, core::LossFraction loss,
+                          int degrade_steps) const {
   double mos = params_.base_mos;
   if (max_e2e_ms > params_.flat_until_ms)
     mos -= params_.slope_per_ms * (max_e2e_ms - params_.flat_until_ms);
   const double visible_loss = std::max(0.0, loss - params_.fec_absorbs);
   mos -= params_.loss_coeff * visible_loss;
+  if (degrade_steps > 0) mos -= params_.degrade_penalty_per_step * degrade_steps;
   return std::clamp(mos, params_.min_mos, 5.0);
 }
 
 double MosModel::sample(core::Millis max_e2e_ms, core::LossFraction loss,
-                        core::Rng& rng) const {
-  const double rating = expected(max_e2e_ms, loss) + rng.normal(0.0, params_.rating_noise);
-  return std::clamp(rating, 1.0, 5.0);
+                        core::Rng& rng, int degrade_steps) const {
+  const double rating =
+      expected(max_e2e_ms, loss, degrade_steps) + rng.normal(0.0, params_.rating_noise);
+  return std::clamp(rating, params_.min_mos, 5.0);
 }
 
 bool MosModel::collects_rating(core::Rng& rng) const {

@@ -25,6 +25,10 @@ struct MosModelParams {
   core::LossFraction fec_absorbs = 0.005;  // loss below this is invisible
   double rating_noise = 0.35;              // stddev of individual ratings
   double sampling_rate = 0.08;             // fraction of calls rated
+  // MOS cost of each admission-control codec/bitrate step-down (video ->
+  // screen-share -> audio). Roughly the Fig. 11 spread between a pristine
+  // call and one at the latency knee: noticeable, not catastrophic.
+  double degrade_penalty_per_step = 0.18;
 };
 
 class MosModel {
@@ -32,12 +36,17 @@ class MosModel {
   explicit MosModel(const MosModelParams& params = {}) : params_(params) {}
 
   // Deterministic expected MOS for a call with the given maximum end-to-end
-  // latency and end-to-end loss fraction.
-  [[nodiscard]] double expected(core::Millis max_e2e_ms, core::LossFraction loss = 0.0) const;
+  // latency, end-to-end loss fraction, and number of admission-control
+  // codec/bitrate step-downs applied to the call.
+  [[nodiscard]] double expected(core::Millis max_e2e_ms, core::LossFraction loss = 0.0,
+                                int degrade_steps = 0) const;
 
-  // One sampled user rating (clamped to [1, 5]).
+  // One sampled user rating. Clamped to the same [min_mos, 5] range as
+  // `expected`: a sampled rating must not escape the model's configured
+  // floor/ceiling, or sampled and expected distributions diverge at the
+  // edges for reasons that have nothing to do with user noise.
   [[nodiscard]] double sample(core::Millis max_e2e_ms, core::LossFraction loss,
-                              core::Rng& rng) const;
+                              core::Rng& rng, int degrade_steps = 0) const;
 
   // Whether this call gets rated at all (MOS is heavily sampled).
   [[nodiscard]] bool collects_rating(core::Rng& rng) const;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/hash.h"
+#include "media/media_types.h"
 #include "media/mos.h"
 #include "sim/executor.h"
 #include "titannext/controller.h"
@@ -33,6 +34,10 @@ struct SimEngine::Shard {
   struct ActiveCall {
     core::DcId dc;
     net::PathType path = net::PathType::kWan;
+    // Media step-downs admission control applied (0 = full quality). A
+    // degraded call occupies its stepped-down footprint in the usage and
+    // region-load accounting.
+    std::uint8_t degrade = 0;
   };
 
   core::Rng rng{0};
@@ -52,6 +57,7 @@ struct SimEngine::Shard {
   // Per-shard observability, merged into SimResult::perf in shard index
   // order (layouts are seeded from SimPerf's in run()).
   obs::Histogram assign_latency_us;
+  obs::Histogram admission_latency_us;
   obs::Histogram call_duration_slots;
   std::int64_t events = 0;  // call events drained (deterministic)
   std::uint64_t checksum = 0xcbf29ce484222325ULL;
@@ -61,6 +67,14 @@ struct SimEngine::Shard {
   std::int64_t forced_migrations = 0;
   std::int64_t out_of_plan = 0;
   std::int64_t fallbacks = 0;
+  // Overload regime: shed/degrade counters plus this slot's active compute
+  // per hosting-DC continent (cleared per slot; merged at the barrier into
+  // the load ratios the admission policy reads next slot).
+  std::int64_t rejected = 0;
+  std::int64_t degraded = 0;
+  std::array<std::int64_t, geo::kNumContinents> rejected_by_region{};
+  std::array<std::int64_t, geo::kNumContinents> degraded_by_region{};
+  std::array<double, geo::kNumContinents> region_cores{};
 };
 
 SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
@@ -187,6 +201,29 @@ SimEngine::SimEngine(const Scenario& scenario) : scenario_(scenario) {
     series = c < hist.size() ? std::move(hist[c])
                              : std::vector<double>(static_cast<std::size_t>(history_slots_), 0.0);
     series.insert(series.end(), eval[c].begin(), eval[c].end());
+  }
+
+  // Per-config compute footprints (history and eval windows share one
+  // registry), for the anchor below and the replan demand cap.
+  const auto& registry = workload_.eval.configs();
+  config_cores_.resize(registry.size());
+  for (std::size_t c = 0; c < registry.size(); ++c)
+    config_cores_[c] = registry.get(core::ConfigId(static_cast<int>(c))).compute_cores();
+
+  // Overload regime: anchor plan capacity at the HISTORY trace's peak
+  // per-slot compute demand. The eval-side amplification then genuinely
+  // outruns provisioned cores instead of inflating them (see
+  // PlanScope::capacity_anchor_cores).
+  if (scenario_.capacity_anchor) {
+    double peak = 0.0;
+    for (int t = 0; t < history_slots_; ++t) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < combined_counts_.size(); ++c)
+        total += combined_counts_[c][static_cast<std::size_t>(t)] * config_cores_[c];
+      peak = std::max(peak, total);
+    }
+    capacity_anchor_cores_ = peak;
+    scenario_.pipeline.scope.capacity_anchor_cores = peak;
   }
 }
 
@@ -316,6 +353,35 @@ void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
     }
   }
 
+  // Overload regime: plan the ADMISSIBLE load, not the raw overload. With
+  // capacity anchored, a demand column past aggregate capacity would leave
+  // the LP infeasible and the pipeline's headroom relaxation would silently
+  // re-inflate the capacity we just fixed; instead, scale each over-budget
+  // column down to what the (drain-aware) fleet can actually serve —
+  // admission control sheds the rest at arrival time.
+  if (scenario_.capacity_anchor && capacity_anchor_cores_ > 0.0) {
+    // Small slack under the cap keeps the LP's corridor/E2E constraints
+    // feasible at the planned volume on the first attempt.
+    constexpr double kPlanDemandSafety = 0.9;
+    double share_total = 0.0, live_share = 0.0;
+    for (const auto dc : geo::dcs_in(*world_, scenario_.pipeline.scope.regions)) {
+      const double share = world_->dc(dc).cores;
+      share_total += share;
+      live_share += share * db_->dc_compute_scale(dc);
+    }
+    const double admissible = capacity_anchor_cores_ * scenario_.pipeline.scope.compute_headroom *
+                              (share_total > 0.0 ? live_share / share_total : 0.0) *
+                              kPlanDemandSafety;
+    for (int h = 0; h < horizon; ++h) {
+      double planned = 0.0;
+      for (std::size_t c = 0; c < counts.size(); ++c)
+        planned += counts[c][static_cast<std::size_t>(h)] * config_cores_[c];
+      if (planned <= admissible || planned <= 0.0) continue;
+      const double scale = admissible / planned;
+      for (auto& series : counts) series[static_cast<std::size_t>(h)] *= scale;
+    }
+  }
+
   // A fresh pipeline per replan picks up fraction surges and drains. The
   // warm cache seeds each solve from its predecessor's basis shifted to
   // this horizon's start; with disjoint windows nothing transfers and the
@@ -333,6 +399,11 @@ void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
 
   titannext::ControllerOptions copts;
   copts.use_reduction = scenario_.pipeline.use_reduction;
+  copts.admission.enabled = scenario_.admission_control;
+  copts.admission.degrade_threshold = scenario_.admission_degrade_threshold;
+  copts.admission.reject_threshold = scenario_.admission_reject_threshold;
+  copts.admission.max_shed = scenario_.admission_max_shed;
+  copts.admission.seed = scenario_.seed;
   for (auto& sh : shards) {
     // Each shard gets its own copy of the new plan, seeded with ITS OWN
     // previous credit state: smooth-WRR smoothing must span plan
@@ -350,6 +421,17 @@ void SimEngine::replan(core::SlotIndex slot, std::vector<Shard>& shards) {
   }
   current_plan_ = std::move(day);  // frees the previous generation
   plan_begin_ = slot;
+
+  // Aggregate plan capacity per continent under the fresh inputs — drains
+  // shrink it through dc_compute_scale, so the admission ratios react to
+  // DC loss the same replan the plan does.
+  if (scenario_.admission_control) {
+    region_capacity_.assign(geo::kNumContinents, 0.0);
+    for (const auto dc : current_plan_.inputs->dcs())
+      region_capacity_[static_cast<std::size_t>(
+          dc_region_[static_cast<std::size_t>(dc.value())])] +=
+          current_plan_.inputs->dc_capacity(dc);
+  }
 }
 
 SimResult SimEngine::run(int threads) {
@@ -371,6 +453,7 @@ SimResult SimEngine::run(int threads) {
     // shard-order merge below is a layout-identical (and thus bit-exact)
     // count addition.
     sh.assign_latency_us = SimPerf{}.assign_latency_us;
+    sh.admission_latency_us = SimPerf{}.admission_latency_us;
     sh.call_duration_slots = SimPerf{}.call_duration_slots;
   }
   for (const auto& e :
@@ -476,6 +559,20 @@ SimResult SimEngine::run(int threads) {
       auto& sh = shards[static_cast<std::size_t>(i)];
       sh.internet_load.clear();
       sh.converged_this_slot.clear();
+      sh.region_cores.fill(0.0);
+
+      // Force-reject one call whose evacuation found no live DC anywhere in
+      // scope (fallback returned an invalid assignment): it cannot keep
+      // running on capacity that no longer exists, so it leaves the
+      // lifecycle sets as an explicit rejection, never a silent landing.
+      const auto force_reject = [&](std::uint32_t idx) {
+        const auto& call = calls[idx];
+        ++sh.rejected;
+        const auto region =
+            country_region_[static_cast<std::size_t>(call.first_joiner.value())];
+        ++sh.rejected_by_region[static_cast<std::size_t>(region)];
+        sh.sink.add_rejected(s, region);
+      };
 
       if (evacuate) {
         const auto on_dead_link = [&](core::CountryId country, core::DcId dc) {
@@ -492,6 +589,13 @@ SimResult SimEngine::run(int threads) {
           const auto picked = sh.plan.pick(config, t, sh.rng);
           titannext::Assignment target = picked.value_or(sh.controller->fallback(first_joiner));
           if (partial && target.dc == from) target = sh.controller->fallback(first_joiner, from);
+          if (!target.valid()) {
+            // Fallback exhausted every live in-scope DC: the call cannot be
+            // re-homed and terminates in an explicit rejection.
+            sh.checksum = mix_decision(sh.checksum, idx, core::DcId::invalid(),
+                                       net::PathType::kWan, 0x20u);
+            return target;
+          }
           if (target.dc != from) {
             ++sh.forced_migrations;
             sh.sink.add_forced_migration(s);
@@ -500,7 +604,9 @@ SimResult SimEngine::run(int threads) {
           return target;
         };
 
-        for (auto& [idx, ac] : sh.active) {
+        for (auto it = sh.active.begin(); it != sh.active.end();) {
+          const auto idx = it->first;
+          auto& ac = it->second;
           const auto& call = calls[idx];
           bool stranded = drained_dcs_[static_cast<std::size_t>(ac.dc.value())];
           const bool partial = !stranded && partial_pick(call.id, ac.dc);
@@ -513,12 +619,21 @@ SimResult SimEngine::run(int threads) {
                 break;
               }
           }
-          if (!stranded) continue;
+          if (!stranded) {
+            ++it;
+            continue;
+          }
           const auto& config = workload_.eval.configs().get(call.config);
           const auto reduced = use_reduction ? workload::reduce(config).config : config;
           const auto target = retarget(idx, reduced, call.first_joiner, partial, ac.dc, 0x4u);
+          if (!target.valid()) {
+            force_reject(idx);
+            it = sh.active.erase(it);
+            continue;
+          }
           ac.dc = target.dc;
           ac.path = target.path;
+          ++it;
         }
 
         // Pending calls (arrived, not yet converged) hold an initial
@@ -526,7 +641,9 @@ SimResult SimEngine::run(int threads) {
         // link; re-target it so the eventual convergence starts from a
         // live placement. The link check uses the first joiner's path —
         // the only participant the initial assignment was based on.
-        for (auto& [idx, init] : sh.pending) {
+        for (auto it = sh.pending.begin(); it != sh.pending.end();) {
+          const auto idx = it->first;
+          auto& init = it->second;
           const auto& call = calls[idx];
           auto& assignment = init.assignment;
           bool stranded = drained_dcs_[static_cast<std::size_t>(assignment.dc.value())];
@@ -534,9 +651,19 @@ SimResult SimEngine::run(int threads) {
           stranded |= partial;
           if (!stranded && assignment.path == net::PathType::kWan)
             stranded = on_dead_link(call.first_joiner, assignment.dc);
-          if (!stranded) continue;
-          assignment = retarget(idx, init.guessed_config, call.first_joiner, partial,
-                                assignment.dc, 0x10u);
+          if (!stranded) {
+            ++it;
+            continue;
+          }
+          const auto target = retarget(idx, init.guessed_config, call.first_joiner, partial,
+                                       assignment.dc, 0x10u);
+          if (!target.valid()) {
+            force_reject(idx);
+            it = sh.pending.erase(it);
+            continue;
+          }
+          assignment = target;
+          ++it;
         }
       }
 
@@ -555,17 +682,52 @@ SimResult SimEngine::run(int threads) {
           case workload::CallEventKind::kArrival: {
             ++sh.calls;
             sh.sink.add_arrival(s);
-            sh.sink.add_region_arrival(
-                s, country_region_[static_cast<std::size_t>(call.first_joiner.value())]);
+            const auto region =
+                country_region_[static_cast<std::size_t>(call.first_joiner.value())];
+            sh.sink.add_region_arrival(s, region);
             sh.call_duration_slots.record(static_cast<double>(call.duration_slots));
             const auto& config = workload_.eval.configs().get(call.config);
+            // Admission gate (overload regime): degrade first, shed past the
+            // reject threshold. The verdict reads only the barrier-merged
+            // previous-slot load ratios plus the call id, so it is identical
+            // at any thread count.
+            const auto ad0 = std::chrono::steady_clock::now();
+            const auto verdict = sh.controller->admit(region, call.id, config.media);
+            sh.admission_latency_us.record(
+                std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          ad0)
+                    .count());
+            const auto reject = [&] {
+              ++sh.rejected;
+              ++sh.rejected_by_region[static_cast<std::size_t>(region)];
+              sh.sink.add_rejected(s, region);
+              sh.checksum = mix_decision(sh.checksum, e.call_index, core::DcId::invalid(),
+                                         net::PathType::kWan, 0x20u);
+            };
+            if (!verdict.admit) {
+              // No pending entry: the later kConvergence/kEnd events find
+              // nothing and no-op, so a shed call can never leak usage.
+              reject();
+              break;
+            }
+            const auto media = media::step_down(config.media, verdict.degrade_steps);
             const auto a0 = std::chrono::steady_clock::now();
-            auto initial =
-                sh.controller->assign_initial(call.first_joiner, config.media, t, sh.rng);
+            auto initial = sh.controller->assign_initial(call.first_joiner, media, t, sh.rng);
             sh.assign_latency_us.record(
                 std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
                                                           a0)
                     .count());
+            if (!initial.assignment.valid()) {
+              // Every in-scope DC drained: the fallback's explicit reject.
+              reject();
+              break;
+            }
+            initial.degrade_steps = verdict.degrade_steps;
+            if (verdict.degrade_steps > 0) {
+              ++sh.degraded;
+              ++sh.degraded_by_region[static_cast<std::size_t>(region)];
+              sh.sink.add_degraded(s, region);
+            }
             if (!initial.from_plan) ++sh.fallbacks;
             sh.pending.emplace(e.call_index, std::move(initial));
             break;
@@ -586,13 +748,25 @@ SimResult SimEngine::run(int threads) {
               break;
             }
             const auto& config = workload_.eval.configs().get(call.config);
+            const int degrade = it->second.degrade_steps;
+            std::uint32_t flags = 0;
             const auto c0 = std::chrono::steady_clock::now();
-            const auto conv = sh.controller->converge(it->second, config, t, sh.rng);
+            titannext::ConvergenceResult conv;
+            if (degrade > 0) {
+              // Admission stepped this call's media down at arrival; the
+              // plan lookup must see the degraded shape the call actually
+              // carries, not the full-quality one it asked for.
+              workload::CallConfig effective = config;
+              effective.media = media::step_down(config.media, degrade);
+              conv = sh.controller->converge(it->second, effective, t, sh.rng);
+              flags |= 0x40u;
+            } else {
+              conv = sh.controller->converge(it->second, config, t, sh.rng);
+            }
             sh.assign_latency_us.record(
                 std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
                                                           c0)
                     .count());
-            std::uint32_t flags = 0;
             if (conv.dc_migration) {
               ++sh.dc_migrations;
               sh.sink.add_dc_migration(s);
@@ -605,7 +779,8 @@ SimResult SimEngine::run(int threads) {
             }
             sh.active.insert_or_assign(
                 e.call_index,
-                Shard::ActiveCall{conv.final_assignment.dc, conv.final_assignment.path});
+                Shard::ActiveCall{conv.final_assignment.dc, conv.final_assignment.path,
+                                  static_cast<std::uint8_t>(degrade)});
             sh.pending.erase(it);
             sh.converged_this_slot.push_back(e.call_index);
             sh.checksum = mix_decision(sh.checksum, e.call_index, conv.final_assignment.dc,
@@ -621,10 +796,19 @@ SimResult SimEngine::run(int threads) {
         const auto& config = workload_.eval.configs().get(call.config);
         const auto dc_region = dc_region_[static_cast<std::size_t>(ac.dc.value())];
         sh.sink.add_region_active_call(s, dc_region);
+        // A degraded call occupies its stepped-down media footprint — that
+        // shrinkage (not just shedding) is how admission pulls the region's
+        // load ratio back under the reject threshold.
+        const auto effective_media =
+            ac.degrade == 0 ? config.media : media::step_down(config.media, ac.degrade);
+        const double bw_scale =
+            ac.degrade == 0 ? 1.0
+                            : media::bandwidth_per_participant(effective_media) /
+                                  media::bandwidth_per_participant(config.media);
         int total = 0;
         for (const auto& [country, count] : config.participants) {
           total += count;
-          const double bw = config.network_mbps_from(country);
+          const double bw = config.network_mbps_from(country) * bw_scale;
           if (ac.path == net::PathType::kWan) {
             for (const auto lid : db_->topology().path(country, ac.dc).links)
               sh.sink.add_wan_mbps(s, lid, bw);
@@ -637,6 +821,9 @@ SimResult SimEngine::run(int threads) {
           }
         }
         sh.sink.add_participants(s, ac.path == net::PathType::kInternet ? total : 0, total);
+        if (scenario_.admission_control)
+          sh.region_cores[static_cast<std::size_t>(dc_region)] +=
+              total * media::compute_per_participant(effective_media);
       }
     }, shard_seconds);
     ab_span.end();
@@ -693,7 +880,7 @@ SimResult SimEngine::run(int threads) {
           loss = db_->loss().slot_loss(call.first_joiner, ac.dc, net::PathType::kWan, abs_slot);
         }
         const double e2e = current_plan_.inputs->max_e2e_ms(config, ac.dc, ac.path);
-        sh.sink.add_mos(s, mos_model.expected(e2e, loss));
+        sh.sink.add_mos(s, mos_model.expected(e2e, loss, ac.degrade));
       }
     }, shard_seconds);
 
@@ -714,6 +901,28 @@ SimResult SimEngine::run(int threads) {
                          static_cast<std::uint64_t>(country)),
           static_cast<std::uint64_t>(dc));
     }
+
+    // Admission feedback: merge this slot's active compute per continent (in
+    // shard index order — float addition order is fixed) against the plan's
+    // aggregate capacity, and push the ratios identically to every shard
+    // controller. Next slot's admission verdicts read this one-slot-lagged
+    // state, so they are a pure function of (pushed state, call id) and
+    // bit-identical at any thread count.
+    if (scenario_.admission_control) {
+      std::array<double, geo::kNumContinents> cores{};
+      for (const auto& sh : shards)
+        for (std::size_t r = 0; r < static_cast<std::size_t>(geo::kNumContinents); ++r)
+          cores[r] += sh.region_cores[r];
+      std::vector<double> ratio(geo::kNumContinents, 0.0);
+      for (std::size_t r = 0; r < static_cast<std::size_t>(geo::kNumContinents); ++r) {
+        const double cap =
+            r < region_capacity_.size() ? region_capacity_[r] : 0.0;
+        // Load on a region with zero plan capacity (every DC fully drained)
+        // saturates the ratio: shed at the max_shed cap until it recovers.
+        ratio[r] = cap > 0.0 ? cores[r] / cap : (cores[r] > 0.0 ? 10.0 : 0.0);
+      }
+      for (auto& sh : shards) sh.controller->set_admission_state(ratio);
+    }
     agg_span.end();
     result.perf.metric_aggregation_seconds += seconds_since(agg0);
   }
@@ -726,6 +935,7 @@ SimResult SimEngine::run(int threads) {
   for (const auto& sh : shards) {
     merged.merge(sh.sink);
     result.perf.assign_latency_us.merge(sh.assign_latency_us);
+    result.perf.admission_latency_us.merge(sh.admission_latency_us);
     result.perf.call_duration_slots.merge(sh.call_duration_slots);
     result.perf.events_processed += sh.events;
     result.calls += sh.calls;
@@ -734,6 +944,12 @@ SimResult SimEngine::run(int threads) {
     result.forced_migrations += sh.forced_migrations;
     result.out_of_plan += sh.out_of_plan;
     result.fallback_assignments += sh.fallbacks;
+    result.rejected_calls += sh.rejected;
+    result.degraded_calls += sh.degraded;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(geo::kNumContinents); ++r) {
+      result.rejected_by_region[r] += sh.rejected_by_region[r];
+      result.degraded_by_region[r] += sh.degraded_by_region[r];
+    }
     checksum = core::hash_mix(checksum, sh.checksum);
     // Lifecycle audit: anything still active (or pending) whose end (or
     // convergence) event was due inside the window leaked — its usage

@@ -110,6 +110,12 @@ struct SimPerf {
   // assign_initial and one per converge. Wall clock — masked.
   obs::Histogram assign_latency_us{obs::Histogram::Options{0.01, 1e6, 8}};
 
+  // Admission/degradation decision latency in microseconds: one sample per
+  // arrival while admission control is enabled (the overload scenarios) —
+  // the cost of deciding to admit, step down, or shed a call. Wall clock —
+  // masked; empty in every non-overload scenario.
+  obs::Histogram admission_latency_us{obs::Histogram::Options{0.01, 1e6, 8}};
+
   // Call durations in slots, recorded at arrival. Deterministic.
   obs::Histogram call_duration_slots{obs::Histogram::Options{1.0, 1e5, 4}};
   std::int64_t events_processed = 0;  // call events drained (deterministic)
@@ -121,6 +127,7 @@ struct SimPerf {
     shard_work_seconds = 0.0;
     lp_build_seconds = lp_phase1_seconds = lp_phase2_seconds = lp_refactor_seconds = 0.0;
     assign_latency_us.reset();
+    admission_latency_us.reset();
   }
 };
 
@@ -136,6 +143,12 @@ struct SimResult {
   std::int64_t transit_failovers = 0;   // pairs steered to an alternate transit
   std::int64_t out_of_plan = 0;         // true config absent from the plan
   std::int64_t fallback_assignments = 0;
+  // Overload regime (admission control): calls refused outright — at
+  // arrival by the shed policy, or force-rejected when an evacuation found
+  // no live DC anywhere in scope — and calls admitted with a degraded media
+  // shape. Both 0 in every non-overload scenario.
+  std::int64_t rejected_calls = 0;
+  std::int64_t degraded_calls = 0;
   // Lifecycle invariant check: calls still occupying the active/pending sets
   // after their end (or convergence) event was due. Always 0 — a nonzero
   // value means the engine leaked a call and its usage streams are corrupt.
@@ -158,6 +171,9 @@ struct SimResult {
   // load shift moves wan_gb between entries.
   std::array<std::int64_t, geo::kNumContinents> calls_by_region{};
   std::array<double, geo::kNumContinents> wan_gb_by_region{};
+  // Overload slices by the first joiner's continent (where the shed lands).
+  std::array<std::int64_t, geo::kNumContinents> rejected_by_region{};
+  std::array<std::int64_t, geo::kNumContinents> degraded_by_region{};
 
   eval::WanUsage wan;            // day-peak cost metric over the sim window
   eval::SlotMetricsSink streams; // full per-slot streams
@@ -177,6 +193,14 @@ struct SimResult {
   }
   [[nodiscard]] double migration_rate() const {
     return calls > 0 ? static_cast<double>(dc_migrations) / static_cast<double>(calls) : 0.0;
+  }
+  // Rejected / offered arrivals for one region (`calls` counts offered
+  // arrivals, rejected included) — the per-region shed fraction.
+  [[nodiscard]] double shed_fraction(geo::Continent region) const {
+    const auto r = static_cast<std::size_t>(region);
+    return calls_by_region[r] > 0 ? static_cast<double>(rejected_by_region[r]) /
+                                        static_cast<double>(calls_by_region[r])
+                                  : 0.0;
   }
   // Throughput rates derived from the wall clock (reporting only).
   [[nodiscard]] double calls_per_sec() const {
@@ -217,6 +241,10 @@ class SimEngine {
   [[nodiscard]] const geo::World& world() const { return *world_; }
   [[nodiscard]] const net::NetworkDb& network() const { return *db_; }
   [[nodiscard]] const workload::Trace& eval_trace() const { return workload_.eval; }
+  // History-peak compute anchor (cores); 0 unless scenario.capacity_anchor.
+  // Aggregate serving capacity is anchor x compute_headroom — the
+  // denominator of the overload tests' demand/capacity ratio.
+  [[nodiscard]] double capacity_anchor_cores() const { return capacity_anchor_cores_; }
 
   // Optional span recorder for the run's phase timing (null = tracing off,
   // the default; the hot loops then never read the trace clock). Lane 0
@@ -262,6 +290,17 @@ class SimEngine {
   // column whose slot falls inside a window is scaled by its magnitude,
   // whenever the replan producing it happens.
   std::vector<NetworkEvent> forecast_biases_;
+
+  // Overload regime. The anchor is the history trace's peak per-slot
+  // compute demand (cores), fixed at construction; 0 when
+  // scenario.capacity_anchor is off. config_cores_ caches per-config
+  // compute footprints for the anchor/cap math.
+  double capacity_anchor_cores_ = 0.0;
+  std::vector<double> config_cores_;
+  // Aggregate plan capacity per continent under the CURRENT plan inputs
+  // (drain-aware); recomputed after every replan. Feeds the admission
+  // load ratios pushed to the shard controllers at each slot barrier.
+  std::vector<double> region_capacity_;
 
   // Per-run mutable state.
   titannext::DayPlan current_plan_;

@@ -240,6 +240,117 @@ Scenario na_cut_shifts_to_eu() {
   return s;
 }
 
+Scenario overload_sustained() {
+  Scenario s = base_scenario();
+  s.name = "overload-sustained";
+  s.description = "two weekdays at five times the trained volume against capacity anchored "
+                  "at 0.8x the historical peak — day-integrated demand runs ~1.7x aggregate "
+                  "capacity, so admission control must degrade media shapes through the "
+                  "whole business day and shed calls at the peaks, fairly per region";
+  s.eval_days = 2;  // Monday + Tuesday, both fully overloaded
+  s.capacity_anchor = true;
+  s.admission_control = true;
+  // Provision *below* the historical peak: even the un-amplified business
+  // day brushes the degrade band, and the 5x amplification pushes far past
+  // reject territory — integrated over the whole day, not just its peak.
+  s.pipeline.scope.compute_headroom = 0.8;
+  s.overload_factor = 5.0;  // whole eval window (begin 0, end -1)
+  // The amplified regime breaks the trained forecasts the same way a flash
+  // crowd does; bias the forecast columns low across both days.
+  Disturbance bias;
+  bias.kind = NetworkEventKind::kForecastBias;
+  bias.day = 0;
+  bias.slot_in_day = 0;
+  bias.duration_slots = 2 * core::kSlotsPerDay;
+  bias.magnitude = 0.7;
+  s.disturbances.push_back(bias);
+  return s;
+}
+
+Scenario regional_catastrophe() {
+  Scenario s = base_scenario();
+  s.name = "regional-catastrophe";
+  s.description = "compound Wednesday catastrophe: the Amsterdam DC (largest in Europe) "
+                  "goes dark for eight hours while a transit ISP congests the France "
+                  "Internet paths and a flash crowd triples France and Germany volume on "
+                  "the surviving DCs — anchored capacity means the survivors cannot "
+                  "absorb it all, and admission control degrades then sheds";
+  s.capacity_anchor = true;
+  s.admission_control = true;
+  // Modest provisioning: healthy days run clean, but losing the largest DC
+  // under a surge pushes the survivors past threshold.
+  s.pipeline.scope.compute_headroom = 1.2;
+  Disturbance drain;
+  drain.kind = NetworkEventKind::kDcDrain;
+  drain.day = 2;            // Wednesday
+  drain.slot_in_day = 18;   // 09:00
+  drain.duration_slots = 16;  // dark through the business day
+  drain.dc = "netherlands";
+  drain.magnitude = 0.0;
+  s.disturbances.push_back(drain);
+  Disturbance degrade;
+  degrade.kind = NetworkEventKind::kTransitDegrade;
+  degrade.day = 2;
+  degrade.slot_in_day = 18;
+  degrade.duration_slots = 8;
+  degrade.country = "france";
+  degrade.dc = "ireland";     // a *survivor's* transit congests under the shifted load
+  degrade.magnitude = 0.03;   // 3% added loss: past the route-failover threshold
+  s.disturbances.push_back(degrade);
+  for (const char* country : {"france", "germany"}) {
+    SurgeSpec surge;
+    surge.day = 2;
+    surge.begin_slot_in_day = 18;
+    surge.end_slot_in_day = 26;
+    surge.country = country;
+    surge.factor = 3.0;
+    s.surges.push_back(surge);
+  }
+  Disturbance bias;  // the crowd breaks the forecasts, as in flash-crowd
+  bias.kind = NetworkEventKind::kForecastBias;
+  bias.day = 2;
+  bias.slot_in_day = 18;
+  bias.duration_slots = 8;
+  bias.magnitude = 0.7;
+  s.disturbances.push_back(bias);
+  return s;
+}
+
+Scenario cascading_drain() {
+  Scenario s = base_scenario();
+  s.name = "cascading-drain";
+  s.description = "cascade drill: with capacity anchored at 1.1x peak and Tuesday running "
+                  "hot (1.5x volume), the Amsterdam DC drains and its evacuated calls tip "
+                  "the Dublin DC over threshold — which then drains too, stacking both "
+                  "evacuations onto the remaining DCs while admission control holds the "
+                  "line";
+  s.capacity_anchor = true;
+  s.admission_control = true;
+  s.pipeline.scope.compute_headroom = 1.1;
+  // A hot (not yet overloaded) Tuesday: the drains, not the volume alone,
+  // cause the overload.
+  s.overload_factor = 1.5;
+  s.overload_begin_day = 1;
+  s.overload_end_day = 2;
+  Disturbance first;
+  first.kind = NetworkEventKind::kDcDrain;
+  first.day = 1;             // Tuesday
+  first.slot_in_day = 16;    // 08:00
+  first.duration_slots = 16;
+  first.dc = "netherlands";
+  first.magnitude = 0.0;
+  s.disturbances.push_back(first);
+  Disturbance second;
+  second.kind = NetworkEventKind::kDcDrain;
+  second.day = 1;
+  second.slot_in_day = 20;   // 10:00 — two hours of evacuated load tips it over
+  second.duration_slots = 12;
+  second.dc = "ireland";
+  second.magnitude = 0.0;
+  s.disturbances.push_back(second);
+  return s;
+}
+
 void add_rolling_maintenance(Scenario& s, const std::vector<std::string>& dcs, int day,
                              int slot_in_day, int window_slots, int gap_slots,
                              double magnitude) {
@@ -265,7 +376,8 @@ const std::vector<std::string>& scenario_names() {
       "dc-drain",       "flash-crowd",              "transit-degrade-failover",
       "rolling-maintenance", "cut-then-flash-crowd",
       "na-steady-week", "asia-flash-crowd",         "global-steady-week",
-      "na-cut-shifts-to-eu"};
+      "na-cut-shifts-to-eu",
+      "overload-sustained", "regional-catastrophe", "cascading-drain"};
   return names;
 }
 
@@ -282,6 +394,9 @@ Scenario make_scenario(const std::string& name) {
   if (name == "asia-flash-crowd") return asia_flash_crowd();
   if (name == "global-steady-week") return global_steady_week();
   if (name == "na-cut-shifts-to-eu") return na_cut_shifts_to_eu();
+  if (name == "overload-sustained") return overload_sustained();
+  if (name == "regional-catastrophe") return regional_catastrophe();
+  if (name == "cascading-drain") return cascading_drain();
   throw std::invalid_argument("unknown scenario: " + name);
 }
 
@@ -300,6 +415,20 @@ ScenarioWorkload build_workload(const Scenario& scenario, const geo::World& worl
   ScenarioWorkload out;
   out.history = full.window(0, hist_slots);
   workload::Trace eval = full.window(hist_slots, total_slots);
+
+  // Overload amplification first: region-wide, so aggregate demand outruns
+  // anchored capacity. Surges below snapshot the amplified originals.
+  if (scenario.overload_factor > 1.0) {
+    if (scenario.overload_factor > 50.0)
+      throw std::invalid_argument("overload_factor implausibly large");
+    const int begin = scenario.overload_begin_day * core::kSlotsPerDay;
+    const int end = scenario.overload_end_day < 0
+                        ? eval.num_slots()
+                        : scenario.overload_end_day * core::kSlotsPerDay;
+    if (begin < 0 || begin >= end || end > eval.num_slots())
+      throw std::invalid_argument("overload window outside the eval window");
+    eval = workload::amplify_window(eval, begin, end, scenario.overload_factor, scenario.seed);
+  }
 
   if (scenario.surges.empty()) {
     out.eval = std::move(eval);

@@ -11,7 +11,11 @@
 // the region-set PlanScope: na-steady-week, asia-flash-crowd,
 // global-steady-week (all three paper regions, cross-continent calls),
 // and na-cut-shifts-to-eu (a regional outage whose load lands across
-// the Atlantic).
+// the Atlantic) — plus the overload family: overload-sustained (demand
+// beyond anchored aggregate capacity for days, admission control
+// degrading then shedding), regional-catastrophe (DC cut + transit
+// degrade + flash crowd on the survivors at once), and cascading-drain
+// (evacuation load tips the next DC over threshold).
 #pragma once
 
 #include <string>
@@ -101,6 +105,28 @@ struct Scenario {
   // Titan's emergency offload cap for pairs hit by a fiber cut.
   double fiber_cut_surge_fraction = 0.50;
 
+  // --- overload regime (ROADMAP "Overload, admission control") ----------
+  // Anchor plan DC capacity at the *history* trace's peak compute demand
+  // (PlanScope::capacity_anchor_cores) instead of re-deriving it from each
+  // replan's forecast. Without the anchor, capacity floats with demand and
+  // sustained overload is inexpressible; with it, provisioned cores stay
+  // fixed while the workload grows past them.
+  bool capacity_anchor = false;
+  // Enable the controller's admission/shed policy (degrade past
+  // degrade_threshold, shed past reject_threshold, shed probability capped
+  // at max_shed — see titannext::AdmissionPolicy).
+  bool admission_control = false;
+  double admission_degrade_threshold = 0.85;
+  double admission_reject_threshold = 1.0;
+  double admission_max_shed = 0.95;
+  // Region-wide demand amplification of eval days [overload_begin_day,
+  // overload_end_day) via workload::amplify_window; 1.0 disables,
+  // end_day -1 means through the end of the eval window. Applied before
+  // surge injection (surges clone the amplified originals).
+  double overload_factor = 1.0;
+  int overload_begin_day = 0;
+  int overload_end_day = -1;
+
   titannext::PipelineOptions pipeline;
 
   std::vector<Disturbance> disturbances;
@@ -126,6 +152,10 @@ struct Scenario {
 [[nodiscard]] Scenario asia_flash_crowd();
 [[nodiscard]] Scenario global_steady_week();
 [[nodiscard]] Scenario na_cut_shifts_to_eu();
+// Overload family (anchored capacity + admission control).
+[[nodiscard]] Scenario overload_sustained();
+[[nodiscard]] Scenario regional_catastrophe();
+[[nodiscard]] Scenario cascading_drain();
 
 // Appends a rolling-maintenance schedule: each named DC is partially
 // drained to `magnitude` for `window_slots`, one DC at a time, with

@@ -75,6 +75,8 @@ Json perf_scenario_json(const sim::SimResult& r) {
   det.set("lp_dual_iterations", Json::number(static_cast<double>(lp_dual_iterations)));
   det.set("lp_blocks_solved", Json::number(static_cast<double>(lp_blocks_solved)));
   det.set("lp_pruned_columns", Json::number(static_cast<double>(lp_pruned_columns)));
+  det.set("rejected_calls", Json::number(static_cast<double>(r.rejected_calls)));
+  det.set("degraded_calls", Json::number(static_cast<double>(r.degraded_calls)));
   det.set("checksum", Json::string(hex_u64(r.checksum)));
 
   Json thr = Json::object();
@@ -99,6 +101,9 @@ Json perf_scenario_json(const sim::SimResult& r) {
   out.set("deterministic", std::move(det));
   out.set("throughput", std::move(thr));
   out.set("assign_latency_us", latency_json(r.perf.assign_latency_us));
+  // Admission/degradation decision latency: empty (count 0) outside the
+  // overload scenarios.
+  out.set("admission_latency_us", latency_json(r.perf.admission_latency_us));
   out.set("phases_seconds", std::move(phases));
   return out;
 }

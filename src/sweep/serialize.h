@@ -28,7 +28,11 @@ namespace titan::sweep {
 // replan_pruned_columns) from the dual-simplex warm path and the
 // region-block decomposition. Earlier baselines must be regenerated, not
 // compared.
-inline constexpr int kSweepSchemaVersion = 4;
+// v5: overload-regime metrics (rejected_calls, degraded_calls,
+// shed_fraction_na/eu/asia) from admission control, plus the three overload
+// scenarios joining the scenario library. Earlier baselines must be
+// regenerated, not compared.
+inline constexpr int kSweepSchemaVersion = 5;
 
 // `include_runs` = false drops the per-run records (aggregates only), for
 // compact CI artifacts; the committed baseline keeps runs for forensics.

@@ -55,6 +55,15 @@ const std::vector<std::string>& metric_names() {
       "replan_dual_iterations",
       "replan_blocks_solved",
       "replan_pruned_columns",
+      // Overload regime (schema v5): admission-control sheds and media
+      // step-downs, plus the realized per-region shed fraction (rejected /
+      // offered arrivals) for the three planning regions. All zero outside
+      // the overload scenarios.
+      "rejected_calls",
+      "degraded_calls",
+      "shed_fraction_na",
+      "shed_fraction_eu",
+      "shed_fraction_asia",
   };
   return names;
 }
@@ -103,6 +112,11 @@ std::vector<double> metric_values(const sim::SimResult& r) {
       static_cast<double>(replan_dual),
       static_cast<double>(replan_blocks),
       static_cast<double>(replan_pruned),
+      static_cast<double>(r.rejected_calls),
+      static_cast<double>(r.degraded_calls),
+      r.shed_fraction(geo::Continent::kNorthAmerica),
+      r.shed_fraction(geo::Continent::kEurope),
+      r.shed_fraction(geo::Continent::kAsia),
   };
 }
 

@@ -1,6 +1,9 @@
 #include "titannext/controller.h"
 
+#include <algorithm>
 #include <limits>
+
+#include "core/hash.h"
 
 namespace titan::titannext {
 
@@ -32,11 +35,13 @@ Assignment OnlineController::fallback(core::CountryId country, core::DcId exclud
   core::DcId best = core::DcId::invalid();
   double best_rtt = std::numeric_limits<double>::infinity();
   // Preference order: a live DC other than `exclude`; then the (live)
-  // excluded DC — a partially drained DC beats a fully drained one; only
-  // when everything is drained does the call land anywhere at all.
-  for (int pass = 0; pass < 3 && !best.valid(); ++pass) {
+  // excluded DC — a partially drained DC beats a fully drained one. There
+  // is deliberately no third pass: when every in-scope DC is fully drained
+  // the result keeps an invalid DC — an explicit reject — rather than
+  // silently assigning to capacity that does not exist.
+  for (int pass = 0; pass < 2 && !best.valid(); ++pass) {
     for (const auto dc : inputs_->dcs()) {
-      if (pass < 2 && inputs_->net().dc_compute_scale(dc) <= 0.0) continue;
+      if (inputs_->net().dc_compute_scale(dc) <= 0.0) continue;
       if (pass < 1 && dc == exclude) continue;
       const double rtt = inputs_->net().latency().base_rtt_ms(country, dc, net::PathType::kWan);
       if (rtt < best_rtt) {
@@ -46,6 +51,40 @@ Assignment OnlineController::fallback(core::CountryId country, core::DcId exclud
     }
   }
   return Assignment{best, net::PathType::kWan};
+}
+
+void OnlineController::set_admission_state(const std::vector<double>& region_load_ratio) {
+  region_load_ = region_load_ratio;
+}
+
+AdmissionDecision OnlineController::admit(geo::Continent region, core::CallId call,
+                                          media::MediaType media) const {
+  AdmissionDecision out;
+  const AdmissionPolicy& pol = options_.admission;
+  if (!pol.enabled) return out;
+  const auto idx = static_cast<std::size_t>(region);
+  const double rho = idx < region_load_.size() ? region_load_[idx] : 0.0;
+  if (rho <= pol.degrade_threshold) return out;
+  if (rho > pol.reject_threshold) {
+    // Admitting a 1/rho fraction of offered calls brings realized load back
+    // to capacity, so shed the complement — each region sheds only in
+    // proportion to its own overshoot (per-region fairness), capped at
+    // max_shed so no region is starved outright.
+    const double p = std::min(pol.max_shed, (rho - pol.reject_threshold) / rho);
+    if (core::rng_at(pol.seed, 0xADC0, static_cast<std::uint64_t>(call.value())).chance(p)) {
+      out.admit = false;
+      return out;
+    }
+  }
+  // Degrade band, and survivors of the shed coin: step the media shape down
+  // one rung, two once past the middle of the band, capped at the audio
+  // floor. Degradation always engages before rejection because
+  // degrade_threshold < reject_threshold.
+  const double band_mid =
+      pol.degrade_threshold + 0.5 * (pol.reject_threshold - pol.degrade_threshold);
+  const int steps = rho > band_mid ? 2 : 1;
+  out.degrade_steps = std::min(steps, media::degrade_headroom(media));
+  return out;
 }
 
 InitialAssignment OnlineController::assign_initial(core::CountryId first_joiner,

@@ -15,10 +15,38 @@
 #include <optional>
 #include <vector>
 
+#include "core/ids.h"
 #include "core/rng.h"
+#include "geo/world.h"
 #include "titannext/plan.h"
 
 namespace titan::titannext {
+
+// Admission control / load shedding under overload. When a region's offered
+// compute load exceeds its aggregate DC capacity, the controller first
+// degrades new calls (codec/bitrate step-down through the media ladder:
+// video -> screen-share -> audio, shrinking the demand footprint) and only
+// past the reject threshold starts shedding. Shedding is proportional to
+// each region's own overshoot — regions under threshold never shed — and is
+// capped so no region is ever fully starved.
+struct AdmissionPolicy {
+  bool enabled = false;
+  // Region load ratio (offered compute / capacity) where step-downs begin.
+  double degrade_threshold = 0.85;
+  // Ratio where shedding begins; in (degrade, reject] the controller only
+  // degrades, so degradation is always attempted before any rejection.
+  double reject_threshold = 1.0;
+  // Fairness floor: even at extreme overload a region keeps admitting at
+  // least (1 - max_shed) of its offered calls.
+  double max_shed = 0.95;
+  std::uint64_t seed = 0xAD317;  // per-call admission coin stream
+};
+
+// Per-call admission verdict.
+struct AdmissionDecision {
+  bool admit = true;
+  int degrade_steps = 0;  // media step-downs to apply when admitted
+};
 
 struct ControllerOptions {
   std::uint64_t seed = 303;
@@ -27,6 +55,7 @@ struct ControllerOptions {
   // Must match the plan: when the offline LP was fed *full* call configs
   // (Table 4's ablation), convergence must look configs up un-reduced.
   bool use_reduction = true;
+  AdmissionPolicy admission;
 };
 
 struct InitialAssignment {
@@ -34,6 +63,10 @@ struct InitialAssignment {
   bool from_plan = false;  // false => fallback (nearest DC, WAN)
   workload::CallConfig guessed_config;
   core::CountryId first_joiner;  // keys the recently-used-config memory
+  // Media step-downs admission control applied at arrival (sim engine sets
+  // this from the AdmissionDecision); carried so convergence and usage
+  // accounting see the degraded shape.
+  int degrade_steps = 0;
 };
 
 struct ConvergenceResult {
@@ -75,9 +108,24 @@ class OnlineController {
   // The `exclude` overload additionally avoids one DC — partial-drain
   // evacuations must land their chosen subset somewhere *else*, even when
   // the draining DC still has capacity — unless it is the only *live* DC
-  // left (a partially drained DC still beats a fully drained one).
+  // left (a partially drained DC still beats a fully drained one). When
+  // every in-scope DC is fully drained, the result's DC is invalid
+  // (`!Assignment::valid()`): an explicit reject the caller must handle,
+  // never a silent landing on a drained DC.
   [[nodiscard]] Assignment fallback(core::CountryId country) const;
   [[nodiscard]] Assignment fallback(core::CountryId country, core::DcId exclude) const;
+
+  // Push the per-region load ratios (offered compute / aggregate capacity,
+  // indexed by geo::Continent) that admission decisions read. The sim pushes
+  // the previous slot's merged accounting identically to every shard
+  // controller at the slot barrier, so admission is a pure function of
+  // (pushed state, call id) and independent of sharding.
+  void set_admission_state(const std::vector<double>& region_load_ratio);
+
+  // Admission verdict for a new call arriving in `region`. Deterministic:
+  // the shed coin is a pure hash of (policy seed, call id).
+  [[nodiscard]] AdmissionDecision admit(geo::Continent region, core::CallId call,
+                                        media::MediaType media) const;
 
  private:
   // Most recently used reduced config for one (country, media) cell, plus
@@ -104,6 +152,9 @@ class OnlineController {
   // Flat per-(country, media) memory, [country * kMediaTypeCount + media];
   // survives rebind (the memory spans plan generations by design).
   std::vector<RecentConfig> recent_;
+  // Per-region offered-load / capacity ratio, [geo::kNumContinents]; zeros
+  // (everything admitted untouched) until set_admission_state is called.
+  std::vector<double> region_load_;
 };
 
 }  // namespace titan::titannext

@@ -96,7 +96,9 @@ int PlanInputs::singleton_demand_index(core::CountryId country, media::MediaType
 
 void PlanInputs::finalize_capacities() {
   // Compute: peak per-slot demand across the horizon times the headroom,
-  // split across DCs by their provisioned share.
+  // split across DCs by their provisioned share. With a capacity anchor the
+  // provisioned total is fixed (overload regime: demand may exceed it);
+  // without one it floats with the horizon's peak demand (legacy).
   double peak_cores = 0.0;
   for (int t = 0; t < scope_.timeslots; ++t) {
     double total = 0.0;
@@ -104,13 +106,15 @@ void PlanInputs::finalize_capacities() {
       total += d.units_per_slot[static_cast<std::size_t>(t)] * d.config.compute_cores();
     peak_cores = std::max(peak_cores, total);
   }
+  const double base_cores =
+      scope_.capacity_anchor_cores > 0.0 ? scope_.capacity_anchor_cores : peak_cores;
   double share_total = 0.0;
   for (const auto dc : dcs_) share_total += net_->world().dc(dc).cores;
   dc_capacity_.assign(dcs_.size(), 0.0);
   // A drained DC (scenario maintenance events) keeps its provisioned share
   // in the split but only its drain-scaled remainder is usable by the plan.
   for (std::size_t i = 0; i < dcs_.size(); ++i)
-    dc_capacity_[i] = peak_cores * scope_.compute_headroom *
+    dc_capacity_[i] = base_cores * scope_.compute_headroom *
                       (net_->world().dc(dcs_[i]).cores / share_total) *
                       net_->dc_compute_scale(dcs_[i]);
 

@@ -48,6 +48,13 @@ struct PlanScope {
   // Scale on the Titan-learnt Internet capacities (the "double the traffic
   // on the Internet" ablation passes 2.0; "MP placement only" passes 0.0).
   double internet_capacity_scale = 1.0;
+  // When > 0, DC compute capacity is anchored at this absolute core count
+  // instead of the horizon's peak demand: capacity = anchor x headroom x
+  // DC share x drain scale. This is what makes *sustained overload*
+  // expressible — with the default (0, legacy behaviour, byte-identical)
+  // capacity is re-derived from forecast demand at every replan, so it
+  // grows with the workload and demand can never outrun it.
+  double capacity_anchor_cores = 0.0;
 };
 
 class PlanInputs {

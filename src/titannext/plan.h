@@ -23,6 +23,9 @@ namespace titan::titannext {
 struct Assignment {
   core::DcId dc;
   net::PathType path = net::PathType::kWan;
+  // An assignment with no live DC to land on — the controller's explicit
+  // reject result when every in-scope DC is fully drained.
+  [[nodiscard]] bool valid() const { return dc.valid(); }
 };
 
 class OfflinePlan {

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/hash.h"
+
 namespace titan::workload {
 
 double TraceGenerator::diurnal_factor(core::SlotIndex slot, double weekend_factor) {
@@ -181,6 +183,30 @@ Trace Trace::assemble(std::vector<CallRecord> calls, ConfigRegistry registry, in
     out.calls_.push_back(call);
   }
   return out;
+}
+
+Trace amplify_window(const Trace& trace, int begin_slot, int end_slot, double factor,
+                     std::uint64_t seed) {
+  if (factor <= 1.0) return trace;
+  std::vector<CallRecord> calls = trace.calls();
+  std::int64_t next_id = 0;
+  for (const auto& call : calls) next_id = std::max<std::int64_t>(next_id, call.id.value() + 1);
+  const std::size_t original_count = calls.size();
+  const double extra = factor - 1.0;
+  const int whole = static_cast<int>(std::floor(extra));
+  for (std::size_t i = 0; i < original_count; ++i) {
+    const CallRecord call = calls[i];
+    if (call.start_slot < begin_slot || call.start_slot >= end_slot) continue;
+    int clones = whole;
+    core::Rng rng = core::rng_at(seed, 0x0F7D, call.id.value());
+    if (rng.chance(extra - whole)) ++clones;
+    for (int k = 0; k < clones; ++k) {
+      CallRecord clone = call;
+      clone.id = core::CallId(next_id++);
+      calls.push_back(clone);
+    }
+  }
+  return Trace::assemble(std::move(calls), trace.configs(), trace.num_slots());
 }
 
 Trace Trace::window(core::SlotIndex begin, core::SlotIndex end) const {

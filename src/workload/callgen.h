@@ -95,6 +95,17 @@ class Trace {
   int num_slots_ = 0;
 };
 
+// Overload amplification (the sim's overload regime): every call starting in
+// [begin_slot, end_slot) is cloned (factor - 1) whole times plus a
+// fractional-remainder coin per call, with fresh ids past the trace's id
+// range and the config registry shared. Unlike a flash-crowd surge this is
+// region-wide — every country in the trace scales — which is what pushes
+// *aggregate* demand past anchored DC capacity rather than shifting load
+// between DCs. Deterministic: the remainder coin is a pure hash of
+// (seed, source call id). factor <= 1 returns the trace unchanged.
+[[nodiscard]] Trace amplify_window(const Trace& trace, int begin_slot, int end_slot,
+                                   double factor, std::uint64_t seed);
+
 class TraceGenerator {
  public:
   explicit TraceGenerator(const geo::World& world) : world_(&world) {}

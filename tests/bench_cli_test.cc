@@ -133,6 +133,25 @@ TEST(BenchCliTest, UnknownScenarioExitsTwoWithTheValidList) {
   EXPECT_NE(p.message.find("all"), std::string::npos) << p.message;
 }
 
+TEST(BenchCliTest, ScenarioAcceptsACommaList) {
+  // The singular flag takes a comma list too (the CI overload-smoke step
+  // uses it), with the same per-name validation and "all" exclusivity as
+  // --scenarios.
+  const CliParse p = parse({"--scenario", "overload-sustained,cascading-drain"},
+                           sim::scenario_names());
+  EXPECT_LT(p.exit_code, 0) << p.message;
+  EXPECT_EQ(p.cli.scenario, "overload-sustained,cascading-drain");
+  const CliParse bad =
+      parse({"--scenario", "overload-sustained,bogus"}, sim::scenario_names());
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.message.find("unknown scenario 'bogus'"), std::string::npos) << bad.message;
+  const CliParse mixed =
+      parse({"--scenario", "steady-week,all"}, sim::scenario_names());
+  EXPECT_EQ(mixed.exit_code, 2);
+  EXPECT_NE(mixed.message.find("'all' cannot be combined"), std::string::npos)
+      << mixed.message;
+}
+
 TEST(BenchCliTest, UnknownNameInScenariosListAlsoExitsTwo) {
   const CliParse p =
       parse({"--scenarios", "steady-week,bogus,dc-drain"}, sim::scenario_names());

@@ -220,10 +220,11 @@ TEST_F(ControllerTest, FallbackSkipsDrainedDc) {
   db_->set_dc_compute_scale(nearest, 1.0);
 }
 
-// Table-driven coverage of the three-pass preference order: pass 1 wants a
+// Table-driven coverage of the fallback preference order: pass 1 wants a
 // LIVE DC that is not `exclude`; pass 2 admits the excluded DC if it is
-// live (a partially drained DC beats a fully drained one); pass 3 admits
-// anything (everything-drained must still land the call somewhere).
+// live (a partially drained DC beats a fully drained one); when every
+// in-scope DC is fully drained the result carries an invalid DC — an
+// explicit reject — rather than silently landing on dead capacity.
 TEST_F(ControllerTest, FallbackThreePassPreferenceOrder) {
   const auto plan = make_plan();
   OnlineController controller(*inputs_, plan, {});
@@ -258,9 +259,9 @@ TEST_F(ControllerTest, FallbackThreePassPreferenceOrder) {
       // Every alternative is fully drained: pass 1 finds nothing, pass 2
       // returns to the live-but-excluded DC (partial drain beats full).
       {"partially drained beats fully drained", Drain::kAllButExcluded, nearest, nearest},
-      // Everything is drained: pass 3 ignores drain and exclusion alike
-      // and still lands the call at the nearest DC.
-      {"everything drained still lands", Drain::kAll, nearest, nearest},
+      // Everything is drained: no pass may land the call on dead capacity —
+      // the result is the explicit-reject invalid DC.
+      {"everything drained rejects explicitly", Drain::kAll, nearest, core::DcId::invalid()},
   };
 
   for (const auto& c : cases) {
@@ -291,6 +292,89 @@ TEST_F(ControllerTest, RebindPreservesRecentConfigState) {
   const auto guess = controller.assign_initial(fr_, media::MediaType::kAudio, 1, rng);
   EXPECT_TRUE(guess.from_plan);
   EXPECT_EQ(guess.assignment.dc, dc1_);
+}
+
+// --- admission control (overload load shedding) --------------------------
+
+// Table-driven walk of the admission state machine: below the degrade
+// threshold calls pass untouched, inside the degrade band they step down
+// (one rung, two past the band midpoint, capped by the media ladder's
+// headroom), and only past the reject threshold does the shed coin engage —
+// proportionally to the overshoot and capped at max_shed.
+TEST_F(ControllerTest, AdmissionVerdictsFollowLoadRatioTable) {
+  const auto plan = make_plan();
+  ControllerOptions opts;
+  opts.admission.enabled = true;
+  OnlineController controller(*inputs_, plan, opts);
+  const auto region = geo::Continent::kEurope;
+  const auto ridx = static_cast<std::size_t>(region);
+  constexpr int kCalls = 2000;
+
+  // No state pushed yet: everything is admitted at full quality.
+  const auto cold = controller.admit(region, core::CallId(7), media::MediaType::kVideo);
+  EXPECT_TRUE(cold.admit);
+  EXPECT_EQ(cold.degrade_steps, 0);
+
+  struct Case {
+    const char* name;
+    double rho;
+    int video_steps;   // expected step-down for admitted video calls
+    int audio_steps;   // audio has zero headroom: never degraded
+    double shed_p;     // expected shed probability (0 = no shedding)
+  };
+  const Case cases[] = {
+      {"well under capacity", 0.50, 0, 0, 0.0},
+      {"exactly at degrade threshold", 0.85, 0, 0, 0.0},
+      {"lower degrade band", 0.90, 1, 0, 0.0},
+      {"upper degrade band", 0.99, 2, 0, 0.0},
+      {"mild overload", 1.25, 2, 0, 0.25 / 1.25},
+      {"extreme overload caps at max_shed", 100.0, 2, 0, 0.95},
+  };
+
+  std::vector<double> load(geo::kNumContinents, 0.0);
+  for (const auto& c : cases) {
+    load[ridx] = c.rho;
+    controller.set_admission_state(load);
+    int sheds = 0;
+    for (int i = 0; i < kCalls; ++i) {
+      const core::CallId id(i);
+      const auto video = controller.admit(region, id, media::MediaType::kVideo);
+      // The verdict is a pure function of (seed, call id, load): re-asking
+      // must reproduce it bit-for-bit.
+      const auto again = controller.admit(region, id, media::MediaType::kVideo);
+      ASSERT_EQ(video.admit, again.admit) << c.name;
+      ASSERT_EQ(video.degrade_steps, again.degrade_steps) << c.name;
+      if (!video.admit) {
+        ++sheds;
+        continue;
+      }
+      EXPECT_EQ(video.degrade_steps, c.video_steps) << c.name << " call " << i;
+      const auto audio = controller.admit(region, id, media::MediaType::kAudio);
+      EXPECT_TRUE(audio.admit == video.admit) << c.name;
+      EXPECT_EQ(audio.degrade_steps, c.audio_steps) << c.name;
+    }
+    if (c.shed_p == 0.0) {
+      EXPECT_EQ(sheds, 0) << c.name;
+    } else {
+      EXPECT_GT(sheds, 0) << c.name;
+      // Even at absurd overload the fairness floor admits 1 - max_shed.
+      EXPECT_LT(sheds, kCalls) << c.name;
+      EXPECT_NEAR(static_cast<double>(sheds) / kCalls, c.shed_p, 0.04) << c.name;
+    }
+    // Per-region fairness: a clean region never sheds or degrades no matter
+    // how overloaded its neighbours are.
+    const auto other =
+        controller.admit(geo::Continent::kNorthAmerica, core::CallId(3), media::MediaType::kVideo);
+    EXPECT_TRUE(other.admit) << c.name;
+    EXPECT_EQ(other.degrade_steps, 0) << c.name;
+  }
+
+  // A disabled policy is a no-op even with overload state pushed.
+  OnlineController off(*inputs_, plan, {});
+  off.set_admission_state(load);
+  const auto d = off.admit(region, core::CallId(1), media::MediaType::kVideo);
+  EXPECT_TRUE(d.admit);
+  EXPECT_EQ(d.degrade_steps, 0);
 }
 
 }  // namespace

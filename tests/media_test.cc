@@ -106,6 +106,28 @@ TEST(JitterBufferTest, HeavyJitterCausesLateDrops) {
   EXPECT_GT(stats.late_rate, 0.02);
 }
 
+// Regression for the playout-delay stat: with handcrafted arrivals the
+// reported mean must reflect how long packets actually waited (playout -
+// arrival), not the configured target. The old accumulation `target +
+// (transit - min_delay)` telescoped to exactly `target`, so every stream
+// with the same knob settings reported the same delay regardless of
+// arrival timing.
+TEST(JitterBufferTest, MeanPlayoutDelayTracksArrivalTiming) {
+  // Zero-jitter start keeps the EWMA estimate under min_delay_ms / 8, so
+  // the target stays pinned at min_delay_ms = 10 for every packet.
+  std::vector<RtpArrival> arrivals;
+  const double transits[] = {5.0, 5.0, 3.0, 5.0};
+  for (std::uint32_t i = 0; i < 4; ++i)
+    arrivals.push_back({i, 20.0 * i, 20.0 * i + transits[i]});
+  JitterBuffer buffer;
+  const auto stats = buffer.run(arrivals);
+  ASSERT_EQ(stats.played, 4u);
+  // Playout = send + min_transit(3) + target(10); experienced delay per
+  // packet = 13 - transit -> {8, 8, 10, 8}, mean 8.5. The buggy stat
+  // reported the configured 10.0 here.
+  EXPECT_NEAR(stats.mean_playout_delay_ms, 8.5, 1e-9);
+}
+
 TEST(JitterBufferTest, EmptyStream) {
   JitterBuffer buffer;
   const auto stats = buffer.run({});
@@ -153,6 +175,47 @@ TEST(MosTest, SamplesAreClampedAndNoisy) {
   EXPECT_LE(acc.mean(), mos.expected(100.0) + 0.02);
   EXPECT_NEAR(acc.mean(), mos.expected(100.0), 0.15);
   EXPECT_GT(acc.stddev(), 0.2);
+}
+
+// The clamp ranges of expected() and sample() are unified: both floor at
+// params.min_mos. (sample() used to clamp to a hard-coded [1, 5], so with a
+// raised floor individual ratings could land *below* the deterministic
+// curve's own minimum.)
+TEST(MosTest, SampleSharesExpectedClampFloor) {
+  MosModelParams params;
+  params.min_mos = 2.0;
+  const MosModel mos(params);
+  core::Rng rng(9);
+  // Far past the knee with heavy loss: expected() sits on the floor.
+  EXPECT_DOUBLE_EQ(mos.expected(2000.0, 0.5), 2.0);
+  for (int i = 0; i < 500; ++i) {
+    const double r = mos.sample(2000.0, 0.5, rng);
+    EXPECT_GE(r, 2.0);
+    EXPECT_LE(r, 5.0);
+  }
+}
+
+// Admission control's media step-downs cost MOS: each degrade step
+// subtracts a fixed penalty from the expected rating, saturating at the
+// model floor, and sample() applies the same shift.
+TEST(MosTest, DegradeStepsLowerExpectedMos) {
+  const MosModel mos;
+  const double base = mos.expected(60.0);
+  EXPECT_NEAR(mos.expected(60.0, 0.0, 1), base - mos.params().degrade_penalty_per_step, 1e-9);
+  EXPECT_NEAR(mos.expected(60.0, 0.0, 2), base - 2.0 * mos.params().degrade_penalty_per_step,
+              1e-9);
+  // Saturates at min_mos, never below.
+  EXPECT_DOUBLE_EQ(mos.expected(60.0, 0.0, 1000), mos.params().min_mos);
+  // Paired-seed draws share the noise term, so away from the clamp rails
+  // the sample difference is exactly the per-step penalty. 475 ms sits
+  // mid-curve (expected ~4.37) where one noise draw cannot reach either
+  // rail.
+  core::Rng a(10), b(10);
+  const double undegraded = mos.sample(475.0, 0.0, b, 0);
+  ASSERT_LT(undegraded, 5.0);
+  ASSERT_GT(undegraded, mos.params().min_mos + mos.params().degrade_penalty_per_step);
+  EXPECT_NEAR(mos.sample(475.0, 0.0, a, 1) - undegraded,
+              -mos.params().degrade_penalty_per_step, 1e-9);
 }
 
 TEST(MosTest, RatingsAreSampled) {

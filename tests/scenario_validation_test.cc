@@ -242,6 +242,34 @@ TEST(ScenarioValidationTest, EveryRejectionNamesTheProblem) {
          (void)build_workload(s, geo::World::make());
        },
        "surge country outside plan scope: japan"},
+
+      {"overload factor implausibly large",
+       [] {
+         Scenario s = tiny();
+         s.overload_factor = 51.0;
+         (void)build_workload(s, geo::World::make());
+       },
+       "overload_factor implausibly large"},
+
+      {"overload window past the eval window",
+       [] {
+         Scenario s = tiny();  // eval_days = 1
+         s.overload_factor = 2.0;
+         s.overload_begin_day = 0;
+         s.overload_end_day = 3;
+         (void)build_workload(s, geo::World::make());
+       },
+       "overload window outside the eval window"},
+
+      {"overload window that begins after it ends",
+       [] {
+         Scenario s = tiny();
+         s.overload_factor = 2.0;
+         s.overload_begin_day = 1;
+         s.overload_end_day = 1;
+         (void)build_workload(s, geo::World::make());
+       },
+       "overload window outside the eval window"},
   };
 
   for (const auto& c : cases) {

@@ -918,6 +918,10 @@ constexpr GoldenChecksum kGoldenChecksums[] = {
     {"asia-flash-crowd", 0x2f232b6454740da7ULL},
     {"global-steady-week", 0x139ce10f1184517eULL},
     {"na-cut-shifts-to-eu", 0x45e46c2d3e977519ULL},
+    // Overload regime (admission control + anchored capacity).
+    {"overload-sustained", 0x6fb311cb2c84d6c9ULL},
+    {"regional-catastrophe", 0x13d75dccfda37637ULL},
+    {"cascading-drain", 0x1cbe7a0e9cd7fd84ULL},
 };
 
 Scenario golden_config(const std::string& name) {
@@ -945,11 +949,108 @@ TEST(SimGoldenTest, ChecksumsMatchAtOneTwoAndEightThreads) {
     EXPECT_EQ(r1.checksum, r2.checksum) << names[i];
     EXPECT_EQ(r1.checksum, r8.checksum) << names[i];
     EXPECT_EQ(r1.leaked_calls, 0) << names[i];
+    // Admission control only ever sheds or degrades in the overload
+    // scenarios; every legacy scenario stays byte-for-byte rejection-free.
+    if (!engine.scenario().admission_control) {
+      EXPECT_EQ(r1.rejected_calls, 0) << names[i];
+      EXPECT_EQ(r1.degraded_calls, 0) << names[i];
+    }
     char actual[64];
     std::snprintf(actual, sizeof actual, "{\"%s\", 0x%016llxULL},", names[i].c_str(),
                   static_cast<unsigned long long>(r1.checksum));
     EXPECT_EQ(r1.checksum, kGoldenChecksums[i].checksum)
         << "golden drifted; updated entry: " << actual;
+  }
+}
+
+// --- overload regime (admission control) --------------------------------
+
+// The tentpole invariants of the overload regime, asserted on the sustained
+// scenario at the golden scale: demand genuinely outruns anchored capacity
+// (>= 1.5x integrated over a full simulated day), admission sheds and
+// degrades without ever leaking a call, degradation engages before the
+// first rejection, and the shed is fair per region (bounded by max_shed;
+// regions without arrivals shed nothing).
+TEST(SimOverloadTest, SustainedOverloadShedsFairlyWithoutLeaks) {
+  const Scenario s = golden_config("overload-sustained");
+  ASSERT_TRUE(s.admission_control);
+  ASSERT_TRUE(s.capacity_anchor);
+  SimEngine engine(s);
+  const auto r = engine.run(2);
+
+  // Offered demand vs. anchored capacity, integrated per simulated day.
+  const auto counts = engine.eval_trace().config_active_counts();
+  const auto& configs = engine.eval_trace().configs();
+  const double capacity =
+      engine.capacity_anchor_cores() * s.pipeline.scope.compute_headroom;
+  ASSERT_GT(capacity, 0.0);
+  const int days = r.eval_slots / core::kSlotsPerDay;
+  ASSERT_GE(days, 1);
+  bool saw_overloaded_day = false;
+  for (int d = 0; d < days; ++d) {
+    double offered = 0.0;
+    for (int t = d * core::kSlotsPerDay; t < (d + 1) * core::kSlotsPerDay; ++t)
+      for (std::size_t c = 0; c < counts.size(); ++c)
+        offered += counts[c][static_cast<std::size_t>(t)] *
+                   configs.get(core::ConfigId(static_cast<int>(c))).compute_cores();
+    saw_overloaded_day |= offered >= 1.5 * capacity * core::kSlotsPerDay;
+  }
+  EXPECT_TRUE(saw_overloaded_day)
+      << "no simulated day sustained demand >= 1.5x aggregate capacity";
+
+  // Overload bites, and the lifecycle survives it untouched.
+  EXPECT_EQ(r.leaked_calls, 0);
+  EXPECT_GT(r.rejected_calls, 0);
+  EXPECT_GT(r.degraded_calls, 0);
+
+  // Quality degradation is attempted before any rejection: the first slot
+  // with a degraded admission is no later than the first slot with a shed.
+  const auto first_nonzero = [](const std::vector<double>& stream) {
+    for (std::size_t i = 0; i < stream.size(); ++i)
+      if (stream[i] > 0.0) return static_cast<int>(i);
+    return -1;
+  };
+  const int first_degraded = first_nonzero(r.streams.degraded());
+  const int first_rejected = first_nonzero(r.streams.rejected());
+  ASSERT_GE(first_degraded, 0);
+  ASSERT_GE(first_rejected, 0);
+  EXPECT_LE(first_degraded, first_rejected);
+
+  // Per-region fairness: the realized shed fraction never exceeds the
+  // max_shed cap (no region is starved), and a region that offered no
+  // calls cannot have shed any.
+  for (int reg = 0; reg < geo::kNumContinents; ++reg) {
+    const auto region = static_cast<geo::Continent>(reg);
+    const auto ri = static_cast<std::size_t>(reg);
+    EXPECT_LE(r.shed_fraction(region), s.admission_max_shed) << "region " << reg;
+    if (r.calls_by_region[ri] == 0) EXPECT_EQ(r.rejected_by_region[ri], 0);
+    EXPECT_EQ(static_cast<double>(r.rejected_by_region[ri]),
+              r.streams.region_rejected_total(region));
+    EXPECT_EQ(static_cast<double>(r.degraded_by_region[ri]),
+              r.streams.region_degraded_total(region));
+  }
+  // The per-slot streams and the run counters tell one story.
+  const double stream_rejected =
+      std::accumulate(r.streams.rejected().begin(), r.streams.rejected().end(), 0.0);
+  const double stream_degraded =
+      std::accumulate(r.streams.degraded().begin(), r.streams.degraded().end(), 0.0);
+  EXPECT_EQ(static_cast<double>(r.rejected_calls), stream_rejected);
+  EXPECT_EQ(static_cast<double>(r.degraded_calls), stream_degraded);
+}
+
+// Compound catastrophes must shed/degrade (the point of the templates) and
+// still satisfy the lifecycle invariant — including force-rejects of calls
+// stranded by the drains with nowhere live left to land.
+TEST(SimOverloadTest, CompoundCatastrophesShedWithoutLeaks) {
+  for (const char* name : {"regional-catastrophe", "cascading-drain"}) {
+    SimEngine engine(golden_config(name));
+    const auto r = engine.run(2);
+    EXPECT_EQ(r.leaked_calls, 0) << name;
+    EXPECT_GT(r.rejected_calls + r.degraded_calls, 0) << name;
+    for (int reg = 0; reg < geo::kNumContinents; ++reg) {
+      const auto ri = static_cast<std::size_t>(reg);
+      if (r.calls_by_region[ri] == 0) EXPECT_EQ(r.rejected_by_region[ri], 0) << name;
+    }
   }
 }
 

@@ -471,9 +471,10 @@ TEST_F(PlanTest, FallbackExcludePrefersLiveDcs) {
     if (dc != ie_dc) db_->set_dc_compute_scale(dc, 0.0);
   EXPECT_EQ(controller.fallback(ie, ie_dc).dc, ie_dc);
 
-  // Everything drained: the call still lands somewhere (nearest overall).
+  // Everything drained: the fallback refuses to land on dead capacity and
+  // returns the explicit-reject invalid assignment instead.
   db_->set_dc_compute_scale(ie_dc, 0.0);
-  EXPECT_EQ(controller.fallback(ie, ie_dc).dc, ie_dc);
+  EXPECT_FALSE(controller.fallback(ie, ie_dc).valid());
 
   // The fixture's NetworkDb is suite-shared; restore the scales.
   for (const auto dc : inputs.dcs()) db_->set_dc_compute_scale(dc, 1.0);
