@@ -1,0 +1,390 @@
+#include "sweep/dispatch.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/rng.h"
+
+namespace titan::sweep {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A worker that dies mid-write must surface as a recoverable fault (EOF on
+// the next recv), not kill the dispatcher with SIGPIPE.
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+class ProcessWorkerTransport final : public WorkerTransport {
+ public:
+  explicit ProcessWorkerTransport(const std::vector<std::string>& argv) {
+    ignore_sigpipe();
+    int to_child[2];    // dispatcher writes -> child stdin
+    int from_child[2];  // child stdout -> dispatcher reads
+    if (::pipe(to_child) != 0) throw std::runtime_error("sweep dispatch: pipe() failed");
+    if (::pipe(from_child) != 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      throw std::runtime_error("sweep dispatch: pipe() failed");
+    }
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) ::close(fd);
+      throw std::runtime_error("sweep dispatch: fork() failed");
+    }
+    if (pid_ == 0) {
+      // Child: wire the pipes to stdio and become the worker binary.
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) ::close(fd);
+      std::vector<char*> args;
+      args.reserve(argv.size() + 1);
+      for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+      args.push_back(nullptr);
+      ::execv(args[0], args.data());
+      ::_exit(127);  // exec failed; the dispatcher sees EOF
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    in_fd_ = to_child[1];
+    out_fd_ = from_child[0];
+  }
+
+  ~ProcessWorkerTransport() override {
+    if (in_fd_ >= 0) ::close(in_fd_);
+    if (out_fd_ >= 0) ::close(out_fd_);
+    if (pid_ > 0) {
+      // A healthy worker exits on stdin EOF; a hung or wedged one gets
+      // SIGKILL. Either way, reap — the dispatcher never leaks zombies.
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  void send(const std::string& line) override {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::write(in_fd_, framed.data() + off, framed.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("sweep dispatch: worker stdin write failed");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  Recv recv(std::string& line, double timeout_sec) override {
+    const double deadline = now_seconds() + timeout_sec;
+    for (;;) {
+      // A full line may already be buffered from a previous read.
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return Recv::ok;
+      }
+      const double remaining = deadline - now_seconds();
+      if (remaining <= 0.0) return Recv::timeout;
+      struct pollfd pfd{out_fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(std::min(remaining * 1000.0, 2.0e9)) + 1;
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Recv::eof;
+      }
+      if (ready == 0) return Recv::timeout;
+      char chunk[4096];
+      const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Recv::eof;
+      }
+      if (n == 0) return Recv::eof;  // worker closed stdout (exited)
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace
+
+WorkerFactory process_worker_factory(std::vector<std::string> argv) {
+  if (argv.empty())
+    throw std::invalid_argument("sweep dispatch: worker argv must not be empty");
+  return [argv = std::move(argv)]() -> std::unique_ptr<WorkerTransport> {
+    return std::make_unique<ProcessWorkerTransport>(argv);
+  };
+}
+
+SweepDispatcher::SweepDispatcher(SweepSpec spec, WorkerFactory factory,
+                                 DispatchOptions options)
+    : spec_(validate_sweep_spec(std::move(spec))),
+      factory_(std::move(factory)),
+      options_(options) {
+  if (!factory_) throw std::invalid_argument("sweep dispatch: null worker factory");
+  if (options_.workers < 1)
+    throw std::invalid_argument("sweep dispatch: workers must be >= 1");
+  if (!(options_.task_timeout_sec > 0.0))
+    throw std::invalid_argument("sweep dispatch: task_timeout_sec must be > 0");
+  if (options_.max_attempts < 1)
+    throw std::invalid_argument("sweep dispatch: max_attempts must be >= 1");
+  if (options_.max_respawns < 0)
+    throw std::invalid_argument("sweep dispatch: max_respawns must be >= 0");
+}
+
+SweepResult SweepDispatcher::run() {
+  if (ran_) throw std::runtime_error("sweep dispatch: run() called twice");
+  ran_ = true;
+  const double started = now_seconds();
+
+  // The canonical task matrix, scenario-major / seed-minor — the same
+  // order SweepRunner enumerates, and the slot layout assemble_sweep_result
+  // expects.
+  struct Pending {
+    std::size_t task = 0;  // canonical task index
+    WorkSpec spec;
+    int attempts = 0;
+    std::string last_fault;
+  };
+  const std::size_t num_tasks = spec_.scenarios.size() * static_cast<std::size_t>(spec_.num_seeds);
+  std::deque<Pending> queue;
+  for (std::size_t sc = 0; sc < spec_.scenarios.size(); ++sc)
+    for (int sd = 0; sd < spec_.num_seeds; ++sd) {
+      Pending p;
+      p.task = sc * static_cast<std::size_t>(spec_.num_seeds) + static_cast<std::size_t>(sd);
+      p.spec.scenario = spec_.scenarios[sc];
+      p.spec.seed = spec_.base_seed + static_cast<std::uint64_t>(sd);
+      p.spec.spec = spec_;
+      // The wire spec describes the work, never the scheduling.
+      p.spec.spec.workers = 0;
+      p.spec.spec.task_order_seed = 0;
+      queue.push_back(std::move(p));
+    }
+  if (options_.dispatch_order_seed != 0) {
+    core::Rng rng(options_.dispatch_order_seed);
+    for (std::size_t i = queue.size(); i > 1; --i)
+      std::swap(queue[i - 1],
+                queue[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    std::vector<bool> done;
+    std::vector<PartialResult> partials;  // by canonical task index
+    std::size_t remaining = 0;
+    int alive_workers = 0;
+    int retries = 0;
+    std::string fatal;  // first unrecoverable fault; drains the pool
+  } shared;
+  shared.queue = std::move(queue);
+  shared.done.assign(num_tasks, false);
+  shared.partials.resize(num_tasks);
+  shared.remaining = num_tasks;
+  const int num_workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(options_.workers),
+                                             std::max<std::size_t>(num_tasks, 1)));
+  shared.alive_workers = num_workers;
+
+  report_ = DispatchReport{};
+  report_.workers.resize(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) report_.workers[static_cast<std::size_t>(w)].worker = w;
+
+  auto spec_name = [](const Pending& p) {
+    return "scenario=" + p.spec.scenario + " seed=" + std::to_string(p.spec.seed);
+  };
+
+  auto worker_main = [&](int slot) {
+    WorkerStats& stats = report_.workers[static_cast<std::size_t>(slot)];
+    std::unique_ptr<WorkerTransport> transport;
+    int respawns_left = options_.max_respawns;
+    for (;;) {
+      Pending pending;
+      {
+        std::unique_lock<std::mutex> lock(shared.mu);
+        shared.cv.wait(lock, [&] {
+          return !shared.queue.empty() || shared.remaining == 0 || !shared.fatal.empty();
+        });
+        if (shared.remaining == 0 || !shared.fatal.empty()) break;
+        pending = std::move(shared.queue.front());
+        shared.queue.pop_front();
+      }
+
+      // A fault below must never lose the spec: requeue (or mark fatal)
+      // before this thread can exit, so cv waiters always make progress.
+      auto fail = [&](const std::string& fault) {
+        transport.reset();  // kill + reap; a fresh worker respawns below
+        stats.faults += 1;
+        pending.attempts += 1;
+        pending.last_fault = fault;
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (pending.attempts >= options_.max_attempts) {
+          if (shared.fatal.empty())
+            shared.fatal = "sweep dispatch: " + spec_name(pending) + " failed after " +
+                           std::to_string(pending.attempts) + " attempts (last fault: " +
+                           fault + ")";
+        } else {
+          shared.retries += 1;
+          shared.queue.push_back(std::move(pending));
+        }
+        shared.cv.notify_all();
+      };
+
+      if (!transport) {
+        if (stats.tasks_completed + stats.faults > 0) {
+          // Not the first transport on this slot: spend a respawn.
+          if (respawns_left == 0) {
+            std::lock_guard<std::mutex> lock(shared.mu);
+            shared.queue.push_front(std::move(pending));
+            shared.cv.notify_all();
+            break;  // slot retired; survivors drain the queue
+          }
+          respawns_left -= 1;
+          stats.respawns += 1;
+        }
+        try {
+          transport = factory_();
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          shared.queue.push_front(std::move(pending));
+          if (shared.alive_workers == 1 && shared.fatal.empty())
+            shared.fatal = std::string("sweep dispatch: worker spawn failed: ") + e.what();
+          shared.cv.notify_all();
+          break;
+        }
+      }
+
+      const double task_started = now_seconds();
+      try {
+        transport->send(to_json_line(pending.spec));
+      } catch (const std::exception& e) {
+        fail(e.what());
+        continue;
+      }
+      std::string line;
+      const WorkerTransport::Recv status = transport->recv(line, options_.task_timeout_sec);
+      if (status == WorkerTransport::Recv::eof) {
+        fail("worker exited before answering");
+        continue;
+      }
+      if (status == WorkerTransport::Recv::timeout) {
+        fail("no answer within " + std::to_string(options_.task_timeout_sec) + "s");
+        continue;
+      }
+      PartialResult partial;
+      try {
+        partial = partial_result_from_text(line);
+      } catch (const std::exception& e) {
+        fail(e.what());
+        continue;
+      }
+      if (partial.scenario != pending.spec.scenario || partial.seed != pending.spec.seed) {
+        fail("answer for scenario=" + partial.scenario + " seed=" +
+             std::to_string(partial.seed) + " does not match the dispatched spec");
+        continue;
+      }
+      if (partial.records.size() != spec_.sim_threads.size()) {
+        fail("answer carries " + std::to_string(partial.records.size()) +
+             " records, expected " + std::to_string(spec_.sim_threads.size()));
+        continue;
+      }
+
+      stats.busy_seconds += now_seconds() - task_started;
+      stats.tasks_completed += 1;
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (!shared.done[pending.task]) {
+          shared.done[pending.task] = true;
+          shared.partials[pending.task] = std::move(partial);
+          shared.remaining -= 1;
+        }
+        shared.cv.notify_all();
+      }
+    }
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.alive_workers -= 1;
+    shared.cv.notify_all();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) threads.emplace_back(worker_main, w);
+  for (auto& t : threads) t.join();
+
+  report_.retries = shared.retries;
+  report_.seconds = now_seconds() - started;
+
+  // Mirror the per-slot accounting into obs metrics so the standard
+  // registry export (perf_report.h: registry_json) carries it.
+  for (const WorkerStats& w : report_.workers) {
+    const std::string prefix = "sweep.dispatch.worker." + std::to_string(w.worker) + ".";
+    registry_.counter(prefix + "tasks").add(w.tasks_completed);
+    registry_.counter(prefix + "faults").add(w.faults);
+    registry_.counter(prefix + "respawns").add(w.respawns);
+    registry_.gauge(prefix + "busy_seconds").set(w.busy_seconds);
+  }
+  registry_.counter("sweep.dispatch.retries").add(report_.retries);
+  registry_.gauge("sweep.dispatch.seconds").set(report_.seconds);
+  auto& task_hist = registry_.histogram("sweep.dispatch.task_seconds");
+  for (std::size_t t = 0; t < num_tasks; ++t)
+    if (shared.done[t]) task_hist.record(shared.partials[t].task_seconds);
+
+  if (!shared.fatal.empty()) throw std::runtime_error(shared.fatal);
+  if (shared.remaining != 0) {
+    // Every slot retired (spawn failures / respawn budgets) with work left.
+    std::string first;
+    for (const Pending& p : shared.queue) {
+      first = spec_name(p);
+      break;
+    }
+    throw std::runtime_error("sweep dispatch: all workers died with " +
+                             std::to_string(shared.remaining) + " specs unfinished (next: " +
+                             first + ")");
+  }
+
+  // The order-invariant reduction — identical to SweepRunner::run's.
+  const std::size_t variants = spec_.sim_threads.size();
+  std::vector<RunRecord> runs(num_tasks * variants);
+  std::vector<std::string> violations;
+  std::vector<double> task_seconds(num_tasks, 0.0);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    PartialResult& partial = shared.partials[t];
+    for (std::size_t v = 0; v < variants; ++v) runs[t * variants + v] = std::move(partial.records[v]);
+    violations.insert(violations.end(), partial.determinism_violations.begin(),
+                      partial.determinism_violations.end());
+    task_seconds[t] = partial.task_seconds;
+  }
+  return assemble_sweep_result(spec_, std::move(runs), std::move(violations),
+                               std::move(task_seconds));
+}
+
+}  // namespace titan::sweep

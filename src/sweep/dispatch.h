@@ -1,0 +1,123 @@
+// Distributed sweep dispatcher: the in-process SweepRunner's task matrix,
+// executed by a fleet of worker subprocesses over the sweep/protocol.h
+// wire format — with the same bytes coming out.
+//
+// Shape: the dispatcher partitions the sweep into its canonical (scenario,
+// seed) WorkSpecs, hands each to whichever worker is free (one feeder
+// thread per worker slot pulling from a shared queue), and assembles the
+// returned PartialResults through the exact reduction SweepRunner uses
+// (sweep.h: assemble_sweep_result). Because records land in canonical
+// slots and the reduction is order-invariant, the aggregate bit-compares
+// equal to the single-process run for any worker count and any dispatch
+// order — tests/sweep_dispatch_test.cc proves it byte-for-byte.
+//
+// Fault model: a worker may die mid-task, hang past the per-task timeout,
+// or answer with truncated/corrupt/mis-versioned JSON. Any such fault
+// kills that worker's transport, counts one failed attempt against the
+// in-flight spec, and requeues the spec for the surviving workers (a fresh
+// transport is respawned for the slot, within budget). A spec that
+// exhausts its attempts fails the whole sweep loudly, naming the offending
+// (scenario, seed). Faults never change result bytes — only wall time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sweep/protocol.h"
+#include "sweep/sweep.h"
+
+namespace titan::sweep {
+
+// One worker connection, as the dispatcher sees it: a line out, lines
+// back. Implementations need not be thread-safe — each transport is owned
+// by exactly one feeder thread. Destruction must reap the peer (kill the
+// subprocess); it is the dispatcher's fault-recovery primitive.
+class WorkerTransport {
+ public:
+  enum class Recv { ok, eof, timeout };
+
+  virtual ~WorkerTransport() = default;
+
+  // Writes one work-spec line. Throws std::runtime_error when the peer is
+  // gone (broken pipe).
+  virtual void send(const std::string& line) = 0;
+
+  // Reads one result line (without the trailing newline) into `line`,
+  // waiting at most `timeout_sec`. `eof` = peer closed its end (died or
+  // finished); `timeout` = deadline expired with no complete line.
+  [[nodiscard]] virtual Recv recv(std::string& line, double timeout_sec) = 0;
+};
+
+// Creates a fresh worker connection. Called once per worker slot at
+// startup and again on respawn after a fault. Throwing marks the slot
+// dead (its queued work migrates to surviving workers).
+using WorkerFactory = std::function<std::unique_ptr<WorkerTransport>()>;
+
+// Transport over a subprocess: spawns `argv` (argv[0] = binary path) with
+// stdin/stdout piped, speaks one JSON line per task, SIGKILLs and reaps
+// the child on destruction. recv() polls, so a hung or dead child costs
+// the caller at most its timeout.
+[[nodiscard]] WorkerFactory process_worker_factory(std::vector<std::string> argv);
+
+struct DispatchOptions {
+  int workers = 2;                 // worker slots (subprocesses); must be >= 1
+  double task_timeout_sec = 600.0; // per-task recv deadline; must be > 0
+  int max_attempts = 3;            // per-spec tries before the sweep fails
+  int max_respawns = 3;            // per-slot transport respawns after faults
+  // != 0: dispatch specs in a seeded shuffle of canonical order. Results
+  // are identical either way — the knob exists so tests can prove it.
+  std::uint64_t dispatch_order_seed = 0;
+};
+
+// Per-slot accounting for the perf artifact (perf_report.h:
+// dispatch_report_json). Wall-clock only — never part of result bytes.
+struct WorkerStats {
+  int worker = 0;           // slot index
+  int tasks_completed = 0;
+  int faults = 0;           // timeouts + EOFs + protocol errors on this slot
+  int respawns = 0;         // transports created beyond the first
+  double busy_seconds = 0.0;  // send -> accepted-result wall time, summed
+};
+
+struct DispatchReport {
+  std::vector<WorkerStats> workers;  // one per slot, in slot order
+  int retries = 0;                   // specs re-dispatched after a fault
+  double seconds = 0.0;              // whole dispatch phase wall time
+};
+
+// Runs one sweep through worker subprocesses. Not reusable: one dispatcher
+// per sweep, run() at most once.
+class SweepDispatcher {
+ public:
+  // Validates the spec exactly like SweepRunner (validate_sweep_spec) and
+  // the options (workers >= 1, task_timeout_sec > 0, max_attempts >= 1);
+  // throws std::invalid_argument otherwise.
+  SweepDispatcher(SweepSpec spec, WorkerFactory factory, DispatchOptions options);
+
+  [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+
+  // Blocking. Returns the assembled sweep — byte-identical (after
+  // mask_timing_metrics) to SweepRunner::run() on the same spec. Throws
+  // std::runtime_error when a spec exhausts max_attempts or every worker
+  // slot dies with work remaining; the message names the offending
+  // (scenario, seed) and the last fault.
+  [[nodiscard]] SweepResult run();
+
+  // Valid after run() returns (or throws). Also mirrored into `registry`
+  // as obs counters/histograms for the standard registry_json export.
+  [[nodiscard]] const DispatchReport& report() const { return report_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
+ private:
+  SweepSpec spec_;
+  WorkerFactory factory_;
+  DispatchOptions options_;
+  DispatchReport report_;
+  obs::Registry registry_;
+  bool ran_ = false;
+};
+
+}  // namespace titan::sweep

@@ -157,6 +157,29 @@ Json registry_json(const obs::Registry& registry) {
   return out;
 }
 
+Json dispatch_report_json(const DispatchReport& report, const obs::Registry& registry) {
+  Json workers = Json::array();
+  for (const WorkerStats& w : report.workers) {
+    Json entry = Json::object();
+    entry.set("worker", Json::number(w.worker));
+    entry.set("tasks_completed", Json::number(w.tasks_completed));
+    entry.set("faults", Json::number(w.faults));
+    entry.set("respawns", Json::number(w.respawns));
+    entry.set("busy_seconds", Json::number(w.busy_seconds));
+    workers.push_back(std::move(entry));
+  }
+  Json dispatch = Json::object();
+  dispatch.set("workers", Json::number(static_cast<double>(report.workers.size())));
+  dispatch.set("retries", Json::number(report.retries));
+  dispatch.set("seconds", Json::number(report.seconds));
+  dispatch.set("worker_stats", std::move(workers));
+  Json out = Json::object();
+  out.set("schema_version", Json::number(kPerfSchemaVersion));
+  out.set("dispatch", std::move(dispatch));
+  out.set("registry", registry_json(registry));
+  return out;
+}
+
 std::string perf_diff_text(const Json& baseline, const Json& current) {
   std::string out = "perf vs baseline (informational — wall clock is machine-dependent):\n";
 

@@ -22,6 +22,7 @@
 
 #include "obs/metrics.h"
 #include "sim/engine.h"
+#include "sweep/dispatch.h"
 #include "sweep/json.h"
 
 namespace titan::sweep {
@@ -46,6 +47,15 @@ inline constexpr int kPerfSchemaVersion = 1;
 // buckets: [[lower, upper, count], ...nonzero only]}}}. Deterministic in
 // the registry contents (maps iterate name-sorted).
 [[nodiscard]] Json registry_json(const obs::Registry& registry);
+
+// Per-worker timing artifact of a distributed sweep (`bench_sim_sweep
+// --workers-proc N --perf-json PATH`): {"schema_version", "dispatch":
+// {"workers", "retries", "seconds", "worker_stats": [{"worker",
+// "tasks_completed", "faults", "respawns", "busy_seconds"}, ...]},
+// "registry": {...}}. Wall-clock observability only — never compared, never
+// part of the sweep result bytes (docs/sweep.md).
+[[nodiscard]] Json dispatch_report_json(const DispatchReport& report,
+                                        const obs::Registry& registry);
 
 // Human-readable, informational comparison of two perf reports (current vs
 // baseline): per-scenario throughput ratios, latency-quantile movement,

@@ -14,8 +14,25 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-// Seeds are full uint64 values; JSON numbers (doubles) lose precision past
-// 2^53, so they travel as decimal strings.
+// Strict-mode guard: every key of `j` must be in `known`. The error names
+// the first offender exactly, so protocol tests can pin the text.
+void reject_unknown_keys(const Json& j, std::initializer_list<const char*> known,
+                         const char* what) {
+  for (const auto& [key, value] : j.members()) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known)
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    if (!ok)
+      throw std::invalid_argument(std::string(what) + ": unknown field '" + key + "'");
+  }
+}
+
+}  // namespace
+
 Json seed_to_json(std::uint64_t seed) { return Json::string(std::to_string(seed)); }
 
 std::uint64_t seed_from_json(const Json& j) {
@@ -34,6 +51,8 @@ std::uint64_t seed_from_json(const Json& j) {
   return v;
 }
 
+namespace {
+
 std::uint64_t parse_hex64(const std::string& s) {
   if (s.size() != 16) throw std::invalid_argument("sweep json: bad checksum '" + s + "'");
   std::uint64_t v = 0;
@@ -46,7 +65,9 @@ std::uint64_t parse_hex64(const std::string& s) {
   return v;
 }
 
-Json spec_to_json(const SweepSpec& spec) {
+}  // namespace
+
+Json sweep_spec_to_json(const SweepSpec& spec) {
   Json j = Json::object();
   j.set("base_seed", seed_to_json(spec.base_seed));
   j.set("num_seeds", Json::number(spec.num_seeds));
@@ -66,7 +87,14 @@ Json spec_to_json(const SweepSpec& spec) {
   return j;
 }
 
-SweepSpec spec_from_json(const Json& j) {
+SweepSpec sweep_spec_from_json(const Json& j, bool strict) {
+  if (strict)
+    reject_unknown_keys(j,
+                        {"base_seed", "num_seeds", "scenarios", "sim_threads",
+                         "peak_slot_calls", "training_weeks", "eval_days",
+                         "replan_interval_slots", "shards", "max_reduced_configs",
+                         "oracle_counts"},
+                        "sweep spec json");
   SweepSpec spec;
   spec.base_seed = seed_from_json(j.at("base_seed"));
   spec.num_seeds = static_cast<int>(j.at("num_seeds").as_int());
@@ -85,6 +113,8 @@ SweepSpec spec_from_json(const Json& j) {
   spec.oracle_counts = j.at("oracle_counts").as_bool();
   return spec;
 }
+
+namespace {
 
 Json stats_to_json(const MetricStats& s, const std::string& metric) {
   Json j = Json::object();
@@ -113,10 +143,40 @@ MetricStats stats_from_json(const Json& j) {
 
 }  // namespace
 
+Json run_record_to_json(const RunRecord& run) {
+  Json j = Json::object();
+  j.set("scenario", Json::string(run.scenario));
+  j.set("seed", seed_to_json(run.seed));
+  j.set("threads", Json::number(run.threads));
+  j.set("checksum", Json::string(hex64(run.checksum)));
+  Json values = Json::array();
+  for (const double v : run.values) values.push_back(Json::number(v));
+  j.set("values", std::move(values));
+  return j;
+}
+
+RunRecord run_record_from_json(const Json& j, bool strict) {
+  if (strict)
+    reject_unknown_keys(j, {"scenario", "seed", "threads", "checksum", "values"},
+                        "run record json");
+  RunRecord run;
+  run.scenario = j.at("scenario").as_string();
+  run.seed = seed_from_json(j.at("seed"));
+  run.threads = static_cast<int>(j.at("threads").as_int());
+  run.checksum = parse_hex64(j.at("checksum").as_string());
+  const Json& values = j.at("values");
+  if (values.size() != metric_names().size())
+    throw std::invalid_argument("sweep json: run value count mismatch");
+  run.values.reserve(values.size());
+  for (std::size_t v = 0; v < values.size(); ++v)
+    run.values.push_back(values.at(v).as_number());
+  return run;
+}
+
 Json to_json(const SweepResult& result, bool include_runs) {
   Json doc = Json::object();
   doc.set("schema", Json::number(kSweepSchemaVersion));
-  doc.set("spec", spec_to_json(result.spec));
+  doc.set("spec", sweep_spec_to_json(result.spec));
 
   Json metrics = Json::array();
   for (const auto& name : metric_names()) metrics.push_back(Json::string(name));
@@ -124,17 +184,7 @@ Json to_json(const SweepResult& result, bool include_runs) {
 
   if (include_runs) {
     Json runs = Json::array();
-    for (const auto& run : result.runs) {
-      Json j = Json::object();
-      j.set("scenario", Json::string(run.scenario));
-      j.set("seed", seed_to_json(run.seed));
-      j.set("threads", Json::number(run.threads));
-      j.set("checksum", Json::string(hex64(run.checksum)));
-      Json values = Json::array();
-      for (const double v : run.values) values.push_back(Json::number(v));
-      j.set("values", std::move(values));
-      runs.push_back(std::move(j));
-    }
+    for (const auto& run : result.runs) runs.push_back(run_record_to_json(run));
     doc.set("runs", std::move(runs));
   }
 
@@ -175,24 +225,12 @@ SweepResult from_json(const Json& doc) {
                                   metrics.at(i).as_string() + "'");
 
   SweepResult result;
-  result.spec = spec_from_json(doc.at("spec"));
+  result.spec = sweep_spec_from_json(doc.at("spec"));
 
   if (doc.has("runs")) {
     const Json& runs = doc.at("runs");
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const Json& j = runs.at(i);
-      RunRecord run;
-      run.scenario = j.at("scenario").as_string();
-      run.seed = seed_from_json(j.at("seed"));
-      run.threads = static_cast<int>(j.at("threads").as_int());
-      run.checksum = parse_hex64(j.at("checksum").as_string());
-      const Json& values = j.at("values");
-      if (values.size() != names.size())
-        throw std::invalid_argument("sweep json: run value count mismatch");
-      for (std::size_t v = 0; v < values.size(); ++v)
-        run.values.push_back(values.at(v).as_number());
-      result.runs.push_back(std::move(run));
-    }
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      result.runs.push_back(run_record_from_json(runs.at(i)));
   }
 
   const Json& aggregates = doc.at("aggregates");

@@ -34,6 +34,23 @@ namespace titan::sweep {
 // regenerated, not compared.
 inline constexpr int kSweepSchemaVersion = 5;
 
+// Building blocks of the document mapping, exposed because the worker
+// protocol (sweep/protocol.h) transports the same spec and run-record
+// shapes line by line. `strict` additionally rejects unknown object keys
+// ("sweep spec json: unknown field 'x'" / "run record json: unknown field
+// 'x'") — protocol messages must not silently carry fields this binary
+// does not understand, while the committed baseline documents keep the
+// historical tolerant read.
+[[nodiscard]] Json sweep_spec_to_json(const SweepSpec& spec);
+[[nodiscard]] SweepSpec sweep_spec_from_json(const Json& j, bool strict = false);
+[[nodiscard]] Json run_record_to_json(const RunRecord& run);
+[[nodiscard]] RunRecord run_record_from_json(const Json& j, bool strict = false);
+
+// Seeds are full uint64 values; JSON numbers (doubles) lose precision past
+// 2^53, so they travel as decimal strings everywhere in the sweep formats.
+[[nodiscard]] Json seed_to_json(std::uint64_t seed);
+[[nodiscard]] std::uint64_t seed_from_json(const Json& j);
+
 // `include_runs` = false drops the per-run records (aggregates only), for
 // compact CI artifacts; the committed baseline keeps runs for forensics.
 [[nodiscard]] Json to_json(const SweepResult& result, bool include_runs = true);

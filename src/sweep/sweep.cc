@@ -176,17 +176,124 @@ sim::Scenario sweep_scenario(const SweepSpec& spec, const std::string& name,
   return s;
 }
 
-SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
-  if (spec_.scenarios.empty()) spec_.scenarios = sim::scenario_names();
+SweepSpec validate_sweep_spec(SweepSpec spec) {
+  if (spec.scenarios.empty()) spec.scenarios = sim::scenario_names();
   const auto& known = sim::scenario_names();
-  for (const auto& name : spec_.scenarios)
+  for (const auto& name : spec.scenarios)
     if (std::find(known.begin(), known.end(), name) == known.end())
       throw std::invalid_argument("unknown scenario: " + name);
-  if (spec_.num_seeds < 1) throw std::invalid_argument("sweep needs num_seeds >= 1");
-  if (spec_.sim_threads.empty()) throw std::invalid_argument("sweep needs sim_threads");
-  for (const int t : spec_.sim_threads)
+  if (spec.num_seeds < 1) throw std::invalid_argument("sweep needs num_seeds >= 1");
+  if (spec.sim_threads.empty()) throw std::invalid_argument("sweep needs sim_threads");
+  for (const int t : spec.sim_threads)
     if (t < 1) throw std::invalid_argument("sim_threads entries must be >= 1");
+  return spec;
 }
+
+const std::vector<std::string>& lp_mode_names() {
+  static const std::vector<std::string> names = {"auto", "primal", "dual", "decomposed"};
+  return names;
+}
+
+namespace {
+
+// Same mapping as the bench --lp-mode flag (bench_sim_scenarios): "auto"
+// leaves the scenario's solver defaults untouched.
+void apply_lp_mode(const std::string& mode, titannext::PipelineOptions& pipeline) {
+  if (mode == "auto") return;
+  if (mode == "primal") {
+    pipeline.lp.solver.pivot_mode = lp::PivotMode::kPrimal;
+    pipeline.lp.decomposition = titannext::Decomposition::kOff;
+  } else if (mode == "dual") {
+    pipeline.lp.solver.pivot_mode = lp::PivotMode::kDual;
+    pipeline.lp.decomposition = titannext::Decomposition::kOff;
+  } else if (mode == "decomposed") {
+    pipeline.lp.decomposition = titannext::Decomposition::kForce;
+  } else {
+    throw std::invalid_argument("unknown lp_mode '" + mode + "'");
+  }
+}
+
+}  // namespace
+
+SweepTaskResult run_sweep_task(const SweepSpec& spec, const std::string& scenario,
+                               std::uint64_t seed, const std::string& lp_mode) {
+  const auto task_start = std::chrono::steady_clock::now();
+  sim::Scenario resolved = sweep_scenario(spec, scenario, seed);
+  apply_lp_mode(lp_mode, resolved.pipeline);
+  sim::SimEngine engine(resolved);
+
+  SweepTaskResult task;
+  const std::size_t variants = spec.sim_threads.size();
+  task.records.resize(variants);
+  std::vector<sim::SimResult> sims;
+  sims.reserve(variants);
+  for (std::size_t v = 0; v < variants; ++v) {
+    sims.push_back(engine.run(spec.sim_threads[v]));
+    sim::SimResult& r = sims.back();
+    RunRecord& record = task.records[v];
+    record.scenario = scenario;
+    record.seed = seed;
+    record.threads = spec.sim_threads[v];
+    record.checksum = r.checksum;
+    record.values = metric_values(r);
+    // Mask the wall-clock fields in place (the record has already captured
+    // everything it needs): what remains must be bit-identical across
+    // thread counts.
+    r.zero_wallclock();
+  }
+  // The engine's core promise: thread count changes nothing. Compare the
+  // full SimResult (streams included) bit-for-bit.
+  for (std::size_t v = 1; v < variants; ++v) {
+    if (!(sims[0] == sims[v])) {
+      task.determinism_violations.push_back(
+          scenario + " seed " + std::to_string(seed) + ": threads " +
+          std::to_string(spec.sim_threads[0]) + " vs " +
+          std::to_string(spec.sim_threads[v]) + " diverged");
+    }
+  }
+  task.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - task_start).count();
+  return task;
+}
+
+SweepResult assemble_sweep_result(const SweepSpec& spec, std::vector<RunRecord> runs,
+                                  std::vector<std::string> determinism_violations,
+                                  std::vector<double> task_seconds) {
+  SweepResult result;
+  result.spec = spec;
+  // The result's spec echo describes *what* was swept, never how it was
+  // scheduled: normalize the execution knobs so equality (and baseline
+  // comparison) across differently-scheduled sweeps holds, matching the
+  // serialized form, which omits them.
+  result.spec.workers = 0;
+  result.spec.task_order_seed = 0;
+  result.runs = std::move(runs);
+  result.task_seconds = std::move(task_seconds);
+  // Violations arrive in completion order; canonicalize.
+  std::sort(determinism_violations.begin(), determinism_violations.end());
+  result.determinism_violations = std::move(determinism_violations);
+
+  // Aggregate across seeds, per scenario, from the first-variant runs.
+  const std::size_t seeds = static_cast<std::size_t>(spec.num_seeds);
+  const std::size_t variants = spec.sim_threads.size();
+  result.aggregates.reserve(spec.scenarios.size());
+  for (std::size_t sc = 0; sc < spec.scenarios.size(); ++sc) {
+    ScenarioAggregate agg;
+    agg.scenario = spec.scenarios[sc];
+    agg.seeds = spec.num_seeds;
+    for (std::size_t m = 0; m < metric_names().size(); ++m) {
+      std::vector<double> samples;
+      samples.reserve(seeds);
+      for (std::size_t sd = 0; sd < seeds; ++sd)
+        samples.push_back(result.runs[(sc * seeds + sd) * variants].values[m]);
+      agg.stats.push_back(compute_stats(samples));
+    }
+    result.aggregates.push_back(std::move(agg));
+  }
+  return result;
+}
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(validate_sweep_spec(std::move(spec))) {}
 
 SweepResult SweepRunner::run() const {
   const std::size_t num_scenarios = spec_.scenarios.size();
@@ -211,16 +318,9 @@ SweepResult SweepRunner::run() const {
                 tasks[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
   }
 
-  SweepResult result;
-  result.spec = spec_;
-  // The result's spec echo describes *what* was swept, never how it was
-  // scheduled: normalize the execution knobs so equality (and baseline
-  // comparison) across differently-scheduled sweeps holds, matching the
-  // serialized form, which omits them.
-  result.spec.workers = 0;
-  result.spec.task_order_seed = 0;
-  result.runs.resize(tasks.size() * variants);
-  result.task_seconds.assign(tasks.size(), 0.0);
+  std::vector<RunRecord> runs(tasks.size() * variants);
+  std::vector<double> task_seconds(tasks.size(), 0.0);
+  std::vector<std::string> violations;
   std::mutex violations_mu;
 
   std::exception_ptr first_error;
@@ -230,45 +330,22 @@ SweepResult SweepRunner::run() const {
     for (std::size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
       try {
         const Task& task = tasks[i];
-        const auto task_start = std::chrono::steady_clock::now();
         const std::string& name = spec_.scenarios[task.scenario_index];
         const std::uint64_t seed = spec_.base_seed + task.seed_index;
-        sim::SimEngine engine(sweep_scenario(spec_, name, seed));
+        SweepTaskResult done = run_sweep_task(spec_, name, seed);
 
+        // Canonical slots: workers never race here because each task index
+        // is claimed by exactly one worker.
         const std::size_t base =
             (task.scenario_index * seeds + task.seed_index) * variants;
-        std::vector<sim::SimResult> sims;
-        sims.reserve(variants);
-        for (std::size_t v = 0; v < variants; ++v) {
-          sims.push_back(engine.run(spec_.sim_threads[v]));
-          sim::SimResult& r = sims.back();
-          RunRecord& record = result.runs[base + v];
-          record.scenario = name;
-          record.seed = seed;
-          record.threads = spec_.sim_threads[v];
-          record.checksum = r.checksum;
-          record.values = metric_values(r);
-          // Mask the wall-clock fields in place (the record has already
-          // captured everything it needs): what remains must be
-          // bit-identical across thread counts.
-          r.zero_wallclock();
+        for (std::size_t v = 0; v < variants; ++v)
+          runs[base + v] = std::move(done.records[v]);
+        task_seconds[task.scenario_index * seeds + task.seed_index] = done.seconds;
+        if (!done.determinism_violations.empty()) {
+          std::lock_guard<std::mutex> lock(violations_mu);
+          for (auto& violation : done.determinism_violations)
+            violations.push_back(std::move(violation));
         }
-        // The engine's core promise: thread count changes nothing. Compare
-        // the full SimResult (streams included) bit-for-bit.
-        for (std::size_t v = 1; v < variants; ++v) {
-          if (!(sims[0] == sims[v])) {
-            std::lock_guard<std::mutex> lock(violations_mu);
-            result.determinism_violations.push_back(
-                name + " seed " + std::to_string(seed) + ": threads " +
-                std::to_string(spec_.sim_threads[0]) + " vs " +
-                std::to_string(spec_.sim_threads[v]) + " diverged");
-          }
-        }
-        // Canonical slot, like the run records: workers never race here
-        // because each task index is claimed by exactly one worker.
-        result.task_seconds[task.scenario_index * seeds + task.seed_index] =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - task_start)
-                .count();
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -289,25 +366,8 @@ SweepResult SweepRunner::run() const {
   }
   if (first_error) std::rethrow_exception(first_error);
 
-  // Violations were appended in completion order; canonicalize.
-  std::sort(result.determinism_violations.begin(), result.determinism_violations.end());
-
-  // Aggregate across seeds, per scenario, from the first-variant runs.
-  result.aggregates.reserve(num_scenarios);
-  for (std::size_t sc = 0; sc < num_scenarios; ++sc) {
-    ScenarioAggregate agg;
-    agg.scenario = spec_.scenarios[sc];
-    agg.seeds = spec_.num_seeds;
-    for (std::size_t m = 0; m < metric_names().size(); ++m) {
-      std::vector<double> samples;
-      samples.reserve(seeds);
-      for (std::size_t sd = 0; sd < seeds; ++sd)
-        samples.push_back(result.runs[(sc * seeds + sd) * variants].values[m]);
-      agg.stats.push_back(compute_stats(samples));
-    }
-    result.aggregates.push_back(std::move(agg));
-  }
-  return result;
+  return assemble_sweep_result(spec_, std::move(runs), std::move(violations),
+                               std::move(task_seconds));
 }
 
 }  // namespace titan::sweep
